@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark regenerates one paper figure at the configured
+scale (env ``REPRO_SCALE``, default 0.15; 1.0 = paper size), writes the
+rendered table to ``benchmarks/results/figure_NN.txt``, echoes it to
+stdout, and asserts the figure's qualitative expectation.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_figure(results_dir):
+    """Persist + print a rendered FigureResult."""
+
+    def _record(figure):
+        text = render_figure(figure)
+        path = results_dir / f"figure_{figure.figure_id:02d}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _record

@@ -1,0 +1,17 @@
+"""Figure 2: required accuracy vs error % (COUNT, both topologies)."""
+
+from repro.experiments.figures import figure02_required_accuracy
+
+
+def test_figure02(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure02_required_accuracy, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    # Paper shape: the result is within the required accuracy.
+    within = sum(
+        1
+        for delta, err_syn, err_gnu in figure.rows
+        if err_syn <= delta and err_gnu <= delta
+    )
+    assert within >= len(figure.rows) - 1

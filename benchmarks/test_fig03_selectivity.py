@@ -1,0 +1,14 @@
+"""Figure 3: selectivity vs error % (COUNT, Δreq = 0.1)."""
+
+from repro.experiments.figures import figure03_selectivity
+
+
+def test_figure03(benchmark, record_figure):
+    figure = benchmark.pedantic(figure03_selectivity, rounds=1, iterations=1)
+    record_figure(figure)
+    # Paper shape: error stays within Δreq = 0.1 across selectivities.
+    errors = figure.column("error_synthetic") + figure.column(
+        "error_gnutella"
+    )
+    within = sum(1 for error in errors if error <= 0.10)
+    assert within >= len(errors) - 2

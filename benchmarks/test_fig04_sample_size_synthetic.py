@@ -1,0 +1,21 @@
+"""Figure 4: Δreq × initial sample size × final sample size (synthetic)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure04_sample_size_synthetic
+
+
+def test_figure04(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure04_sample_size_synthetic, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    rows = figure.rows
+    # Paper shape 1: sample size grows steeply as Δreq tightens
+    # (~1/Δ²) within each initial-sample group.
+    for initial in (1000, 2000, 3000):
+        group = {r[1]: r[2] for r in rows if r[0] == initial}
+        assert group[0.05] > group[0.25]
+    # Paper shape 2: nearly flat in the initial sample size at tight Δ.
+    tight = [r[2] for r in rows if r[1] == 0.05]
+    assert max(tight) < 3.0 * min(tight)

@@ -1,0 +1,16 @@
+"""Figure 5: Δreq × initial sample size × final sample size (Gnutella)."""
+
+from repro.experiments.figures import figure05_sample_size_gnutella
+
+
+def test_figure05(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure05_sample_size_gnutella, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    rows = figure.rows
+    for initial in (1000, 2000, 3000):
+        group = {r[1]: r[2] for r in rows if r[0] == initial}
+        assert group[0.05] > group[0.25]
+    tight = [r[2] for r in rows if r[1] == 0.05]
+    assert max(tight) < 3.0 * min(tight)

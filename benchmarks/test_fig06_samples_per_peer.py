@@ -1,0 +1,16 @@
+"""Figure 6: samples per peer (t) vs error % — extra local tuples
+barely help."""
+
+from repro.experiments.figures import figure06_samples_per_peer
+
+
+def test_figure06(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure06_samples_per_peer, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    errors = figure.column("error")
+    # Paper shape: every t meets the requirement and the curve is
+    # roughly flat (no payoff for bigger t).
+    assert all(error <= 0.10 for error in errors)
+    assert max(errors) - min(errors) <= 0.08

@@ -1,0 +1,14 @@
+"""Figure 7: random walk vs BFS vs DFS on a clustered topology."""
+
+from repro.experiments.figures import figure07_baselines
+
+
+def test_figure07(benchmark, record_figure):
+    figure = benchmark.pedantic(figure07_baselines, rounds=1, iterations=1)
+    record_figure(figure)
+    walk = sum(figure.column("error_random_walk"))
+    bfs = sum(figure.column("error_bfs"))
+    dfs = sum(figure.column("error_dfs"))
+    # Paper shape: the jump random walk clearly outperforms both.
+    assert walk < bfs
+    assert walk < dfs

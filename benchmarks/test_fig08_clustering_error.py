@@ -1,0 +1,19 @@
+"""Figure 8: clustering (CL) vs error % (COUNT)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure08_clustering_error
+
+
+def test_figure08(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure08_clustering_error, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    errors = figure.column("error_synthetic") + figure.column(
+        "error_gnutella"
+    )
+    # Paper shape: the adaptive algorithm keeps the error within the
+    # requirement at every clustering level.
+    assert np.mean(errors) <= 0.10
+    assert all(error <= 0.18 for error in errors)

@@ -1,0 +1,14 @@
+"""Figure 9: clustering (CL) vs sample size (COUNT)."""
+
+from repro.experiments.figures import figure09_clustering_sample_size
+
+
+def test_figure09(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure09_clustering_sample_size, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    # Paper shape: more clustered data (CL -> 0) needs more samples.
+    for column in ("sample_size_synthetic", "sample_size_gnutella"):
+        sizes = figure.column(column)
+        assert sizes[0] > sizes[-1]

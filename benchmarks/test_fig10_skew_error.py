@@ -1,0 +1,16 @@
+"""Figure 10: skew (Z) vs error % (COUNT)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure10_skew_error
+
+
+def test_figure10(benchmark, record_figure):
+    figure = benchmark.pedantic(figure10_skew_error, rounds=1, iterations=1)
+    record_figure(figure)
+    errors = figure.column("error_synthetic") + figure.column(
+        "error_gnutella"
+    )
+    # Paper shape: error within the requirement at every skew.
+    assert np.mean(errors) <= 0.10
+    assert all(error <= 0.18 for error in errors)

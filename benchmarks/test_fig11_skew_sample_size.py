@@ -1,0 +1,15 @@
+"""Figure 11: skew (Z) vs sample size (COUNT)."""
+
+from repro.experiments.figures import figure11_skew_sample_size
+
+
+def test_figure11(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure11_skew_sample_size, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    # Paper shape: higher skew -> frequent values dominate -> fewer
+    # samples needed.
+    for column in ("sample_size_synthetic", "sample_size_gnutella"):
+        sizes = figure.column(column)
+        assert sizes[-1] < sizes[0]

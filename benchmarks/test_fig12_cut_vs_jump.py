@@ -1,0 +1,28 @@
+"""Figure 12: cut size × jump size vs error % (SUM, two sub-graphs)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure12_cut_vs_jump
+
+
+def test_figure12(benchmark, record_figure):
+    figure = benchmark.pedantic(figure12_cut_vs_jump, rounds=1, iterations=1)
+    record_figure(figure)
+    rows = figure.rows
+    cuts = sorted({row[0] for row in rows})
+    jumps = sorted({row[1] for row in rows})
+    error = {(row[0], row[1]): row[2] for row in rows}
+    # Paper shape 1: the hardest cell (smallest cut, jump=1) is far
+    # worse than the easiest (largest cut, largest jump).
+    hardest = error[(cuts[0], jumps[0])]
+    easiest = error[(cuts[-1], jumps[-1])]
+    assert hardest > easiest
+    # Paper shape 2: at the smallest cut, increasing the jump reduces
+    # the error substantially.
+    small_cut_curve = [error[(cuts[0], j)] for j in jumps]
+    assert min(small_cut_curve[1:]) < small_cut_curve[0]
+    # Paper shape 3: at the largest jump, the cut size barely matters.
+    large_jump_curve = [error[(c, jumps[-1])] for c in cuts]
+    assert max(large_jump_curve) - min(large_jump_curve) <= max(
+        0.05, hardest / 2
+    )

@@ -1,0 +1,17 @@
+"""Figure 13: clustering vs error % (SUM, selectivity = 1)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure13_sum_clustering_error
+
+
+def test_figure13(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure13_sum_clustering_error, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    errors = figure.column("error_synthetic") + figure.column(
+        "error_gnutella"
+    )
+    assert np.mean(errors) <= 0.10
+    assert all(error <= 0.18 for error in errors)

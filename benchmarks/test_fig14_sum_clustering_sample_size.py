@@ -1,0 +1,15 @@
+"""Figure 14: clustering vs sample size (SUM)."""
+
+from repro.experiments.figures import figure14_sum_clustering_sample_size
+
+
+def test_figure14(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure14_sum_clustering_sample_size, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    # Paper shape: clustered data needs more samples; the curve falls
+    # as CL rises.
+    for column in ("sample_size_synthetic", "sample_size_gnutella"):
+        sizes = figure.column(column)
+        assert sizes[0] > sizes[-1]

@@ -1,0 +1,20 @@
+"""Figure 16: clustering vs sample size (MEDIAN)."""
+
+import numpy as np
+
+from repro.experiments.figures import figure16_median_clustering_sample_size
+
+
+def test_figure16(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        figure16_median_clustering_sample_size, rounds=1, iterations=1
+    )
+    record_figure(figure)
+    # Paper shape: more clustered data needs more samples.  Median
+    # sample sizes are noisy; compare the clustered half against the
+    # unclustered half.
+    for column in ("sample_size_synthetic", "sample_size_gnutella"):
+        sizes = figure.column(column)
+        clustered = np.mean(sizes[:2])
+        unclustered = np.mean(sizes[-2:])
+        assert clustered >= 0.8 * unclustered

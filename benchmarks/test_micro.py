@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the performance-critical substrate paths.
+
+These use pytest-benchmark's timing loop properly (multiple rounds),
+unlike the figure benches which time one full experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import PeerObservation, horvitz_thompson
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.data.localdb import LocalDatabase
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
+from repro.network.spectral import analyze_topology
+from repro.network.walker import RandomWalkConfig, RandomWalker
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return power_law_topology(2000, 10_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def network(topology):
+    dataset = generate_dataset(
+        topology, DatasetConfig(num_tuples=200_000), seed=1
+    )
+    return NetworkSimulator(topology, dataset.databases, seed=1)
+
+
+def test_walk_throughput_100k_hops(benchmark, topology):
+    """Raw hop rate of the CSR walker."""
+    walker = RandomWalker(topology, RandomWalkConfig(jump=1), seed=1)
+    benchmark(walker.endpoint_after, 0, 100_000)
+
+
+def test_walk_sample_1000_peers_jump10(benchmark, topology):
+    walker = RandomWalker(topology, RandomWalkConfig(jump=10), seed=1)
+    benchmark(walker.sample_peers, 0, 1000)
+
+
+def test_topology_generation(benchmark):
+    benchmark.pedantic(
+        power_law_topology, args=(2000, 10_000), kwargs={"seed": 7},
+        rounds=3, iterations=1,
+    )
+
+
+def test_spectral_analysis(benchmark, topology):
+    benchmark.pedantic(analyze_topology, args=(topology,), rounds=3,
+                       iterations=1)
+
+
+def test_dataset_generation(benchmark, topology):
+    benchmark.pedantic(
+        generate_dataset,
+        args=(topology, DatasetConfig(num_tuples=200_000)),
+        kwargs={"seed": 5},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_peer_visit(benchmark, network):
+    """One local query execution with sub-sampling, the per-visit cost."""
+    ledger = network.new_ledger()
+
+    def visit():
+        return network.visit_aggregate(
+            7, COUNT_30, sink=0, ledger=ledger, tuples_per_peer=25
+        )
+
+    benchmark(visit)
+
+
+def test_exact_evaluation_full_crawl(benchmark, network):
+    """The 'prohibitively slow' alternative, for scale reference."""
+    benchmark(evaluate_exact, COUNT_30, network.databases())
+
+
+def test_ht_estimator_10k_observations(benchmark):
+    rng = np.random.default_rng(3)
+    observations = [
+        PeerObservation(
+            peer_id=i,
+            value=float(v),
+            probability=float(p),
+        )
+        for i, (v, p) in enumerate(
+            zip(rng.random(10_000) * 100, rng.random(10_000) * 0.001 + 1e-5)
+        )
+    ]
+    benchmark(horvitz_thompson, observations)
+
+
+def test_block_sampling(benchmark):
+    database = LocalDatabase(
+        {"A": np.random.default_rng(4).integers(1, 100, 10_000)},
+        block_size=25,
+    )
+    rng = np.random.default_rng(5)
+    benchmark(database.block_sample_indices, 100, rng)

@@ -1,0 +1,114 @@
+"""Analytics over a Gnutella-style media-sharing network.
+
+The paper's running example: peers share media files, and "the movies
+stored on a specific peer are likely to be of the same genre" — local
+data is heavily clustered.  A peer wants catalogue analytics ("how many
+files are in the 1-30 genre band?") without crawling the network.
+
+This example builds a Gnutella-2001-like topology with genre-clustered
+data (CL = 0), then:
+
+1. answers a COUNT query with the two-phase algorithm,
+2. runs the same query through the naive BFS and DFS strategies
+   (Figure 7's comparison) to show why the jump walk is necessary,
+3. shows how the phase-I "sniff" adapts the sample size to the
+   clustering level.
+
+Run:  python examples/media_sharing.py
+"""
+
+import numpy as np
+
+import repro
+from repro.sampling.baselines import BFSEngine, dfs_engine
+
+
+def build_network(cluster_level: float, seed: int = 17):
+    topology = repro.gnutella_paper_topology(seed=seed, scale=0.05)
+    dataset = repro.generate_dataset(
+        topology,
+        repro.DatasetConfig(
+            num_tuples=topology.num_peers * 90,
+            cluster_level=cluster_level,
+            skew=0.4,
+        ),
+        seed=seed,
+    )
+    network = repro.NetworkSimulator(topology, dataset.databases, seed=seed)
+    return topology, dataset, network
+
+
+def build_communities(seed: int = 23):
+    """Two media communities (e.g. music vs movies) joined by a thin
+    cut, each hoarding its own genre range — Figure 7's regime."""
+    topology = repro.clustered_power_law(
+        num_peers=600, num_edges=3600, num_subgraphs=2,
+        cut_edges=36, seed=seed,
+    )
+    dataset = repro.generate_dataset(
+        topology,
+        repro.DatasetConfig(num_tuples=600 * 90, cluster_level=0.25,
+                            skew=0.4),
+        placement=repro.PlacementConfig(order="id"),
+        seed=seed,
+    )
+    network = repro.NetworkSimulator(topology, dataset.databases, seed=seed)
+    return topology, dataset, network
+
+
+def main() -> None:
+    print("=== media-sharing catalogue analytics ===\n")
+    topology, dataset, network = build_communities()
+    print(f"{topology.num_peers} peers in two genre communities sharing "
+          f"{dataset.num_tuples} files\n(genres 1..100; each community "
+          f"hoards its own genre range)\n")
+
+    query = repro.parse_query(
+        "SELECT COUNT(A) FROM files WHERE A BETWEEN 1 AND 30"
+    )
+    truth = repro.evaluate_exact(query, dataset.databases)
+    n = dataset.num_tuples
+    config = repro.TwoPhaseConfig(
+        phase_one_peers=40, tuples_per_peer=25, jump=10,
+        max_phase_two_peers=2 * topology.num_peers,
+    )
+
+    print(f"query: {query}   exact answer: {truth:.0f}\n")
+    print("strategy        estimate      error     peers  messages")
+    print("-" * 60)
+    for name, factory in [
+        ("random walk", lambda: repro.TwoPhaseEngine(
+            network, config=config, seed=5)),
+        ("BFS (flood)", lambda: BFSEngine(network, config=config, seed=5)),
+        ("DFS (j=0)", lambda: dfs_engine(network, config=config, seed=5)),
+    ]:
+        result = factory().execute(query, delta_req=0.10, sink=0)
+        error = abs(result.estimate - truth) / n
+        print(f"{name:<14} {result.estimate:10.0f}   {error:8.4f}  "
+              f"{result.total_peers_visited:6d}  {result.cost.messages:8d}")
+    print("\nThe jump random walk crosses between the communities; BFS "
+          "never leaves the\nsink's genre neighborhood and DFS's "
+          "consecutive peers carry correlated\ncatalogues.\n")
+
+    # The adaptive part: phase I sizes phase II by the clustering.
+    print("adaptive sample sizing vs genre clustering (delta_req = 0.10):")
+    print("CL     sampled tuples   peers visited")
+    print("-" * 40)
+    for cluster_level in (0.0, 0.5, 1.0):
+        _topo, ds, net = build_network(cluster_level=cluster_level)
+        sizes = []
+        peers = []
+        for seed in range(3):
+            engine = repro.TwoPhaseEngine(net, config=config, seed=seed)
+            result = engine.execute(query, delta_req=0.10)
+            sizes.append(result.total_tuples_sampled)
+            peers.append(result.total_peers_visited)
+        print(f"{cluster_level:4.2f}   {np.mean(sizes):14.0f}   "
+              f"{np.mean(peers):13.1f}")
+    print("\nMore clustered catalogues (CL -> 0) make peers less "
+          "representative, so the\ncross-validation step orders a larger "
+          "phase II — with no tuning by the user.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Internal helpers shared across the package.
+
+Seeding discipline
+------------------
+
+Every stochastic component in this library accepts either an integer
+seed or a :class:`numpy.random.Generator`.  :func:`ensure_rng`
+normalizes both into a ``Generator``.  Components that need several
+independent streams should call :func:`spawn` so sub-streams do not
+overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` a
+    seeded one, and an existing ``Generator`` is passed through
+    unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Split ``rng`` into ``n`` statistically independent child streams."""
+    if n < 0:
+        raise ConfigurationError(f"cannot spawn {n} generators")
+    return list(rng.spawn(n))
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` > 0."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` >= 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in(name: str, value: object, allowed: Sequence) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is in ``allowed``."""
+    if value not in allowed:
+        raise ConfigurationError(
+            f"{name} must be one of {list(allowed)!r}, got {value!r}"
+        )
+
+
+def weighted_median(
+    values: np.ndarray,
+    weights: np.ndarray,
+    fraction: float = 0.5,
+) -> float:
+    """Return the weighted ``fraction``-quantile of ``values``.
+
+    The weighted median (``fraction=0.5``) is the value ``v`` minimizing
+    ``|sum(w_i for values<v) - sum(w_i for values>v)|`` — the quantity
+    the paper's median algorithm (step 4 of §5.6) minimizes.
+
+    Parameters
+    ----------
+    values:
+        Sample values (need not be sorted).
+    weights:
+        Non-negative weights, same length as ``values``.
+    fraction:
+        Which quantile of the weight mass to locate, in (0, 1).
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ConfigurationError("values and weights must have equal shapes")
+    if values.size == 0:
+        raise ConfigurationError("weighted_median of an empty sample")
+    if np.any(weights < 0):
+        raise ConfigurationError("weights must be non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ConfigurationError("weights must not all be zero")
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1), got {fraction!r}")
+
+    order = np.argsort(values, kind="mergesort")
+    sorted_values = values[order]
+    cumulative = np.cumsum(weights[order])
+    cutoff = fraction * total
+    index = int(np.searchsorted(cumulative, cutoff, side="left"))
+    index = min(index, values.size - 1)
+    return float(sorted_values[index])
+
+
+def relative_error(estimate: float, truth: float, scale: Optional[float] = None) -> float:
+    """Normalized absolute error ``|estimate - truth| / scale``.
+
+    ``scale`` defaults to ``|truth|``; a zero scale with a zero error
+    returns 0.0, a zero scale with nonzero error returns ``inf``.
+    """
+    if scale is None:
+        scale = abs(truth)
+    diff = abs(estimate - truth)
+    if scale == 0:
+        return 0.0 if diff == 0 else float("inf")
+    return diff / scale

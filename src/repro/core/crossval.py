@@ -1,0 +1,115 @@
+"""Cross-validation of the phase-I sample (paper §3.4, Theorem 3).
+
+The sink cannot observe its estimation error directly (it does not
+know ``y``), but it can *split* the phase-I sample into two halves,
+compute the estimate from each, and use the disagreement:
+
+    CVError = |y_1'' - y_2''|
+
+Theorem 3: ``E[CVError²] = 2 · E[(y'' - y)²]`` (for estimates at size
+``m/2``), so the squared cross-validation error is an observable,
+conservatively scaled stand-in for the squared true error.  Repeating
+the random halving a few times and averaging makes the estimate robust
+(the paper's "steps 2–4 can be repeated a few times").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from .._util import SeedLike, ensure_rng
+from ..errors import SamplingError
+from .estimators import PeerObservation
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossValidation:
+    """Result of cross-validating a phase-I sample.
+
+    Attributes
+    ----------
+    mean_squared_error:
+        Average of ``CVError²`` over the halving rounds.
+    errors:
+        The individual per-round ``CVError`` values.
+    half_size:
+        ``m/2`` — the sample size each half-estimate used; the size
+        the planner's formula is anchored to.
+    """
+
+    mean_squared_error: float
+    errors: List[float]
+    half_size: int
+
+    @property
+    def rms_error(self) -> float:
+        """Root of the mean squared cross-validation error."""
+        return float(np.sqrt(self.mean_squared_error))
+
+    @property
+    def rounds(self) -> int:
+        """Number of random halvings performed."""
+        return len(self.errors)
+
+    def implied_badness(self) -> float:
+        """Invert Theorem 2+3 to get ``C``.
+
+        ``E[CVError²] = 2 · Var[y''_{m/2}] = 2C/(m/2) = 4C/m``; with
+        ``half = m/2`` this yields ``C = mean_sq · half / 2``.
+        """
+        return self.mean_squared_error * self.half_size / 2.0
+
+
+def cross_validate(
+    observations: Sequence[PeerObservation],
+    rounds: int = 5,
+    seed: SeedLike = None,
+    estimator=None,
+) -> CrossValidation:
+    """Randomly halve the sample ``rounds`` times and measure CVError.
+
+    Each round partitions the observations into two halves S1, S2
+    (sizes ``floor(m/2)`` each; with odd ``m`` one observation sits
+    out), computes ``y_1''`` and ``y_2''`` over each half and records
+    ``|y_1'' - y_2''|``.
+
+    ``estimator`` maps a list of observations to a point estimate;
+    the default is Equation 1 (the mean of the ratios).  Passing the
+    Hájek estimator cross-validates that estimator instead, so the
+    phase-II plan stays calibrated to whatever estimator the engine
+    actually uses.
+    """
+    if rounds <= 0:
+        raise SamplingError("rounds must be positive")
+    m = len(observations)
+    if m < 4:
+        raise SamplingError(
+            f"cross-validation needs at least 4 phase-I peers, got {m}"
+        )
+    rng = ensure_rng(seed)
+    half = m // 2
+    errors: List[float] = []
+    if estimator is None:
+        ratios = np.asarray(
+            [obs.ratio for obs in observations], dtype=float
+        )
+        for _ in range(rounds):
+            order = rng.permutation(m)
+            first = ratios[order[:half]]
+            second = ratios[order[half: 2 * half]]
+            errors.append(abs(float(first.mean()) - float(second.mean())))
+    else:
+        for _ in range(rounds):
+            order = rng.permutation(m)
+            first = [observations[i] for i in order[:half]]
+            second = [observations[i] for i in order[half: 2 * half]]
+            errors.append(abs(estimator(first) - estimator(second)))
+    mean_squared = float(np.mean(np.square(errors)))
+    return CrossValidation(
+        mean_squared_error=mean_squared,
+        errors=errors,
+        half_size=half,
+    )

@@ -1,0 +1,263 @@
+"""Hybrid pre-computed + on-the-fly sampling (paper §6, open problem 1).
+
+The paper asks: *"Is it possible to build hybrid solutions that do some
+amount of pre-computations of samples, in addition to 'on-the-fly'
+sampling such as ours?"*  This module answers with a plan cache: the
+expensive product of phase I is not the sample itself (data changes
+quickly, which is why pre-computed samples go stale) but the *sampling
+statistics* — the cross-validated error level and the normalization
+scale for a query signature.  Those drift far more slowly than
+individual tuples, so they can be cached:
+
+* the first execution of a query signature runs the full two-phase
+  algorithm and stores ``(mean CVError², half size, scale)``;
+* repeat executions skip phase I entirely: the cached statistics size
+  a single walk of ``m' = half · CVError²/Δ²`` peers, saving the
+  phase-I visits and the analysis round-trip;
+* every warm execution folds its fresh sample's statistics back into
+  the cache with exponential decay, so the plan tracks data drift;
+* entries expire after ``max_age`` uses (or on explicit
+  :meth:`HybridEngine.invalidate`, e.g. when churn changes M or \\|E|),
+  falling back to a cold run.
+
+The cache stores statistics, never tuples — consistent with the
+paper's argument that pre-computed *samples* are impractical in P2P
+systems while slow-changing *parameters* are fair game.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+from .._util import SeedLike, ensure_rng
+from ..errors import ConfigurationError
+from ..network.simulator import NetworkSimulator
+from ..query.model import AggregationQuery
+from .confidence import ConfidenceInterval, z_for_confidence
+from .crossval import cross_validate
+from .estimators import make_estimator
+from .planner import estimate_scale
+from .result import ApproximateResult, PhaseReport
+from .two_phase import TwoPhaseConfig, TwoPhaseEngine
+
+
+@dataclasses.dataclass
+class CachedPlan:
+    """Cached phase-I statistics for one query signature.
+
+    Attributes
+    ----------
+    mean_squared_cv_error:
+        Exponentially-decayed mean of the squared cross-validation
+        error at ``half_size``.
+    half_size:
+        The half-sample size the CV error is anchored to.
+    scale:
+        Decayed normalization scale (N-hat or total-sum estimate).
+    uses:
+        Warm executions served from this entry.
+    """
+
+    mean_squared_cv_error: float
+    half_size: int
+    scale: float
+    uses: int = 0
+
+    def refresh(
+        self, squared_cv: float, scale: float, decay: float
+    ) -> None:
+        """Blend fresh statistics in with exponential decay."""
+        self.mean_squared_cv_error = (
+            decay * self.mean_squared_cv_error + (1 - decay) * squared_cv
+        )
+        self.scale = decay * self.scale + (1 - decay) * scale
+
+
+class HybridEngine:
+    """Two-phase engine with a warm plan cache.
+
+    Parameters
+    ----------
+    simulator, config, seed:
+        As for :class:`TwoPhaseEngine`.
+    max_age:
+        Warm executions before an entry is considered stale and a cold
+        (full two-phase) run refreshes it.
+    decay:
+        Exponential blending factor for refreshing cached statistics
+        from warm samples (closer to 1 = slower adaptation).
+    """
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        config: Optional[TwoPhaseConfig] = None,
+        seed: SeedLike = None,
+        max_age: int = 25,
+        decay: float = 0.7,
+    ):
+        if max_age < 1:
+            raise ConfigurationError("max_age must be >= 1")
+        if not 0.0 <= decay < 1.0:
+            raise ConfigurationError("decay must be in [0, 1)")
+        self._simulator = simulator
+        self._config = config or TwoPhaseConfig()
+        self._rng = ensure_rng(seed)
+        self._engine = TwoPhaseEngine(
+            simulator, config=self._config, seed=self._rng.spawn(1)[0]
+        )
+        self._max_age = max_age
+        self._decay = decay
+        self._cache: Dict[str, CachedPlan] = {}
+        self._cold_runs = 0
+        self._warm_runs = 0
+        self._point, self._variance = make_estimator(
+            self._config.estimator, simulator.topology.num_peers
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cold_runs(self) -> int:
+        """Executions that ran the full two-phase algorithm."""
+        return self._cold_runs
+
+    @property
+    def warm_runs(self) -> int:
+        """Executions served from the plan cache."""
+        return self._warm_runs
+
+    def cached_plan(self, query: AggregationQuery) -> Optional[CachedPlan]:
+        """The cache entry for ``query``'s signature, if any."""
+        return self._cache.get(query.to_sql())
+
+    def invalidate(self, query: Optional[AggregationQuery] = None) -> None:
+        """Drop one signature's entry, or the whole cache.
+
+        Call this when the network changes materially (churn epochs,
+        bulk data loads) — the next execution re-learns the plan.
+        """
+        if query is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(query.to_sql(), None)
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+    ) -> ApproximateResult:
+        """Answer ``query`` within ``delta_req``; warm when possible."""
+        signature = query.to_sql()
+        plan = self._cache.get(signature)
+        if plan is None or plan.uses >= self._max_age:
+            return self._cold(query, delta_req, sink, signature)
+        return self._warm(query, delta_req, sink, plan)
+
+    def _cold(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int],
+        signature: str,
+    ) -> ApproximateResult:
+        self._cold_runs += 1
+        result = self._engine.execute(query, delta_req, sink=sink)
+        analysis = result.analysis  # phase-I statistics ride along
+        self._cache[signature] = CachedPlan(
+            mean_squared_cv_error=(
+                analysis.cross_validation.mean_squared_error
+            ),
+            half_size=analysis.cross_validation.half_size,
+            scale=analysis.scale,
+        )
+        return result
+
+    def _warm(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int],
+        plan: CachedPlan,
+    ) -> ApproximateResult:
+        self._warm_runs += 1
+        plan.uses += 1
+        if sink is None:
+            sink = int(self._rng.integers(self._simulator.num_peers))
+        ledger = self._simulator.new_ledger()
+
+        absolute_target = delta_req * plan.scale
+        m_prime = (
+            plan.half_size
+            * plan.mean_squared_cv_error
+            / absolute_target**2
+        )
+        # Floor at the phase-I size: cached statistics are noisy, so a
+        # warm run never samples less than a cold phase I would — the
+        # cache saves the planning round-trip and the pooled phase-II
+        # visits, not the statistical minimum.
+        peers = max(self._config.phase_one_peers, int(math.ceil(m_prime)))
+        if self._config.max_phase_two_peers is not None:
+            peers = min(
+                peers, max(4, self._config.max_phase_two_peers)
+            )
+
+        observations, replies = self._engine.collect_observations(
+            sink, query, peers, ledger
+        )
+        estimate = self._engine.final_estimate(query, observations)
+        z = z_for_confidence(self._config.confidence)
+        half_width = z * math.sqrt(self._variance(observations))
+        interval = ConfidenceInterval(
+            estimate=estimate,
+            half_width=half_width,
+            confidence=self._config.confidence,
+        )
+
+        # Fold fresh statistics back into the cache so the plan tracks
+        # data drift without a cold restart.
+        if len(observations) >= 4:
+            point = (
+                None
+                if self._config.estimator == "ht"
+                else self._point
+            )
+            cv = cross_validate(
+                observations,
+                rounds=self._config.cross_validation_rounds,
+                seed=self._rng,
+                estimator=point,
+            )
+            # Rescale the fresh CVError² from this sample's half size
+            # to the cached anchor (CVError² ~ 1/half).
+            rescaled = (
+                cv.mean_squared_error * cv.half_size / plan.half_size
+                if plan.half_size
+                else cv.mean_squared_error
+            )
+            fresh_scale = estimate_scale(
+                query, observations, point_estimator=point
+            )
+            plan.refresh(rescaled, fresh_scale, self._decay)
+
+        phase = PhaseReport(
+            peers_visited=len(replies),
+            tuples_sampled=sum(r.processed_tuples for r in replies),
+            hops=ledger.snapshot().hops,
+            estimate=estimate,
+        )
+        return ApproximateResult(
+            query=query,
+            estimate=estimate,
+            delta_req=delta_req,
+            scale=plan.scale,
+            confidence_interval=interval,
+            phase_one=phase,
+            phase_two=None,
+            cost=ledger.snapshot(),
+        )

@@ -1,0 +1,422 @@
+"""The adaptive two-phase sampling engine for COUNT/SUM/AVG (paper §4).
+
+Execution of ``SELECT Agg(Col) FROM T WHERE ...`` with required
+accuracy ``Δreq`` proceeds exactly as the paper's pseudocode:
+
+**Phase I** — a random walk from the sink selects ``m`` peers (every
+``j``-th visited peer).  Each selected peer executes the query locally
+on at most ``t`` sub-sampled tuples, scales the result by
+``#tuples / #processedTuples`` and replies directly to the sink with
+the scaled aggregate and its degree.
+
+**Sink analysis** — the sink reconstructs stationary probabilities
+from degrees, cross-validates the sample (random halving, Theorem 3)
+and derives the phase-II size ``m' = (m/2) · (CVError / Δ)²``.
+
+**Phase II** — a second walk collects ``m'`` more peers the same way;
+the final answer is the Equation-1 estimate over the collected sample.
+
+The engine pools phase-I and phase-II observations for the final
+estimate by default (both phases draw from the same stationary
+distribution, so pooling is unbiased and strictly lowers variance);
+``pool_phases=False`` reproduces the paper's literal phase-II-only
+estimate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from .._util import SeedLike, ensure_rng
+from ..errors import (
+    ConfigurationError,
+    PeerUnavailableError,
+    SamplingError,
+)
+from ..network.protocol import AggregateReply, WalkerProbe
+from ..network.simulator import NetworkSimulator
+from ..network.walker import RandomWalkConfig, RandomWalker
+from ..query.model import AggregateOp, AggregationQuery
+import math
+
+from .confidence import ConfidenceInterval, z_for_confidence
+from .estimators import (
+    PeerObservation,
+    make_estimator,
+    observations_from_replies,
+)
+from .planner import PhaseOneAnalysis, analyze_phase_one
+from .result import ApproximateResult, PhaseReport
+
+
+@dataclasses.dataclass(frozen=True)
+class TwoPhaseConfig:
+    """Tunables of the two-phase algorithm (paper's predefined values).
+
+    Attributes
+    ----------
+    phase_one_peers:
+        ``m`` — peers to visit in phase I.
+    tuples_per_peer:
+        ``t`` — sub-sampling budget per visited peer (0 = scan all).
+    jump:
+        ``j`` — hops between selected peers in the walk.
+    walk_variant:
+        Walk flavour (see :class:`~repro.network.walker.RandomWalkConfig`).
+    burn_in:
+        Hops before the first selection; defaults to one jump.
+    cross_validation_rounds:
+        Halvings averaged by the sink analysis.
+    max_phase_two_peers:
+        Optional cost cap on ``m'``.
+    pool_phases:
+        Use phase I + II observations for the final estimate (default)
+        or phase II only (the paper's literal pseudocode).
+    distinct_peers:
+        Sample peers without replacement (the walk keeps going until
+        fresh peers are found).  The paper's theory assumes *with*
+        replacement; without-replacement is never worse statistically
+        but costs extra hops — exposed for ablations.
+    sampling_method:
+        Local sub-sampling flavour: ``"uniform"`` or ``"block"``.
+    confidence:
+        Confidence level of the reported interval.
+    estimator:
+        ``"hajek"`` (default) — the self-normalized variant of
+        Equation 1, which uses the network size ``M`` (known from
+        pre-processing per §1/§3.3) to cancel degree noise; or
+        ``"ht"`` — the paper's literal Equation 1.
+    """
+
+    phase_one_peers: int = 40
+    tuples_per_peer: int = 25
+    jump: int = 10
+    walk_variant: str = "simple"
+    burn_in: Optional[int] = None
+    cross_validation_rounds: int = 5
+    max_phase_two_peers: Optional[int] = None
+    pool_phases: bool = True
+    sampling_method: str = "uniform"
+    confidence: float = 0.95
+    estimator: str = "hajek"
+    distinct_peers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.phase_one_peers < 4:
+            raise ConfigurationError(
+                "phase_one_peers must be >= 4 for cross-validation"
+            )
+        if self.tuples_per_peer < 0:
+            raise ConfigurationError("tuples_per_peer must be >= 0")
+        if self.cross_validation_rounds < 1:
+            raise ConfigurationError("cross_validation_rounds must be >= 1")
+        if self.max_phase_two_peers is not None and self.max_phase_two_peers < 0:
+            raise ConfigurationError("max_phase_two_peers must be >= 0")
+        if self.sampling_method not in ("uniform", "block"):
+            raise ConfigurationError(
+                f"unknown sampling_method {self.sampling_method!r}"
+            )
+        if self.estimator not in ("ht", "hajek"):
+            raise ConfigurationError(
+                f"unknown estimator {self.estimator!r}"
+            )
+
+    @classmethod
+    def from_initial_sample_size(
+        cls, initial_sample_size: int, tuples_per_peer: int = 25, **kwargs
+    ) -> "TwoPhaseConfig":
+        """Build a config from the paper's ``r_orig`` parameter.
+
+        The experiments specify phase I by the initial number of
+        *tuples* ``r_orig``; with ``t`` tuples per peer this visits
+        ``m = r_orig / t`` peers.
+        """
+        if tuples_per_peer <= 0:
+            raise ConfigurationError(
+                "tuples_per_peer must be positive to derive m from r_orig"
+            )
+        m = max(4, initial_sample_size // tuples_per_peer)
+        return cls(
+            phase_one_peers=m, tuples_per_peer=tuples_per_peer, **kwargs
+        )
+
+    def walk_config(self) -> RandomWalkConfig:
+        """The walk configuration this engine config implies."""
+        return RandomWalkConfig(
+            jump=self.jump,
+            burn_in=self.burn_in,
+            variant=self.walk_variant,
+            allow_revisits=not self.distinct_peers,
+        )
+
+
+class TwoPhaseEngine:
+    """Answers COUNT/SUM/AVG queries approximately over a simulator."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        config: Optional[TwoPhaseConfig] = None,
+        seed: SeedLike = None,
+    ):
+        self._simulator = simulator
+        self._config = config or TwoPhaseConfig()
+        self._rng = ensure_rng(seed)
+        self._walker = RandomWalker(
+            simulator.topology,
+            config=self._config.walk_config(),
+            seed=self._rng.spawn(1)[0],
+        )
+        # Engine-owned stream for local sub-sampling at visited peers,
+        # so executions are deterministic given the engine seed.
+        self._visit_rng = self._rng.spawn(1)[0]
+        self._point, self._variance = make_estimator(
+            self._config.estimator, simulator.topology.num_peers
+        )
+
+    @property
+    def config(self) -> TwoPhaseConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def simulator(self) -> NetworkSimulator:
+        """The network this engine queries."""
+        return self._simulator
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger,
+    ) -> List[AggregateReply]:
+        """Walk, visit every selected peer, and gather replies."""
+        walk = self._walker.sample_peers(sink, count)
+        probe = WalkerProbe(
+            source=sink,
+            destination=sink,
+            sink=sink,
+            query_text=query.to_sql(),
+            tuples_per_peer=self._config.tuples_per_peer,
+        )
+        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+        replies = []
+        for peer in walk.peers:
+            try:
+                replies.append(
+                    self._simulator.visit_aggregate(
+                        int(peer),
+                        query,
+                        sink=sink,
+                        ledger=ledger,
+                        tuples_per_peer=self._config.tuples_per_peer,
+                        sampling_method=self._config.sampling_method,
+                        seed=self._visit_rng,
+                    )
+                )
+            except PeerUnavailableError:
+                continue  # lost reply: the sample just shrinks
+        return replies
+
+    def _observations(
+        self, replies: Sequence[AggregateReply]
+    ) -> List[PeerObservation]:
+        return observations_from_replies(
+            replies,
+            num_edges=self._simulator.topology.num_edges,
+            num_peers=self._simulator.topology.num_peers,
+            variant=self._config.walk_variant,
+        )
+
+    @staticmethod
+    def _phase_report(
+        replies: Sequence[AggregateReply],
+        hops: int,
+        estimate: Optional[float],
+    ) -> PhaseReport:
+        return PhaseReport(
+            peers_visited=len(replies),
+            tuples_sampled=sum(r.processed_tuples for r in replies),
+            hops=hops,
+            estimate=estimate,
+        )
+
+    def _count_projection(
+        self, observations: Sequence[PeerObservation]
+    ) -> List[PeerObservation]:
+        """Observations with the matching count as the value, for the
+        denominator of the AVG ratio estimate."""
+        return [
+            dataclasses.replace(obs, value=obs.matching_count)
+            for obs in observations
+        ]
+
+    def _final_estimate(
+        self, query: AggregationQuery, observations: Sequence[PeerObservation]
+    ) -> float:
+        """The configured estimator — with the ratio form for AVG."""
+        if query.agg is AggregateOp.AVG:
+            total_sum = self._point(observations)
+            total_count = self._point(self._count_projection(observations))
+            if total_count <= 0:
+                raise SamplingError(
+                    "AVG undefined: sample saw no matching tuples"
+                )
+            return total_sum / total_count
+        return self._point(observations)
+
+    def collect_observations(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger,
+    ):
+        """Walk, visit ``count`` peers, and return their observations.
+
+        Public so composed engines (hybrid pre-computation, biased
+        sampling) can reuse the walk+visit+reply pipeline; returns
+        ``(observations, replies)``.
+        """
+        replies = self._collect(sink, query, count, ledger)
+        return self._observations(replies), replies
+
+    def final_estimate(
+        self, query: AggregationQuery, observations: Sequence[PeerObservation]
+    ) -> float:
+        """The engine's configured estimator over ``observations``."""
+        return self._final_estimate(query, observations)
+
+    # ------------------------------------------------------------------
+    # The algorithm
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+    ) -> ApproximateResult:
+        """Answer ``query`` within ``delta_req`` (normalized error).
+
+        ``sink`` is the peer where the query is introduced; a uniformly
+        random peer is chosen when omitted (queries can originate
+        anywhere in a P2P network).
+        """
+        if not query.agg.supports_pushdown:
+            raise ConfigurationError(
+                f"{query.agg.value} queries are answered by MedianEngine"
+            )
+        if sink is None:
+            sink = int(self._rng.integers(self._simulator.num_peers))
+        ledger = self._simulator.new_ledger()
+
+        # Phase I --------------------------------------------------------
+        phase_one_hops_before = 0
+        replies_one = self._collect(
+            sink, query, self._config.phase_one_peers, ledger
+        )
+        hops_one = ledger.snapshot().hops - phase_one_hops_before
+        observations_one = self._observations(replies_one)
+        analysis = analyze_phase_one(
+            query,
+            observations_one,
+            delta_req=delta_req,
+            tuples_per_peer=self._config.tuples_per_peer,
+            cross_validation_rounds=self._config.cross_validation_rounds,
+            max_phase_two_peers=self._config.max_phase_two_peers,
+            seed=self._rng.spawn(1)[0],
+            estimator=self._config.estimator,
+            num_peers=self._simulator.topology.num_peers,
+        )
+        phase_one = self._phase_report(
+            replies_one, hops_one, self._final_estimate(query, observations_one)
+        )
+
+        # Phase II -------------------------------------------------------
+        phase_two: Optional[PhaseReport] = None
+        observations_two: List[PeerObservation] = []
+        if analysis.plan.phase_two_needed:
+            hops_before = ledger.snapshot().hops
+            replies_two = self._collect(
+                sink, query, analysis.plan.additional_peers, ledger
+            )
+            hops_two = ledger.snapshot().hops - hops_before
+            observations_two = self._observations(replies_two)
+            phase_two = self._phase_report(
+                replies_two,
+                hops_two,
+                self._final_estimate(query, observations_two),
+            )
+
+        # Final estimate ---------------------------------------------------
+        if self._config.pool_phases:
+            final_observations = observations_one + observations_two
+        elif observations_two:
+            final_observations = observations_two
+        else:
+            final_observations = observations_one
+        estimate = self._final_estimate(query, final_observations)
+        z = z_for_confidence(self._config.confidence)
+        half_width = z * math.sqrt(self._variance(final_observations))
+        if query.agg is AggregateOp.AVG:
+            # The interval tracks the SUM component; rescale it into
+            # AVG units via the estimated matching count.
+            count_estimate = self._point(
+                self._count_projection(final_observations)
+            )
+            if count_estimate > 0:
+                half_width = half_width / count_estimate
+        interval = ConfidenceInterval(
+            estimate=estimate,
+            half_width=half_width,
+            confidence=self._config.confidence,
+        )
+
+        return ApproximateResult(
+            query=query,
+            estimate=estimate,
+            delta_req=delta_req,
+            scale=analysis.scale,
+            confidence_interval=interval,
+            phase_one=phase_one,
+            phase_two=phase_two,
+            cost=ledger.snapshot(),
+            analysis=analysis,
+        )
+
+    def analyze_only(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+    ) -> PhaseOneAnalysis:
+        """Run phase I and the sink analysis without phase II.
+
+        Useful for planner-focused experiments (Figures 4/5 report the
+        planned sample sizes).
+        """
+        if sink is None:
+            sink = int(self._rng.integers(self._simulator.num_peers))
+        ledger = self._simulator.new_ledger()
+        replies = self._collect(
+            sink, query, self._config.phase_one_peers, ledger
+        )
+        observations = self._observations(replies)
+        return analyze_phase_one(
+            query,
+            observations,
+            delta_req=delta_req,
+            tuples_per_peer=self._config.tuples_per_peer,
+            cross_validation_rounds=self._config.cross_validation_rounds,
+            max_phase_two_peers=self._config.max_phase_two_peers,
+            seed=self._rng.spawn(1)[0],
+            estimator=self._config.estimator,
+            num_peers=self._simulator.topology.num_peers,
+        )

@@ -1,0 +1,222 @@
+"""Synthetic dataset generation (paper §5.2.2).
+
+A dataset is a single numeric attribute over ``num_tuples`` rows:
+
+1. values are drawn from a bounded Zipf with skew ``Z``;
+2. the *cluster level* ``CL`` arranges them: ``CL = 0`` sorts the array
+   (perfectly clustered — after partitioning, each peer holds a narrow
+   value range), ``CL = 1`` permutes it randomly, and in-between values
+   interpolate by leaving a ``1 - CL`` fraction of positions sorted and
+   shuffling the rest;
+3. the arranged array is partitioned over peers (see
+   :mod:`repro.data.placement`).
+
+The combination of CL and BFS placement reproduces the paper's key
+difficulty: tuples within a peer — and within graph neighborhoods — are
+correlated, so uniform peer sampling is *not* uniform tuple sampling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .._util import (
+    SeedLike,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    ensure_rng,
+)
+from ..errors import ConfigurationError
+from ..network.topology import Topology
+from .localdb import LocalDatabase
+from .placement import PlacementConfig, peer_slices
+from .zipf import ZipfDistribution
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of a synthetic P2P dataset.
+
+    Attributes
+    ----------
+    num_tuples:
+        Total rows ``N`` across the whole network.
+    num_values:
+        Attribute domain size (paper: 100).
+    skew:
+        Zipf skew ``Z`` (paper sweeps 0..2; default 0.2).
+    cluster_level:
+        ``CL`` in [0, 1]; 0 = sorted/partitioned, 1 = random permuted.
+    column:
+        Attribute name exposed to queries (paper queries use ``A``).
+    block_size:
+        Tuples per storage block in each local database (block-level
+        sampling granularity).
+    group_column:
+        Optional name of a second, categorical column (for GROUP BY
+        workloads).  Groups are drawn independently from a mild Zipf
+        over ``1..num_groups`` and arranged jointly with the primary
+        column, so per-peer group mixes follow the cluster level.
+    num_groups:
+        Domain size of the group column.
+    group_skew:
+        Zipf skew of the group column.
+    """
+
+    num_tuples: int = 1_000_000
+    num_values: int = 100
+    skew: float = 0.2
+    cluster_level: float = 0.25
+    column: str = "A"
+    block_size: int = 25
+    group_column: Optional[str] = None
+    num_groups: int = 10
+    group_skew: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_nonnegative("num_tuples", self.num_tuples)
+        check_positive("num_values", self.num_values)
+        check_nonnegative("skew", self.skew)
+        check_fraction("cluster_level", self.cluster_level)
+        check_positive("block_size", self.block_size)
+        check_positive("num_groups", self.num_groups)
+        check_nonnegative("group_skew", self.group_skew)
+        if self.group_column is not None and (
+            self.group_column == self.column or not self.group_column
+        ):
+            raise ConfigurationError(
+                "group_column must be a distinct, non-empty name"
+            )
+
+    @property
+    def distribution(self) -> ZipfDistribution:
+        """The value distribution this config draws from."""
+        return ZipfDistribution(num_values=self.num_values, skew=self.skew)
+
+
+def arrangement_permutation(
+    values: np.ndarray,
+    cluster_level: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Row permutation realizing the cluster level ``CL``.
+
+    ``CL = 0`` sorts by ``values``; ``CL = 1`` permutes uniformly; in
+    between, the order starts sorted and a uniformly random ``CL``
+    fraction of positions have their contents shuffled among
+    themselves.  Returned as an index array so multi-column datasets
+    can arrange all columns jointly (rows stay intact).
+    """
+    check_fraction("cluster_level", cluster_level)
+    order = np.argsort(values, kind="stable")
+    if cluster_level == 0.0 or order.size <= 1:
+        return order
+    if cluster_level >= 1.0:
+        rng.shuffle(order)
+        return order
+    num_shuffled = int(round(cluster_level * order.size))
+    if num_shuffled < 2:
+        return order
+    positions = rng.choice(order.size, size=num_shuffled, replace=False)
+    shuffled = order[positions].copy()
+    rng.shuffle(shuffled)
+    order[positions] = shuffled
+    return order
+
+
+def arrange_cluster_level(
+    values: np.ndarray,
+    cluster_level: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrange ``values`` according to the cluster level ``CL``.
+
+    Single-column convenience over :func:`arrangement_permutation`.
+    """
+    return values[arrangement_permutation(values, cluster_level, rng)]
+
+
+@dataclasses.dataclass
+class GeneratedDataset:
+    """A generated dataset, both globally and as per-peer databases.
+
+    Attributes
+    ----------
+    config:
+        The generating configuration.
+    values:
+        The full arranged value array (ground truth lives here).
+    databases:
+        ``databases[p]`` is peer ``p``'s :class:`LocalDatabase`.
+    """
+
+    config: DatasetConfig
+    values: np.ndarray
+    databases: List[LocalDatabase]
+    group_values: Optional[np.ndarray] = None
+
+    @property
+    def num_tuples(self) -> int:
+        """Total number of tuples ``N``."""
+        return int(self.values.size)
+
+    @property
+    def column(self) -> str:
+        """The queryable attribute name."""
+        return self.config.column
+
+    def total_sum(self) -> float:
+        """Ground-truth SUM over the whole network."""
+        return float(self.values.sum())
+
+    def tuples_at(self, peer: int) -> int:
+        """Number of tuples stored at ``peer``."""
+        return self.databases[peer].num_tuples
+
+
+def generate_dataset(
+    topology: Topology,
+    config: Optional[DatasetConfig] = None,
+    placement: Optional[PlacementConfig] = None,
+    seed: SeedLike = None,
+) -> GeneratedDataset:
+    """Generate and place a dataset over ``topology``.
+
+    The returned dataset owns one :class:`LocalDatabase` per peer; the
+    global ``values`` array is kept for ground-truth evaluation (it is
+    exactly the concatenation of the per-peer partitions in placement
+    order).
+    """
+    config = config or DatasetConfig()
+    placement = placement or PlacementConfig()
+    rng = ensure_rng(seed)
+    raw = config.distribution.sample(config.num_tuples, seed=rng)
+    permutation = arrangement_permutation(raw, config.cluster_level, rng)
+    arranged = raw[permutation]
+
+    group_arranged: Optional[np.ndarray] = None
+    if config.group_column is not None:
+        groups = ZipfDistribution(
+            num_values=config.num_groups, skew=config.group_skew
+        ).sample(config.num_tuples, seed=rng)
+        group_arranged = groups[permutation]
+
+    slices = peer_slices(config.num_tuples, topology, config=placement, seed=rng)
+    databases = []
+    for start, stop in slices:
+        columns = {config.column: arranged[start:stop].copy()}
+        if group_arranged is not None:
+            columns[config.group_column] = group_arranged[start:stop].copy()
+        databases.append(
+            LocalDatabase(columns, block_size=config.block_size)
+        )
+    return GeneratedDataset(
+        config=config,
+        values=arranged,
+        databases=databases,
+        group_values=group_arranged,
+    )

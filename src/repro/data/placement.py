@@ -1,0 +1,143 @@
+"""Distributing tuples over peers (paper §5.2.2).
+
+The paper loads data "in a breadth-first method, in order to obtain
+reasonable clustering of synthetic data within the topologies", i.e.
+when a peer is loaded, its neighbors receive adjacent (similar) chunks
+of the dataset.  :func:`assign_tuples_to_peers` reproduces that: peers
+are ordered by BFS from a seed peer and consecutive slices of the
+(cluster-level-arranged) tuple array go to consecutive peers.
+
+Per-peer tuple counts can be uniform (the paper's experiments use 50 or
+100 tuples per peer) or drawn from a log-normal to model the "varying
+sizes" of horizontal partitions the problem statement mentions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import SeedLike, check_positive, ensure_rng
+from ..errors import ConfigurationError
+from ..network.topology import Topology
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementConfig:
+    """How tuples are spread over peers.
+
+    Attributes
+    ----------
+    order:
+        ``"bfs"`` (the paper's method — adjacent peers get adjacent
+        data), ``"random"`` (placement uncorrelated with topology) or
+        ``"id"`` (peer-id order; useful with clustered topologies where
+        id blocks correspond to sub-graphs).
+    size_distribution:
+        ``"uniform"`` for equal partitions, ``"lognormal"`` for skewed
+        partition sizes.
+    size_sigma:
+        Log-normal sigma when sizes are skewed.
+    bfs_seed_peer:
+        Root of the BFS ordering; defaults to peer 0.
+    """
+
+    order: str = "bfs"
+    size_distribution: str = "uniform"
+    size_sigma: float = 0.5
+    bfs_seed_peer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.order not in ("bfs", "random", "id"):
+            raise ConfigurationError(f"unknown placement order {self.order!r}")
+        if self.size_distribution not in ("uniform", "lognormal"):
+            raise ConfigurationError(
+                f"unknown size distribution {self.size_distribution!r}"
+            )
+        check_positive("size_sigma", self.size_sigma)
+
+
+def _peer_order(
+    topology: Topology, config: PlacementConfig, rng: np.random.Generator
+) -> List[int]:
+    if config.order == "id":
+        return list(range(topology.num_peers))
+    if config.order == "random":
+        order = np.arange(topology.num_peers)
+        rng.shuffle(order)
+        return order.tolist()
+    # BFS from the seed; append any unreachable peers afterwards so
+    # every peer receives data even in disconnected graphs.
+    order = topology.bfs_order(config.bfs_seed_peer)
+    if len(order) < topology.num_peers:
+        seen = set(order)
+        order.extend(p for p in range(topology.num_peers) if p not in seen)
+    return order
+
+
+def _partition_sizes(
+    num_tuples: int,
+    num_peers: int,
+    config: PlacementConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if config.size_distribution == "uniform":
+        base = num_tuples // num_peers
+        sizes = np.full(num_peers, base, dtype=np.int64)
+        sizes[: num_tuples - base * num_peers] += 1
+        return sizes
+    weights = rng.lognormal(mean=0.0, sigma=config.size_sigma, size=num_peers)
+    raw = weights / weights.sum() * num_tuples
+    sizes = np.floor(raw).astype(np.int64)
+    shortfall = num_tuples - int(sizes.sum())
+    if shortfall > 0:
+        # Hand leftover tuples to the largest fractional remainders.
+        remainders = raw - sizes
+        for index in np.argsort(remainders)[::-1][:shortfall]:
+            sizes[index] += 1
+    return sizes
+
+
+def peer_slices(
+    num_tuples: int,
+    topology: Topology,
+    config: Optional[PlacementConfig] = None,
+    seed: SeedLike = None,
+) -> List[Tuple[int, int]]:
+    """Per-peer ``(start, stop)`` slices into the global tuple array.
+
+    Index ``p`` of the returned list is the slice owned by peer ``p``
+    (not by the p-th peer in placement order).
+    """
+    config = config or PlacementConfig()
+    if num_tuples < 0:
+        raise ConfigurationError("num_tuples must be non-negative")
+    rng = ensure_rng(seed)
+    order = _peer_order(topology, config, rng)
+    sizes = _partition_sizes(num_tuples, topology.num_peers, config, rng)
+    slices: List[Tuple[int, int]] = [(0, 0)] * topology.num_peers
+    cursor = 0
+    for position, peer in enumerate(order):
+        size = int(sizes[position])
+        slices[peer] = (cursor, cursor + size)
+        cursor += size
+    assert cursor == num_tuples
+    return slices
+
+
+def assign_tuples_to_peers(
+    values: np.ndarray,
+    topology: Topology,
+    config: Optional[PlacementConfig] = None,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Split the global value array into per-peer arrays.
+
+    Returns a list indexed by peer id; entry ``p`` is a copy of the
+    values stored at peer ``p``.
+    """
+    values = np.asarray(values)
+    slices = peer_slices(len(values), topology, config=config, seed=seed)
+    return [values[start:stop].copy() for start, stop in slices]

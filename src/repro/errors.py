@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed for the requested operation.
+
+    Raised for example when a random walk is started from an isolated
+    peer, or when a generator cannot satisfy the requested node/edge
+    counts.
+    """
+
+
+class QueryError(ReproError):
+    """An aggregation query is malformed or refers to unknown columns."""
+
+
+class QueryParseError(QueryError):
+    """The SQL-ish query text could not be parsed."""
+
+
+class SamplingError(ReproError):
+    """A sampling procedure could not be carried out.
+
+    Raised for example when phase I visited too few peers to
+    cross-validate, or when a local database cannot satisfy a
+    sub-sample request.
+    """
+
+
+class ProtocolError(ReproError):
+    """A message was malformed or sent to an unknown peer."""
+
+
+class PeerUnavailableError(ProtocolError):
+    """A visited peer failed to reply (departure or message loss).
+
+    P2P peers "depart without a priori notification"; engines treat
+    this as a lost observation, not a fatal error.
+    """
+
+
+class ChurnError(ReproError):
+    """A join/leave operation is inconsistent with the current network."""

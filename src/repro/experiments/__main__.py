@@ -1,0 +1,100 @@
+"""Command-line front-end for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.experiments --figure 7
+    python -m repro.experiments --figure 8 --figure 9 --scale 0.1
+    python -m repro.experiments --all --trials 5 --output results/
+
+Each requested figure is rendered as a text table (the series the
+paper plots); ``--output DIR`` additionally writes one file per figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List
+
+from .figures import FIGURES
+from .report import render_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures from 'Approximating Aggregation "
+        "Queries in Peer-to-Peer Networks' (ICDE 2006).",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="figure number to regenerate (2-16); repeatable",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every figure"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="network scale factor (default: REPRO_SCALE or 0.15; "
+        "1.0 = paper size)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="independent trials per data point (default: REPRO_TRIALS "
+        "or 3; paper uses 5)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write figure_NN.txt files into DIR",
+    )
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.all:
+        requested = sorted(FIGURES)
+    elif args.figure:
+        requested = sorted(set(args.figure))
+    else:
+        parser.error("pass --figure N (repeatable) or --all")
+
+    unknown = [n for n in requested if n not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {unknown}; available: {sorted(FIGURES)}"
+        )
+
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    for number in requested:
+        start = time.time()
+        figure = FIGURES[number](scale=args.scale, trials=args.trials)
+        text = render_figure(figure)
+        elapsed = time.time() - start
+        print(text)
+        print(f"  [regenerated in {elapsed:.1f}s]\n")
+        if args.output is not None:
+            path = args.output / f"figure_{number:02d}.txt"
+            path.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Text rendering of regenerated figures.
+
+The benchmarks print each figure as a text table (the rows/series the
+paper plots); EXPERIMENTS.md is assembled from the same rendering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .figures import FigureResult
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[float]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render columns/rows as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float) and not value.is_integer():
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(f"{value:g}" if isinstance(value, float)
+                                else str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(name)), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(name))
+        for i, name in enumerate(columns)
+    ]
+    header = "  ".join(str(n).ljust(w) for n, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered_rows
+    )
+    return "\n".join([header, divider, body]) if rendered_rows else header
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render a full figure: caption, parameters, table, expectation."""
+    parameters = ", ".join(
+        f"{key}={value}" for key, value in sorted(result.parameters.items())
+    )
+    table = render_table(result.columns, result.rows)
+    return (
+        f"Figure {result.figure_id}: {result.title}\n"
+        f"  parameters: {parameters}\n"
+        f"  expectation: {result.expectation}\n"
+        f"{table}"
+    )

@@ -1,0 +1,178 @@
+"""Multi-trial experiment execution (paper §5.5).
+
+"All of our results were generated from five independent experiments
+and averaged for each individual parameter configuration" — this module
+is that loop.  :func:`run_trials` executes one engine flavour several
+times with independent seeds (and sinks), scores each run against the
+exact answer with the paper's normalization, and returns per-trial
+outcomes ready for averaging.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.median import MedianConfig, MedianEngine
+from ..core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from ..errors import ConfigurationError
+from ..metrics.accuracy import median_rank_error
+from ..query.exact import evaluate_exact, rank_of_value
+from ..query.model import AggregateOp, AggregationQuery
+from ..sampling.baselines import BFSEngine, dfs_engine
+from .configs import NetworkBundle
+
+_ENGINES = ("two-phase", "bfs", "dfs", "median")
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's result, scored against ground truth.
+
+    ``error`` is on the paper's normalized scale: COUNT ÷ N, SUM ÷
+    total sum, AVG ÷ true average, MEDIAN as rank distance from N/2
+    over N.
+    """
+
+    estimate: float
+    truth: float
+    error: float
+    tuples_sampled: int
+    peers_visited: int
+    hops: int
+    messages: int
+    latency_ms: float
+
+
+def _score(
+    bundle: NetworkBundle,
+    query: AggregationQuery,
+    estimate: float,
+    truth: float,
+) -> float:
+    if query.agg is AggregateOp.COUNT:
+        return abs(estimate - truth) / bundle.num_tuples
+    if query.agg is AggregateOp.SUM:
+        total = bundle.dataset.total_sum()
+        return abs(estimate - truth) / total
+    if query.agg is AggregateOp.AVG:
+        return abs(estimate - truth) / abs(truth)
+    # MEDIAN / QUANTILE: rank distance from the target rank.
+    rank = rank_of_value(
+        estimate, bundle.dataset.databases, query.column
+    )
+    if query.agg is AggregateOp.MEDIAN or query.quantile_fraction == 0.5:
+        return median_rank_error(rank, bundle.num_tuples)
+    target = query.quantile_fraction * bundle.num_tuples
+    return abs(rank - target) / bundle.num_tuples
+
+
+def run_trials(
+    bundle: NetworkBundle,
+    query: AggregationQuery,
+    delta_req: float,
+    engine: str = "two-phase",
+    trials: int = 3,
+    config: Optional[Union[TwoPhaseConfig, MedianConfig]] = None,
+    seed: int = 1000,
+) -> List[TrialOutcome]:
+    """Run ``trials`` independent executions and score each.
+
+    Parameters
+    ----------
+    bundle:
+        The evaluation network.
+    query:
+        The aggregation query.
+    delta_req:
+        Required accuracy on the normalized scale.
+    engine:
+        ``"two-phase"`` (the paper's method), ``"bfs"``, ``"dfs"``
+        (Figure 7 baselines) or ``"median"`` (§5.6).
+    trials:
+        Independent repetitions, each with its own seed and sink.
+    config:
+        Engine configuration (:class:`TwoPhaseConfig`, or
+        :class:`MedianConfig` for the median engine).  A sane default
+        with a phase-II cost cap is used when omitted.
+    seed:
+        Base seed; trial ``i`` uses ``seed + i``.
+    """
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {_ENGINES}, got {engine!r}"
+        )
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+
+    cap = 2 * bundle.num_peers
+    if engine == "median":
+        median_config = config or MedianConfig(max_phase_two_peers=cap)
+        if not isinstance(median_config, MedianConfig):
+            raise ConfigurationError(
+                "median engine needs a MedianConfig"
+            )
+    else:
+        two_phase_config = config or TwoPhaseConfig(max_phase_two_peers=cap)
+        if not isinstance(two_phase_config, TwoPhaseConfig):
+            raise ConfigurationError(
+                f"{engine} engine needs a TwoPhaseConfig"
+            )
+
+    truth = evaluate_exact(query, bundle.dataset.databases)
+    outcomes: List[TrialOutcome] = []
+    for trial in range(trials):
+        trial_seed = seed + trial
+        if engine == "two-phase":
+            runner = TwoPhaseEngine(
+                bundle.simulator, config=two_phase_config, seed=trial_seed
+            )
+            result = runner.execute(query, delta_req)
+        elif engine == "dfs":
+            runner = dfs_engine(
+                bundle.simulator, config=two_phase_config, seed=trial_seed
+            )
+            result = runner.execute(query, delta_req)
+        elif engine == "bfs":
+            runner = BFSEngine(
+                bundle.simulator, config=two_phase_config, seed=trial_seed
+            )
+            result = runner.execute(query, delta_req)
+        else:
+            runner = MedianEngine(
+                bundle.simulator, config=median_config, seed=trial_seed
+            )
+            result = runner.execute(query, delta_req)
+
+        cost = result.cost
+        outcomes.append(
+            TrialOutcome(
+                estimate=result.estimate,
+                truth=truth,
+                error=_score(bundle, query, result.estimate, truth),
+                tuples_sampled=result.total_tuples_sampled,
+                peers_visited=result.total_peers_visited,
+                hops=cost.hops,
+                messages=cost.messages,
+                latency_ms=cost.latency_ms,
+            )
+        )
+    return outcomes
+
+
+def mean_error(outcomes: Sequence[TrialOutcome]) -> float:
+    """Average normalized error across trials."""
+    return float(np.mean([o.error for o in outcomes]))
+
+
+def mean_sample_size(outcomes: Sequence[TrialOutcome]) -> float:
+    """Average total tuples sampled across trials (the paper's
+    latency surrogate)."""
+    return float(np.mean([o.tuples_sampled for o in outcomes]))
+
+
+def mean_peers(outcomes: Sequence[TrialOutcome]) -> float:
+    """Average peers visited across trials."""
+    return float(np.mean([o.peers_visited for o in outcomes]))

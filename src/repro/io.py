@@ -1,0 +1,129 @@
+"""Persistence for experiment artifacts.
+
+Paper-scale topologies and datasets take real time to generate; saving
+them makes experiment runs reproducible bit-for-bit and lets a suite
+share one network across processes.  Artifacts are stored as numpy
+``.npz`` archives with a small schema:
+
+* **Topology** — edge array plus the peer count;
+* **GeneratedDataset** — the arranged global column(s), the per-peer
+  partition boundaries, and the generating configuration.
+
+Both loaders validate the schema version so stale artifacts fail
+loudly instead of mis-loading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .data.generator import DatasetConfig, GeneratedDataset
+from .data.localdb import LocalDatabase
+from .errors import ConfigurationError
+from .network.topology import Topology
+
+_TOPOLOGY_SCHEMA = 1
+_DATASET_SCHEMA = 2
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_topology(topology: Topology, path: PathLike) -> None:
+    """Write a topology to ``path`` (``.npz``)."""
+    edges = np.asarray(list(topology.edges()), dtype=np.int64).reshape(-1, 2)
+    np.savez_compressed(
+        path,
+        schema=np.int64(_TOPOLOGY_SCHEMA),
+        num_peers=np.int64(topology.num_peers),
+        edges=edges,
+    )
+
+
+def load_topology(path: PathLike) -> Topology:
+    """Read a topology written by :func:`save_topology`."""
+    with np.load(path) as archive:
+        _check_schema(archive, _TOPOLOGY_SCHEMA, "topology", path)
+        num_peers = int(archive["num_peers"])
+        edges = [tuple(edge) for edge in archive["edges"]]
+    return Topology(num_peers=num_peers, edges=edges)
+
+
+def save_dataset(dataset: GeneratedDataset, path: PathLike) -> None:
+    """Write a generated dataset (all columns + partition map)."""
+    boundaries = np.zeros(len(dataset.databases) + 1, dtype=np.int64)
+    cursor = 0
+    columns = {}
+    per_peer_columns = [db.scan() for db in dataset.databases]
+    names = dataset.databases[0].column_names if dataset.databases else []
+    for name in names:
+        columns[f"column_{name}"] = np.concatenate(
+            [cols[name] for cols in per_peer_columns]
+        )
+    for index, database in enumerate(dataset.databases):
+        cursor += database.num_tuples
+        boundaries[index + 1] = cursor
+    config_json = json.dumps(dataclasses.asdict(dataset.config))
+    np.savez_compressed(
+        path,
+        schema=np.int64(_DATASET_SCHEMA),
+        boundaries=boundaries,
+        config=np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8),
+        column_names=np.array(names),
+        **columns,
+    )
+
+
+def load_dataset(path: PathLike) -> GeneratedDataset:
+    """Read a dataset written by :func:`save_dataset`.
+
+    The reconstructed dataset has identical per-peer databases (same
+    partitions, same block size), so every ground-truth evaluation and
+    every query execution match the original exactly.  The *global*
+    arrays are rebuilt as the concatenation of partitions in peer-id
+    order, which may differ from the original placement order — the
+    multiset of rows is identical.
+    """
+    with np.load(path) as archive:
+        _check_schema(archive, _DATASET_SCHEMA, "dataset", path)
+        boundaries = archive["boundaries"]
+        config_json = bytes(archive["config"]).decode("utf-8")
+        config = DatasetConfig(**json.loads(config_json))
+        names = [str(name) for name in archive["column_names"]]
+        globals_by_name = {
+            name: archive[f"column_{name}"] for name in names
+        }
+    databases = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        columns = {
+            name: data[start:stop].copy()
+            for name, data in globals_by_name.items()
+        }
+        databases.append(
+            LocalDatabase(columns, block_size=config.block_size)
+        )
+    group_values = (
+        globals_by_name[config.group_column]
+        if config.group_column is not None
+        else None
+    )
+    return GeneratedDataset(
+        config=config,
+        values=globals_by_name[config.column],
+        databases=databases,
+        group_values=group_values,
+    )
+
+
+def _check_schema(archive, expected: int, kind: str, path: PathLike) -> None:
+    if "schema" not in archive:
+        raise ConfigurationError(f"{path} is not a repro {kind} artifact")
+    found = int(archive["schema"])
+    if found != expected:
+        raise ConfigurationError(
+            f"{path}: {kind} schema {found} != supported {expected}"
+        )

@@ -1,0 +1,100 @@
+"""Accuracy metrics with the paper's normalizations (§5.4, §5.5).
+
+"Errors are normalized between 0 and 1":
+
+* **COUNT** — ``|estimate - truth| / N`` where ``N`` is the total
+  number of tuples in the network.  This matches the theory section:
+  dividing the estimator variance by ``N²`` yields the squared relative
+  count error, and the requirement ``|y' - y| <= Δreq`` is read on the
+  same scale.
+* **SUM** — ``|estimate - truth| / total_sum`` (the SUM analogue of N).
+* **MEDIAN** — ``|rank(estimate) - N/2| / N``: the paper scores medians
+  by how far the returned value's true rank is from the middle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .._util import check_positive
+from ..errors import ConfigurationError
+
+
+def normalized_error(estimate: float, truth: float, scale: float) -> float:
+    """``|estimate - truth| / scale`` with a positive scale."""
+    check_positive("scale", scale)
+    return abs(estimate - truth) / scale
+
+
+def count_error(estimate: float, truth: float, total_tuples: int) -> float:
+    """COUNT error normalized by the network-wide tuple count N."""
+    check_positive("total_tuples", total_tuples)
+    return normalized_error(estimate, truth, float(total_tuples))
+
+
+def sum_error(estimate: float, truth: float, total_sum: float) -> float:
+    """SUM error normalized by the network-wide total sum."""
+    return normalized_error(estimate, truth, abs(total_sum))
+
+
+def median_rank_error(estimate_rank: int, total_tuples: int) -> float:
+    """MEDIAN error: distance of the estimate's true rank from N/2,
+    as a fraction of N."""
+    check_positive("total_tuples", total_tuples)
+    if estimate_rank < 0 or estimate_rank > total_tuples:
+        raise ConfigurationError(
+            f"rank {estimate_rank} outside [0, {total_tuples}]"
+        )
+    return abs(estimate_rank - total_tuples / 2.0) / total_tuples
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSummary:
+    """Mean/min/max/std summary over independent trials.
+
+    The paper averages every data point over five independent runs;
+    this is the container experiments use for that.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    num_trials: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4f} ± {self.std:.4f} "
+            f"(min {self.minimum:.4f}, max {self.maximum:.4f}, "
+            f"n={self.num_trials})"
+        )
+
+
+def summarize_trials(values: Sequence[float]) -> TrialSummary:
+    """Summarize per-trial scalar outcomes."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarize zero trials")
+    return TrialSummary(
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        num_trials=int(data.size),
+    )
+
+
+def fraction_within(errors: Iterable[float], threshold: float) -> float:
+    """Fraction of trial errors at or below ``threshold``.
+
+    Used to check the paper's claim that "the algorithm's result is
+    always within the required accuracy".
+    """
+    errors = list(errors)
+    if not errors:
+        raise ConfigurationError("no errors to evaluate")
+    within = sum(1 for error in errors if error <= threshold)
+    return within / len(errors)

@@ -1,0 +1,182 @@
+"""Pre-processing: estimating global network parameters by sampling.
+
+The paper assumes "certain aspects of the P2P graph are known to all
+peers, such as the average degree of the nodes, a good estimate of the
+number of peers in the system" and notes that "estimating these
+parameters via pre-processing are interesting problems in their own
+right" (§1).  This module implements that pre-processing with the
+standard random-walk techniques, so nothing in the pipeline actually
+requires global knowledge:
+
+* **Average degree** — under the walk's stationary distribution
+  ``π(p) ∝ deg(p)``, the *harmonic* mean of sampled degrees is the
+  right estimator: ``E_π[1/deg] = M / 2|E|``, so
+  ``avg_degree = 2|E|/M = 1 / E_π[1/deg]``.  (The arithmetic mean of
+  stationary samples estimates ``E[deg²]/E[deg]`` instead — a classic
+  size-bias trap this module's tests document.)
+
+* **Network size M** — collision counting (the birthday estimator,
+  cf. Katzir/Liberty/Somekh and the techniques referenced by the
+  paper's [14, 21]): among ``n`` stationary samples, the expected
+  number of weighted pairwise collisions pins down M.  Weighting each
+  sample by ``1/deg`` corrects the stationary skew:
+
+      M ≈ (sum_i 1/deg_i)² - sum_i 1/deg_i²
+          ------------------------------------
+          2 * sum over colliding pairs of 1/(deg_i deg_j)
+
+  which for the uniform case reduces to the classic birthday-paradox
+  estimate ``n²/2C``.
+
+* **Edge count |E|** — from M and the average degree:
+  ``|E| = M * avg_degree / 2``.
+
+The estimators consume an existing :class:`RandomWalker` so the cost
+of pre-processing is explicit (hops = samples × jump).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import numpy as np
+
+from .._util import check_positive
+from ..errors import SamplingError
+from .walker import RandomWalker
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkEstimate:
+    """Estimated global parameters with sampling metadata.
+
+    Attributes
+    ----------
+    num_peers:
+        Estimated M (collision estimator); ``math.inf`` when no
+        collisions occurred (sample too small for the network).
+    avg_degree:
+        Estimated average degree (harmonic estimator).
+    num_edges:
+        ``M * avg_degree / 2``.
+    samples:
+        Stationary samples used.
+    collisions:
+        Pairwise collisions observed among the samples.
+    hops:
+        Walk hops spent collecting the samples.
+    """
+
+    num_peers: float
+    avg_degree: float
+    num_edges: float
+    samples: int
+    collisions: int
+    hops: int
+
+    @property
+    def reliable(self) -> bool:
+        """Whether the size estimate rests on enough collisions.
+
+        Rule of thumb: at least 10 collisions keeps the relative error
+        of the birthday estimator near ``1/sqrt(collisions)``.
+        """
+        return self.collisions >= 10 and math.isfinite(self.num_peers)
+
+
+def estimate_average_degree(
+    walker: RandomWalker,
+    start: int,
+    samples: int = 200,
+) -> float:
+    """Harmonic-mean estimate of the average degree.
+
+    Uses stationary samples from ``walker`` (whose skew toward
+    high-degree peers is exactly what the harmonic mean inverts).
+    """
+    check_positive("samples", samples)
+    walk = walker.sample_peers(start, samples)
+    degrees = walker.topology.degrees[walk.peers]
+    if np.any(degrees <= 0):
+        raise SamplingError("sampled an isolated peer")
+    harmonic = float(np.mean(1.0 / degrees))
+    if harmonic <= 0:
+        raise SamplingError("degenerate degree sample")
+    return 1.0 / harmonic
+
+
+def estimate_network(
+    walker: RandomWalker,
+    start: int,
+    samples: int = 1000,
+) -> NetworkEstimate:
+    """Estimate M, |E| and the average degree from one sampling pass.
+
+    Parameters
+    ----------
+    walker:
+        The walk to sample with; its jump size controls sample
+        independence (and the hop cost).
+    start:
+        The peer initiating pre-processing.
+    samples:
+        Stationary samples to draw.  The collision estimator needs
+        ``samples`` on the order of ``sqrt(M)`` to see collisions at
+        all; check :attr:`NetworkEstimate.reliable`.
+    """
+    if samples < 2:
+        raise SamplingError("need at least 2 samples")
+    walk = walker.sample_peers(start, samples)
+    peers = walk.peers
+    degrees = walker.topology.degrees[peers].astype(float)
+    if np.any(degrees <= 0):
+        raise SamplingError("sampled an isolated peer")
+
+    inverse = 1.0 / degrees
+    sum_inverse = float(inverse.sum())
+    sum_inverse_squared = float((inverse**2).sum())
+
+    # Group the samples by peer to count collisions in O(n).
+    unique, counts = np.unique(peers, return_counts=True)
+    unique_degrees = walker.topology.degrees[unique].astype(float)
+    collisions = int(((counts * (counts - 1)) // 2).sum())
+    weighted_collisions = float(
+        ((counts * (counts - 1)) / 2.0 / unique_degrees**2).sum()
+    )
+
+    harmonic = sum_inverse / samples
+    avg_degree = 1.0 / harmonic if harmonic > 0 else math.inf
+
+    if weighted_collisions > 0:
+        num_peers = (
+            (sum_inverse**2 - sum_inverse_squared)
+            / (2.0 * weighted_collisions)
+        )
+    else:
+        num_peers = math.inf
+    num_edges = (
+        num_peers * avg_degree / 2.0
+        if math.isfinite(num_peers)
+        else math.inf
+    )
+    return NetworkEstimate(
+        num_peers=float(num_peers),
+        avg_degree=float(avg_degree),
+        num_edges=float(num_edges),
+        samples=samples,
+        collisions=collisions,
+        hops=walk.hops,
+    )
+
+
+def samples_for_size_estimate(
+    expected_peers: int, target_collisions: int = 20
+) -> int:
+    """How many stationary samples the collision estimator needs.
+
+    Inverting ``E[collisions] ≈ n²/(2M)`` (uniform approximation):
+    ``n ≈ sqrt(2 M target)``.
+    """
+    check_positive("expected_peers", expected_peers)
+    check_positive("target_collisions", target_collisions)
+    return int(math.ceil(math.sqrt(2.0 * expected_peers * target_collisions)))

@@ -1,0 +1,208 @@
+"""A live P2P network: churn with a data lifecycle.
+
+The paper's premise is a network where "nodes can join and depart ...
+with ease" while the *data* changes even faster.  The sampling
+algorithm always runs against a frozen snapshot;
+:class:`LiveNetwork` is the thing being snapshotted — it advances
+churn (via :class:`~repro.network.churn.ChurnProcess`) *and* manages
+the data those peers carry:
+
+* a **joining** peer brings a fresh partition drawn from the dataset's
+  value distribution (new peers share new files);
+* a **departing** peer either takes its data with it
+  (``handoff=False``, the realistic default — content leaves with the
+  node) or hands its partition to a random neighbor
+  (``handoff=True``, modelling re-replication);
+* :meth:`snapshot` freezes the current topology + databases into a
+  ready :class:`~repro.network.simulator.NetworkSimulator`.
+
+Long-running tests drive queries across snapshots to show the
+algorithm keeps meeting its accuracy requirement as both the graph and
+the data drift — with only M and \\|E| refreshed per snapshot, exactly
+the slow-changing parameters the paper allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._util import SeedLike, check_positive, ensure_rng
+from ..data.localdb import LocalDatabase
+from ..data.zipf import ZipfDistribution
+from ..errors import ChurnError, ConfigurationError
+from ..metrics.cost import CostModel
+from .churn import ChurnConfig, ChurnProcess
+from .simulator import NetworkSimulator
+from .topology import Topology
+
+
+class LiveNetwork:
+    """A churning network whose peers carry evolving data.
+
+    Parameters
+    ----------
+    topology:
+        The initial graph.
+    databases:
+        Initial per-peer databases (indexed by initial peer id).
+    churn_config:
+        Join/leave behaviour.
+    distribution:
+        Value distribution used to stock joining peers.
+    tuples_per_new_peer:
+        Partition size for joining peers.
+    column:
+        Column name for newly generated partitions (must match the
+        existing databases).
+    handoff:
+        Departing peers hand their partition to a random neighbor
+        instead of taking it away.
+    block_size:
+        Block size of newly created partitions.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        databases,
+        churn_config: Optional[ChurnConfig] = None,
+        distribution: Optional[ZipfDistribution] = None,
+        tuples_per_new_peer: int = 100,
+        column: str = "A",
+        handoff: bool = False,
+        block_size: int = 25,
+        seed: SeedLike = None,
+    ):
+        if len(databases) != topology.num_peers:
+            raise ConfigurationError(
+                f"{len(databases)} databases for {topology.num_peers} peers"
+            )
+        check_positive("tuples_per_new_peer", tuples_per_new_peer)
+        self._rng = ensure_rng(seed)
+        self._process = ChurnProcess(
+            topology,
+            config=churn_config,
+            seed=self._rng.spawn(1)[0],
+        )
+        self._distribution = distribution or ZipfDistribution()
+        self._tuples_per_new_peer = tuples_per_new_peer
+        self._column = column
+        self._handoff = handoff
+        self._block_size = block_size
+        # Databases keyed by the churn process's stable labels.
+        self._databases: Dict[int, LocalDatabase] = {
+            label: database for label, database in enumerate(databases)
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        """Current number of live peers."""
+        return self._process.num_peers
+
+    def total_tuples(self) -> int:
+        """Tuples currently stored across live peers."""
+        snapshot = self._process.snapshot()
+        return sum(
+            self._databases[label].num_tuples
+            for label in snapshot.labels
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle events
+    # ------------------------------------------------------------------
+
+    def _fresh_partition(self) -> LocalDatabase:
+        values = self._distribution.sample(
+            self._tuples_per_new_peer, seed=self._rng
+        )
+        return LocalDatabase(
+            {self._column: values}, block_size=self._block_size
+        )
+
+    def join(self) -> int:
+        """A peer joins with a fresh partition; returns its label."""
+        label = self._process.join()
+        self._databases[label] = self._fresh_partition()
+        return label
+
+    def leave(self, label: Optional[int] = None) -> int:
+        """A peer departs; its data leaves or is handed off."""
+        snapshot_before = self._process.snapshot()
+        departed = self._process.leave(label)
+        departing_db = self._databases.pop(departed, None)
+        if self._handoff and departing_db is not None:
+            vertex = snapshot_before.labels.index(departed)
+            neighbors = snapshot_before.topology.neighbors(vertex)
+            survivors = [
+                snapshot_before.labels[int(n)]
+                for n in neighbors
+                if snapshot_before.labels[int(n)] in self._databases
+            ]
+            if survivors:
+                target = survivors[
+                    int(self._rng.integers(len(survivors)))
+                ]
+                merged = np.concatenate(
+                    [
+                        self._databases[target].column(self._column),
+                        departing_db.column(self._column),
+                    ]
+                )
+                self._databases[target] = LocalDatabase(
+                    {self._column: merged}, block_size=self._block_size
+                )
+        return departed
+
+    def step(self, steps: int = 1) -> Dict[str, int]:
+        """Run stochastic churn steps with the data lifecycle applied."""
+        if steps < 1:
+            raise ConfigurationError("steps must be >= 1")
+        totals = {"joins": 0, "leaves": 0}
+        config = self._process.config
+        for _ in range(steps):
+            if self._rng.random() < config.join_rate:
+                self.join()
+                totals["joins"] += 1
+            if (
+                self._rng.random() < config.leave_rate
+                and self.num_peers > 2
+            ):
+                self.leave()
+                totals["leaves"] += 1
+        return totals
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self,
+        cost_model: Optional[CostModel] = None,
+        seed: SeedLike = None,
+    ) -> NetworkSimulator:
+        """Freeze the current network into a queryable simulator.
+
+        The snapshot owns its topology and references the current
+        per-peer databases (data mutates only via this LiveNetwork, so
+        a snapshot stays consistent for the duration of a query, the
+        paper's operating assumption).
+        """
+        churn_snapshot = self._process.snapshot()
+        databases = []
+        for label in churn_snapshot.labels:
+            database = self._databases.get(label)
+            if database is None:
+                # A peer the churn process knows but we never stocked
+                # (can only happen via direct process manipulation).
+                raise ChurnError(f"peer {label} has no database")
+            databases.append(database)
+        return NetworkSimulator(
+            churn_snapshot.topology,
+            databases,
+            cost_model=cost_model,
+            seed=seed if seed is not None else self._rng.spawn(1)[0],
+        )

@@ -1,0 +1,129 @@
+"""Peer identity and capability model (paper §3.1).
+
+The paper characterizes each peer ``p`` by the address ``(IP_p, port_p)``
+and a capability vector: CPU speed ``p_cpu``, memory bandwidth
+``p_mem``, disk space ``p_disk``, network bandwidth ``p_band`` and the
+connection budget ``p_conn``.  These attributes do not influence the
+*statistics* of the sampling algorithm, but they drive the simulator's
+latency model (a slow peer takes longer to execute its local query) and
+the churn model (connection budgets bound the degree of joining peers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from .._util import SeedLike, ensure_rng
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PeerCapabilities:
+    """Resource capabilities of a peer.
+
+    Attributes
+    ----------
+    cpu_speed:
+        Relative CPU speed; 1.0 is the reference machine.  Local query
+        execution time scales inversely with this.
+    memory_bandwidth:
+        Relative memory bandwidth (reserved for future cost models).
+    disk_space:
+        Disk capacity in tuples; bounds the local database size.
+    network_bandwidth:
+        Uplink bandwidth in bytes per simulated millisecond.
+    max_connections:
+        The connection budget ``p_conn``; joins respect it.
+    """
+
+    cpu_speed: float = 1.0
+    memory_bandwidth: float = 1.0
+    disk_space: int = 1_000_000
+    network_bandwidth: float = 128.0
+    max_connections: int = 32
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise ConfigurationError("cpu_speed must be positive")
+        if self.memory_bandwidth <= 0:
+            raise ConfigurationError("memory_bandwidth must be positive")
+        if self.disk_space < 0:
+            raise ConfigurationError("disk_space must be non-negative")
+        if self.network_bandwidth <= 0:
+            raise ConfigurationError("network_bandwidth must be positive")
+        if self.max_connections < 1:
+            raise ConfigurationError("max_connections must be at least 1")
+
+
+def random_capabilities(seed: SeedLike = None) -> PeerCapabilities:
+    """Draw a heterogeneous capability vector.
+
+    CPU speed and bandwidth are log-normal around the reference peer,
+    which is a reasonable stand-in for the heterogeneity observed in
+    deployed Gnutella networks.
+    """
+    rng = ensure_rng(seed)
+    return PeerCapabilities(
+        cpu_speed=float(rng.lognormal(mean=0.0, sigma=0.35)),
+        memory_bandwidth=float(rng.lognormal(mean=0.0, sigma=0.25)),
+        disk_space=int(rng.integers(100_000, 2_000_000)),
+        network_bandwidth=float(rng.lognormal(mean=4.8, sigma=0.6)),
+        max_connections=int(rng.integers(8, 64)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Peer:
+    """A peer's identity: index in the topology plus (IP, port).
+
+    The integer ``peer_id`` is the canonical identity used throughout
+    the library (topology vertices, walk traces, message routing); the
+    IP/port pair exists so examples and the protocol layer can render
+    realistic addresses, exactly as the paper describes peers being
+    identified.
+    """
+
+    peer_id: int
+    ip: str
+    port: int
+    capabilities: PeerCapabilities = dataclasses.field(
+        default_factory=PeerCapabilities
+    )
+
+    def __post_init__(self) -> None:
+        if self.peer_id < 0:
+            raise ConfigurationError("peer_id must be non-negative")
+        if not 0 < self.port < 65536:
+            raise ConfigurationError(f"port out of range: {self.port}")
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(IP, port)`` pair identifying this peer on the wire."""
+        return (self.ip, self.port)
+
+    def __str__(self) -> str:
+        return f"peer#{self.peer_id}@{self.ip}:{self.port}"
+
+
+def synthesize_peer(peer_id: int, seed: SeedLike = None) -> Peer:
+    """Create a peer with a deterministic fake address for ``peer_id``.
+
+    The address is derived from the id (so it is stable across runs)
+    while capabilities are drawn from ``seed``.
+    """
+    rng = ensure_rng(seed)
+    octets = (
+        10,
+        (peer_id >> 16) & 0xFF,
+        (peer_id >> 8) & 0xFF,
+        peer_id & 0xFF,
+    )
+    ip = ".".join(str(o) for o in octets)
+    port = 6346 + (peer_id % 1024)  # 6346 is the classic Gnutella port
+    return Peer(
+        peer_id=peer_id,
+        ip=ip,
+        port=port,
+        capabilities=random_capabilities(rng),
+    )

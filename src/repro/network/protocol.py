@@ -1,0 +1,247 @@
+"""Gnutella-style message protocol (paper §3.1).
+
+The paper's network speaks the Gnutella protocol — ``Ping``/``Pong``
+for membership and ``Query``/``Query_Hit`` for flooding search — and
+adds a probabilistic *walker* message that carries an aggregation query
+along a random walk.  This module defines those message types plus the
+replies the sampling algorithm needs:
+
+* :class:`WalkerProbe` — the walker, forwarded hop by hop;
+* :class:`AggregateReply` — a visited peer's scaled local aggregate and
+  degree, sent directly back to the sink (aggregation push-down, §3.2);
+* :class:`TupleReply` — a raw sub-sample of local tuples, used by
+  median/quantile estimation where push-down is impossible.
+
+Messages know their approximate wire size so the simulator can account
+bandwidth; the header layout follows the classic Gnutella descriptor
+(23 bytes: 16-byte id, 1-byte type, 1-byte TTL, 1-byte hops, 4-byte
+payload length).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Tuple
+
+from ..errors import ProtocolError
+
+GNUTELLA_HEADER_BYTES = 23
+_message_counter = itertools.count(1)
+
+
+class MessageType(enum.Enum):
+    """Wire-level message discriminator."""
+
+    PING = 0x00
+    PONG = 0x01
+    QUERY = 0x80
+    QUERY_HIT = 0x81
+    WALKER_PROBE = 0x90
+    AGGREGATE_REPLY = 0x91
+    TUPLE_REPLY = 0x92
+    GROUP_REPLY = 0x93
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages.
+
+    Attributes
+    ----------
+    source, destination:
+        Peer ids of the immediate sender and receiver (one hop).
+    ttl:
+        Remaining time-to-live; flooding decrements it per hop.
+    hops:
+        Hops travelled so far.
+    """
+
+    source: int
+    destination: int
+    ttl: int = 7
+    hops: int = 0
+    message_id: int = dataclasses.field(
+        default_factory=lambda: next(_message_counter)
+    )
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.destination < 0:
+            raise ProtocolError("peer ids must be non-negative")
+        if self.ttl < 0:
+            raise ProtocolError("ttl must be non-negative")
+        if self.hops < 0:
+            raise ProtocolError("hops must be non-negative")
+
+    @property
+    def message_type(self) -> MessageType:
+        raise NotImplementedError
+
+    def payload_bytes(self) -> int:
+        """Size of the type-specific payload in bytes."""
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Total wire size: Gnutella header plus payload."""
+        return GNUTELLA_HEADER_BYTES + self.payload_bytes()
+
+    def forwarded(self, new_source: int, new_destination: int) -> "Message":
+        """A copy of this message advanced one hop."""
+        if self.ttl == 0:
+            raise ProtocolError("cannot forward a message with ttl=0")
+        return dataclasses.replace(
+            self,
+            source=new_source,
+            destination=new_destination,
+            ttl=self.ttl - 1,
+            hops=self.hops + 1,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Ping(Message):
+    """Membership probe."""
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PING
+
+    def payload_bytes(self) -> int:
+        return 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Pong(Message):
+    """Membership reply: the responder's address and share counts."""
+
+    ip: str = "0.0.0.0"
+    port: int = 6346
+    shared_tuples: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PONG
+
+    def payload_bytes(self) -> int:
+        return 14  # port(2) + ip(4) + files(4) + kb(4), classic pong
+
+
+@dataclasses.dataclass(frozen=True)
+class Query(Message):
+    """Flooding search query (the naive BFS the paper contrasts with)."""
+
+    text: str = ""
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.QUERY
+
+    def payload_bytes(self) -> int:
+        return 2 + len(self.text.encode("utf-8")) + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryHit(Message):
+    """Reply to a flooded :class:`Query`."""
+
+    num_hits: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.QUERY_HIT
+
+    def payload_bytes(self) -> int:
+        return 11 + 8 * max(self.num_hits, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkerProbe(Message):
+    """The sampling walker: carries the query along the random walk.
+
+    ``sink`` rides along so any visited peer can reply directly to the
+    query origin without intermediate hops (§3.2).
+    """
+
+    sink: int = 0
+    query_text: str = ""
+    tuples_per_peer: int = 0  # the sub-sampling budget t; 0 = scan all
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.WALKER_PROBE
+
+    def payload_bytes(self) -> int:
+        return 4 + 4 + 2 + len(self.query_text.encode("utf-8"))
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateReply(Message):
+    """A visited peer's contribution for COUNT/SUM/AVG estimation.
+
+    Carries the scaled local aggregate ``y(p)`` and the degree
+    ``deg(p)`` (from which the sink reconstructs ``prob(p)``), exactly
+    the tuple the paper's ``Visit`` procedure returns.
+    """
+
+    aggregate_value: float = 0.0
+    matching_count: float = 0.0
+    column_total: float = 0.0  # scaled sum of the column over ALL rows
+    contribution_variance: float = 0.0  # per-tuple variance of z_u
+    degree: int = 0
+    local_tuples: int = 0
+    processed_tuples: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.AGGREGATE_REPLY
+
+    def payload_bytes(self) -> int:
+        return 8 + 8 + 8 + 8 + 4 + 4 + 4
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupReply(Message):
+    """Per-group scaled aggregates for GROUP BY queries.
+
+    ``entries`` holds ``(group, scaled_count, scaled_sum)`` triples for
+    every group present in the peer's processed tuples; payload size
+    scales with the number of groups, which is why GROUP BY sits
+    between pure push-down (one scalar) and value shipping (the whole
+    sample) on the bandwidth axis.
+    """
+
+    entries: Tuple[Tuple[float, float, float], ...] = ()
+    degree: int = 0
+    local_tuples: int = 0
+    processed_tuples: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.GROUP_REPLY
+
+    def payload_bytes(self) -> int:
+        return 4 + 4 + 4 + 24 * len(self.entries)
+
+
+@dataclasses.dataclass(frozen=True)
+class TupleReply(Message):
+    """Raw sub-sampled values for aggregates without push-down.
+
+    Median/quantile estimation ships either the local median or a raw
+    value sample; either way the payload scales with the data shipped,
+    which is why the paper calls out nontrivial bandwidth costs for
+    these aggregates.
+    """
+
+    values: Tuple[float, ...] = ()
+    degree: int = 0
+    local_tuples: int = 0
+    processed_tuples: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.TUPLE_REPLY
+
+    def payload_bytes(self) -> int:
+        return 4 + 4 + 4 + 8 * len(self.values)

@@ -1,0 +1,564 @@
+"""In-process P2P network simulator.
+
+:class:`NetworkSimulator` binds together a frozen :class:`Topology`,
+one :class:`~repro.data.localdb.LocalDatabase` per peer, peer
+identities, and a :class:`~repro.metrics.cost.CostLedger`.  Every
+cross-peer interaction of the sampling algorithms goes through it as a
+typed protocol message, so costs (messages, bytes, latency) are
+accounted exactly where the paper's cost model says they arise:
+
+* ``visit_aggregate`` — the paper's ``Visit`` procedure for COUNT/SUM
+  (§4): run the query on at most ``t`` sub-sampled tuples, scale by
+  ``#tuples / #processedTuples``, reply directly to the sink with the
+  scaled aggregate and the peer's degree.
+* ``visit_values`` — the median/quantile visit (§5.6): return the local
+  median (or a raw value sample) instead, which costs real bandwidth.
+* ``flood`` — Gnutella's BFS flooding with a TTL, used by the naive
+  baseline the paper contrasts against (§3.1, Figure 7).
+* ``ping`` — membership probe, used by the churn machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import SeedLike, ensure_rng
+from ..data.localdb import LocalDatabase
+from ..errors import ConfigurationError, PeerUnavailableError, ProtocolError
+from ..metrics.cost import CostLedger, CostModel
+from ..query.model import AggregateOp, AggregationQuery
+from .peer import Peer, synthesize_peer
+from .protocol import (
+    AggregateReply,
+    GroupReply,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    TupleReply,
+    WalkerProbe,
+)
+from .topology import Topology
+
+
+@dataclasses.dataclass
+class PeerNode:
+    """A peer's runtime state: identity plus local storage."""
+
+    peer: Peer
+    database: LocalDatabase
+
+    @property
+    def peer_id(self) -> int:
+        """Topology vertex id of this peer."""
+        return self.peer.peer_id
+
+
+class NetworkSimulator:
+    """The simulated unstructured P2P network.
+
+    Parameters
+    ----------
+    topology:
+        The connection graph.
+    databases:
+        One local database per peer, indexed by peer id.
+    peers:
+        Optional peer identities; synthesized deterministically when
+        omitted.
+    cost_model:
+        Unit costs for the latency model.
+    seed:
+        Seed for the simulator's own randomness (local sub-sampling,
+        failure injection).
+    reply_loss_rate:
+        Probability that a visited peer fails to reply (departed
+        mid-query, or its reply was lost).  Visits that fail raise
+        :class:`~repro.errors.PeerUnavailableError`; the walk hop cost
+        has already been paid, and engines skip the observation.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        databases: Sequence[LocalDatabase],
+        peers: Optional[Sequence[Peer]] = None,
+        cost_model: Optional[CostModel] = None,
+        seed: SeedLike = None,
+        reply_loss_rate: float = 0.0,
+    ):
+        if len(databases) != topology.num_peers:
+            raise ConfigurationError(
+                f"{len(databases)} databases for {topology.num_peers} peers"
+            )
+        self._topology = topology
+        self._rng = ensure_rng(seed)
+        if peers is None:
+            identity_rng = ensure_rng(12345)  # addresses are cosmetic
+            peers = [
+                synthesize_peer(peer_id, seed=identity_rng)
+                for peer_id in range(topology.num_peers)
+            ]
+        if len(peers) != topology.num_peers:
+            raise ConfigurationError(
+                f"{len(peers)} peer identities for {topology.num_peers} peers"
+            )
+        self._nodes = [
+            PeerNode(peer=peer, database=database)
+            for peer, database in zip(peers, databases)
+        ]
+        self._cost_model = cost_model or CostModel()
+        if not 0.0 <= reply_loss_rate < 1.0:
+            raise ConfigurationError(
+                f"reply_loss_rate must be in [0, 1), got {reply_loss_rate}"
+            )
+        self._reply_loss_rate = reply_loss_rate
+        self._failure_rng = ensure_rng(self._rng.spawn(1)[0])
+
+    def _maybe_drop_reply(self, peer_id: int, ledger: CostLedger) -> None:
+        """Simulate a lost reply with the configured probability.
+
+        The visit overhead has been incurred by the time the loss is
+        noticed, so it is charged before raising.
+        """
+        if (
+            self._reply_loss_rate > 0.0
+            and self._failure_rng.random() < self._reply_loss_rate
+        ):
+            ledger.record_visit(peer_id, 0, 0)
+            raise PeerUnavailableError(
+                f"peer {peer_id} failed to reply"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The frozen connection graph."""
+        return self._topology
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers in the network."""
+        return self._topology.num_peers
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The unit-cost model used by new ledgers."""
+        return self._cost_model
+
+    def node(self, peer_id: int) -> PeerNode:
+        """The runtime node for ``peer_id``."""
+        if not 0 <= peer_id < self.num_peers:
+            raise ProtocolError(f"unknown peer {peer_id}")
+        return self._nodes[peer_id]
+
+    def database(self, peer_id: int) -> LocalDatabase:
+        """Peer ``peer_id``'s local database."""
+        return self.node(peer_id).database
+
+    def databases(self) -> List[LocalDatabase]:
+        """All local databases, indexed by peer id."""
+        return [node.database for node in self._nodes]
+
+    def new_ledger(self) -> CostLedger:
+        """A fresh cost ledger bound to this network's cost model."""
+        return CostLedger(self._cost_model)
+
+    def total_tuples(self) -> int:
+        """Network-wide tuple count N."""
+        return sum(node.database.num_tuples for node in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Membership probes
+    # ------------------------------------------------------------------
+
+    def ping(self, source: int, destination: int, ledger: CostLedger) -> Pong:
+        """Ping a direct neighbor; returns its Pong."""
+        if not self._topology.has_edge(source, destination):
+            raise ProtocolError(
+                f"peer {source} is not connected to {destination}"
+            )
+        ping = Ping(source=source, destination=destination)
+        ledger.record_hops(1, message_bytes=ping.size_bytes())
+        node = self.node(destination)
+        pong = Pong(
+            source=destination,
+            destination=source,
+            ip=node.peer.ip,
+            port=node.peer.port,
+            shared_tuples=node.database.num_tuples,
+        )
+        ledger.record_reply(pong.size_bytes())
+        return pong
+
+    # ------------------------------------------------------------------
+    # The paper's Visit procedure (§4)
+    # ------------------------------------------------------------------
+
+    def visit_aggregate(
+        self,
+        peer_id: int,
+        query: AggregationQuery,
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> AggregateReply:
+        """Execute ``query`` locally at ``peer_id`` and reply to the sink.
+
+        If the peer holds at most ``tuples_per_peer`` tuples (or the
+        budget is 0, meaning unlimited), the query runs on the whole
+        partition; otherwise on ``tuples_per_peer`` sub-sampled tuples,
+        and the result is scaled by ``#tuples / #processedTuples``
+        exactly as in the paper's pseudocode.  The reply also carries
+        the peer's degree, from which the sink reconstructs the
+        stationary probability.
+        """
+        if not query.agg.supports_pushdown:
+            raise ConfigurationError(
+                f"{query.agg.value} cannot be pushed down; use visit_values"
+            )
+        node = self.node(peer_id)
+        self._maybe_drop_reply(peer_id, ledger)
+        database = node.database
+        total = database.num_tuples
+        if tuples_per_peer < 0:
+            raise ConfigurationError("tuples_per_peer must be >= 0")
+        rng = self._rng if seed is None else ensure_rng(seed)
+        if tuples_per_peer and total > tuples_per_peer:
+            columns = database.sample(
+                tuples_per_peer, method=sampling_method, seed=rng
+            )
+            processed = tuples_per_peer
+        else:
+            columns = database.scan()
+            processed = total
+
+        if processed == 0:
+            local_count = 0.0
+            local_sum = 0.0
+            column_sum = 0.0
+            contribution_variance = 0.0
+        else:
+            mask = query.predicate.mask(columns)
+            local_count = float(np.count_nonzero(mask))
+            column = np.asarray(columns[query.column])
+            values = column[mask]
+            local_sum = float(values.sum()) if values.size else 0.0
+            column_sum = float(column.sum())
+            # Per-tuple contribution z_u (selection-gated), whose
+            # variance drives the sub-sampling noise of this peer.
+            if query.agg is AggregateOp.COUNT:
+                contributions = mask.astype(float)
+            else:
+                contributions = column * mask
+            contribution_variance = float(contributions.var())
+
+        scale = (total / processed) if processed else 0.0
+        scaled_count = local_count * scale
+        scaled_sum = local_sum * scale
+        if query.agg is AggregateOp.COUNT:
+            value = scaled_count
+        else:  # SUM and AVG replies carry the scaled sum as primary
+            value = scaled_sum
+
+        reply = AggregateReply(
+            source=peer_id,
+            destination=sink,
+            aggregate_value=value,
+            matching_count=scaled_count,
+            column_total=column_sum * scale,
+            contribution_variance=contribution_variance,
+            degree=self._topology.degree(peer_id),
+            local_tuples=total,
+            processed_tuples=processed,
+        )
+        ledger.record_visit(
+            peer_id,
+            tuples_processed=processed,
+            tuples_sampled=min(processed, tuples_per_peer or processed),
+            cpu_speed=node.peer.capabilities.cpu_speed,
+        )
+        ledger.record_reply(reply.size_bytes())
+        return reply
+
+    def visit_multi_aggregate(
+        self,
+        peer_id: int,
+        queries: Sequence[AggregationQuery],
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> List[AggregateReply]:
+        """Evaluate several queries in one visit.
+
+        All queries run on the *same* local sub-sample, so the peer is
+        charged one visit overhead and one scan; each query gets its
+        own (small) reply.  This is the peer-side half of multi-query
+        batching: a dashboard of ``k`` aggregates costs barely more
+        than its most demanding member.
+        """
+        if not queries:
+            raise ConfigurationError("queries must be non-empty")
+        for query in queries:
+            if not query.agg.supports_pushdown:
+                raise ConfigurationError(
+                    f"{query.agg.value} cannot be pushed down"
+                )
+        node = self.node(peer_id)
+        self._maybe_drop_reply(peer_id, ledger)
+        database = node.database
+        total = database.num_tuples
+        if tuples_per_peer < 0:
+            raise ConfigurationError("tuples_per_peer must be >= 0")
+        rng = self._rng if seed is None else ensure_rng(seed)
+        if tuples_per_peer and total > tuples_per_peer:
+            columns = database.sample(
+                tuples_per_peer, method=sampling_method, seed=rng
+            )
+            processed = tuples_per_peer
+        else:
+            columns = database.scan()
+            processed = total
+
+        scale = (total / processed) if processed else 0.0
+        degree = self._topology.degree(peer_id)
+        replies: List[AggregateReply] = []
+        for query in queries:
+            if processed == 0:
+                local_count = local_sum = column_sum = 0.0
+                contribution_variance = 0.0
+            else:
+                mask = query.predicate.mask(columns)
+                local_count = float(np.count_nonzero(mask))
+                column = np.asarray(columns[query.column])
+                values = column[mask]
+                local_sum = float(values.sum()) if values.size else 0.0
+                column_sum = float(column.sum())
+                if query.agg is AggregateOp.COUNT:
+                    contributions = mask.astype(float)
+                else:
+                    contributions = column * mask
+                contribution_variance = float(contributions.var())
+            value = (
+                local_count * scale
+                if query.agg is AggregateOp.COUNT
+                else local_sum * scale
+            )
+            reply = AggregateReply(
+                source=peer_id,
+                destination=sink,
+                aggregate_value=value,
+                matching_count=local_count * scale,
+                column_total=column_sum * scale,
+                contribution_variance=contribution_variance,
+                degree=degree,
+                local_tuples=total,
+                processed_tuples=processed,
+            )
+            replies.append(reply)
+            ledger.record_reply(reply.size_bytes())
+        # One visit: one overhead, one scan of the shared sub-sample.
+        ledger.record_visit(
+            peer_id,
+            tuples_processed=processed,
+            tuples_sampled=min(processed, tuples_per_peer or processed),
+            cpu_speed=node.peer.capabilities.cpu_speed,
+        )
+        return replies
+
+    def visit_group_aggregate(
+        self,
+        peer_id: int,
+        query: AggregationQuery,
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> GroupReply:
+        """GROUP BY visit: per-group scaled (count, sum) triples.
+
+        Same sub-sampling and scaling discipline as
+        :meth:`visit_aggregate`, but the reply carries one entry per
+        group value seen in the processed tuples.
+        """
+        if query.group_by is None:
+            raise ConfigurationError("query has no GROUP BY column")
+        if not query.agg.supports_pushdown:
+            raise ConfigurationError(
+                f"GROUP BY is not supported for {query.agg.value}"
+            )
+        node = self.node(peer_id)
+        self._maybe_drop_reply(peer_id, ledger)
+        database = node.database
+        total = database.num_tuples
+        if tuples_per_peer < 0:
+            raise ConfigurationError("tuples_per_peer must be >= 0")
+        rng = self._rng if seed is None else ensure_rng(seed)
+        if tuples_per_peer and total > tuples_per_peer:
+            columns = database.sample(
+                tuples_per_peer, method=sampling_method, seed=rng
+            )
+            processed = tuples_per_peer
+        else:
+            columns = database.scan()
+            processed = total
+
+        entries = []
+        if processed:
+            mask = query.predicate.mask(columns)
+            groups = np.asarray(columns[query.group_by])[mask]
+            values = np.asarray(columns[query.column])[mask]
+            scale = total / processed
+            for group in np.unique(groups):
+                in_group = groups == group
+                entries.append(
+                    (
+                        float(group),
+                        float(np.count_nonzero(in_group)) * scale,
+                        float(values[in_group].sum()) * scale,
+                    )
+                )
+
+        reply = GroupReply(
+            source=peer_id,
+            destination=sink,
+            entries=tuple(entries),
+            degree=self._topology.degree(peer_id),
+            local_tuples=total,
+            processed_tuples=processed,
+        )
+        ledger.record_visit(
+            peer_id,
+            tuples_processed=processed,
+            tuples_sampled=min(processed, tuples_per_peer or processed),
+            cpu_speed=node.peer.capabilities.cpu_speed,
+        )
+        ledger.record_reply(reply.size_bytes())
+        return reply
+
+    # ------------------------------------------------------------------
+    # Median/quantile visit (§5.6): no push-down, ship statistics
+    # ------------------------------------------------------------------
+
+    def visit_values(
+        self,
+        peer_id: int,
+        query: AggregationQuery,
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        ship: str = "median",
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> TupleReply:
+        """Visit for holistic aggregates: ship values back to the sink.
+
+        ``ship="median"`` sends only the local quantile of the
+        (sub-sampled) matching tuples — the paper's median algorithm;
+        ``ship="sample"`` sends the raw matching sample, for quantile
+        estimators that need more than a point statistic.
+        """
+        if ship not in ("median", "sample"):
+            raise ConfigurationError(f"unknown ship mode {ship!r}")
+        node = self.node(peer_id)
+        self._maybe_drop_reply(peer_id, ledger)
+        database = node.database
+        total = database.num_tuples
+        rng = self._rng if seed is None else ensure_rng(seed)
+        if tuples_per_peer and total > tuples_per_peer:
+            columns = database.sample(
+                tuples_per_peer, method=sampling_method, seed=rng
+            )
+            processed = tuples_per_peer
+        else:
+            columns = database.scan()
+            processed = total
+
+        if processed:
+            mask = query.predicate.mask(columns)
+            matching = np.asarray(columns[query.column])[mask]
+        else:
+            matching = np.empty(0)
+
+        if ship == "median" and matching.size:
+            fraction = query.quantile_fraction
+            shipped: Tuple[float, ...] = (
+                float(np.quantile(matching, fraction)),
+            )
+        else:
+            shipped = tuple(float(v) for v in matching)
+
+        reply = TupleReply(
+            source=peer_id,
+            destination=sink,
+            values=shipped,
+            degree=self._topology.degree(peer_id),
+            local_tuples=total,
+            processed_tuples=processed,
+        )
+        ledger.record_visit(
+            peer_id,
+            tuples_processed=processed,
+            tuples_sampled=processed,
+            cpu_speed=node.peer.capabilities.cpu_speed,
+        )
+        ledger.record_reply(reply.size_bytes())
+        return reply
+
+    # ------------------------------------------------------------------
+    # Gnutella flooding (the naive BFS baseline)
+    # ------------------------------------------------------------------
+
+    def flood(
+        self,
+        start: int,
+        ttl: int,
+        ledger: CostLedger,
+        max_peers: Optional[int] = None,
+    ) -> List[Tuple[int, int]]:
+        """Flood a query from ``start`` with the given TTL.
+
+        Returns ``(peer, depth)`` pairs in BFS order, including the
+        start peer at depth 0.  Every edge traversal is charged as a
+        message, which is exactly why the paper calls flooding
+        resource-hungry.
+        """
+        self.node(start)  # validates the id
+        if ttl < 0:
+            raise ConfigurationError("ttl must be >= 0")
+        probe = Query(source=start, destination=start, ttl=ttl, text="agg")
+        message_bytes = probe.size_bytes()
+        visited = {start}
+        reached: List[Tuple[int, int]] = [(start, 0)]
+        frontier = [start]
+        depth = 0
+        max_depth = 0
+        while frontier and depth < ttl:
+            depth += 1
+            next_frontier: List[int] = []
+            for peer in frontier:
+                for neighbor in self._topology.neighbors(peer):
+                    neighbor = int(neighbor)
+                    ledger.record_flood_message(message_bytes)
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.append(neighbor)
+                        reached.append((neighbor, depth))
+                        max_depth = depth
+                        if max_peers is not None and len(reached) >= max_peers:
+                            ledger.record_flood_depth(max_depth)
+                            return reached
+            frontier = next_frontier
+        ledger.record_flood_depth(max_depth)
+        return reached

@@ -1,0 +1,415 @@
+"""Markov-chain random walks on the P2P graph (paper §3.3, §4).
+
+The walk starts at the sink, repeatedly moves to a uniformly random
+neighbor, and selects every ``j``-th visited peer for the sample (the
+paper's *jump size*, which decorrelates consecutive selections).  After
+enough hops the walk's location is distributed close to the stationary
+distribution ``prob(p) = deg(p) / (2|E|)``, which is *not* uniform —
+the estimators in :mod:`repro.core` divide this skew out.
+
+Walk variants
+-------------
+
+``"simple"``
+    Uniform over neighbors.  Stationary distribution ``deg/2|E|`` —
+    the distribution in the paper's formulas.
+``"lazy"``
+    With probability 1/2 stay put, else move to a uniform neighbor.
+    Same stationary distribution, but aperiodic even on bipartite
+    graphs; the classic fix when convergence is in doubt.
+``"self-inclusive"``
+    Uniform over neighbors *and itself* (the paper's "self loops are
+    allowed" phrasing taken literally).  Stationary distribution
+    ``(deg+1) / (2|E| + M)``.
+``"metropolis-uniform"``
+    Metropolis–Hastings correction: propose a uniform neighbor ``v``
+    and accept with ``min(1, deg(u)/deg(v))``, else stay.  Stationary
+    distribution is exactly *uniform* ``1/M`` — the upgrade suggested
+    by the random-peer-sampling literature the paper builds on
+    ([14, 21]).  Estimation then needs no degree compensation at all,
+    at the price of a somewhat slower walk (rejections).
+
+:meth:`RandomWalker.stationary_probabilities` always matches the chosen
+variant so estimation stays unbiased regardless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .._util import SeedLike, ensure_rng
+from ..errors import ConfigurationError, TopologyError
+from .topology import Topology
+
+_VARIANTS = ("simple", "lazy", "self-inclusive", "metropolis-uniform")
+_RANDOM_BLOCK = 8192
+
+
+@dataclasses.dataclass(frozen=True)
+class RandomWalkConfig:
+    """Parameters of the sampling walk.
+
+    Attributes
+    ----------
+    jump:
+        The paper's ``j``: number of hops between selected peers.  A
+        value of 1 (or the paper's degenerate 0, normalized to 1)
+        selects every visited peer — the "DFS" baseline of Figure 7.
+    burn_in:
+        Hops to take before the first selection so the walk forgets
+        the sink.  The paper folds this into the fixed walk length; we
+        expose it separately (default: one jump's worth).
+    variant:
+        One of ``"simple"``, ``"lazy"``, ``"self-inclusive"``.
+    allow_revisits:
+        Peers may be selected multiple times (sampling with
+        replacement).  The paper's derivations assume replacement;
+        disabling it is available for ablations.
+    """
+
+    jump: int = 10
+    burn_in: Optional[int] = None
+    variant: str = "simple"
+    allow_revisits: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jump < 0:
+            raise ConfigurationError(f"jump must be >= 0, got {self.jump}")
+        if self.burn_in is not None and self.burn_in < 0:
+            raise ConfigurationError("burn_in must be >= 0")
+        if self.variant not in _VARIANTS:
+            raise ConfigurationError(
+                f"variant must be one of {_VARIANTS}, got {self.variant!r}"
+            )
+
+    @property
+    def effective_jump(self) -> int:
+        """``jump`` with the degenerate 0 normalized to 1."""
+        return max(1, self.jump)
+
+    @property
+    def effective_burn_in(self) -> int:
+        """``burn_in``, defaulting to one jump's worth of hops."""
+        if self.burn_in is None:
+            return self.effective_jump
+        return self.burn_in
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkResult:
+    """Outcome of one sampling walk.
+
+    Attributes
+    ----------
+    peers:
+        Selected peer ids, in selection order (may repeat).
+    hops:
+        Total hops the walker performed, including burn-in and jumped
+        over peers.  This is the message count of the walk.
+    start:
+        The sink the walk started from.
+    """
+
+    peers: np.ndarray
+    hops: int
+    start: int
+
+    def __len__(self) -> int:
+        return int(self.peers.shape[0])
+
+    @property
+    def distinct_peers(self) -> int:
+        """Number of distinct peers in the selection."""
+        return int(np.unique(self.peers).size)
+
+
+class RandomWalker:
+    """Runs random walks over a frozen :class:`Topology`.
+
+    The walker caches plain-python adjacency arrays because scalar
+    indexing of python lists is several times faster than numpy scalar
+    indexing, and the walk is inherently sequential.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[RandomWalkConfig] = None,
+        seed: SeedLike = None,
+    ):
+        self._topology = topology
+        self._config = config or RandomWalkConfig()
+        self._rng = ensure_rng(seed)
+        self._indptr: List[int] = topology.indptr.tolist()
+        self._indices: List[int] = topology.indices.tolist()
+        if topology.num_edges == 0:
+            raise TopologyError("cannot walk an edgeless topology")
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this walker runs on."""
+        return self._topology
+
+    @property
+    def config(self) -> RandomWalkConfig:
+        """The walk configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Stationary distribution matching the variant
+    # ------------------------------------------------------------------
+
+    def stationary_probabilities(self) -> np.ndarray:
+        """Per-peer stationary probability for the configured variant."""
+        degrees = self._topology.degrees.astype(float)
+        if self._config.variant == "self-inclusive":
+            total = 2.0 * self._topology.num_edges + self._topology.num_peers
+            return (degrees + 1.0) / total
+        if self._config.variant == "metropolis-uniform":
+            return np.full(
+                self._topology.num_peers, 1.0 / self._topology.num_peers
+            )
+        return self._topology.stationary_distribution()
+
+    def stationary_probability(self, peer: int) -> float:
+        """Stationary probability of one peer for this variant."""
+        return float(self.stationary_probabilities()[peer])
+
+    # ------------------------------------------------------------------
+    # Core stepping
+    # ------------------------------------------------------------------
+
+    def _check_start(self, start: int) -> None:
+        if not 0 <= start < self._topology.num_peers:
+            raise TopologyError(f"start peer {start} out of range")
+        if self._topology.degree(start) == 0:
+            raise TopologyError(
+                f"peer {start} is isolated; a walk cannot leave it"
+            )
+
+    def step(self, current: int) -> int:
+        """Advance one hop from ``current`` and return the next peer."""
+        self._check_start(current)
+        return self._walk_segment(current, 1)
+
+    def _walk_segment(self, current: int, hops: int) -> int:
+        """Advance ``hops`` hops from ``current``; returns the endpoint."""
+        indptr = self._indptr
+        indices = self._indices
+        variant = self._config.variant
+        lazy = variant == "lazy"
+        inclusive = variant == "self-inclusive"
+        metropolis = variant == "metropolis-uniform"
+        rng = self._rng
+        # Metropolis consumes two randoms per hop (propose + accept).
+        per_hop = 2 if metropolis else 1
+        randoms = rng.random(
+            min(_RANDOM_BLOCK, max(per_hop * hops, 1))
+        ).tolist()
+        cursor = 0
+        for _ in range(hops):
+            if cursor + per_hop > len(randoms):
+                randoms = rng.random(_RANDOM_BLOCK).tolist()
+                cursor = 0
+            r = randoms[cursor]
+            cursor += 1
+            lo = indptr[current]
+            degree = indptr[current + 1] - lo
+            if lazy:
+                if r < 0.5:
+                    continue
+                r = (r - 0.5) * 2.0
+                current = indices[lo + int(r * degree)]
+            elif inclusive:
+                pick = int(r * (degree + 1))
+                if pick < degree:
+                    current = indices[lo + pick]
+            elif metropolis:
+                proposal = indices[lo + int(r * degree)]
+                accept = randoms[cursor]
+                cursor += 1
+                proposal_degree = (
+                    indptr[proposal + 1] - indptr[proposal]
+                )
+                # Accept with min(1, deg(u)/deg(v)): uniform target.
+                if accept * proposal_degree < degree:
+                    current = proposal
+            else:
+                current = indices[lo + int(r * degree)]
+        return current
+
+    # ------------------------------------------------------------------
+    # Public walks
+    # ------------------------------------------------------------------
+
+    def trace(self, start: int, hops: int) -> np.ndarray:
+        """Every peer visited in ``hops`` hops (length ``hops + 1``).
+
+        Mostly useful for diagnostics and convergence tests; the
+        sampling path uses :meth:`sample_peers`.
+        """
+        self._check_start(start)
+        if hops < 0:
+            raise ConfigurationError("hops must be >= 0")
+        out = np.empty(hops + 1, dtype=np.int64)
+        out[0] = start
+        current = start
+        for i in range(hops):
+            current = self._walk_segment(current, 1)
+            out[i + 1] = current
+        return out
+
+    def sample_peers(self, start: int, count: int) -> WalkResult:
+        """Select ``count`` peers by walking with the configured jump.
+
+        This is the paper's phase-I/II walk: after ``burn_in`` hops,
+        every ``jump``-th visited peer is added to the sample until
+        ``count`` peers have been selected.  With ``allow_revisits``
+        disabled, hops continue until ``count`` *distinct* peers are
+        found (bounded by a generous hop budget).
+        """
+        self._check_start(start)
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        jump = self._config.effective_jump
+        burn_in = self._config.effective_burn_in
+        if count == 0:
+            return WalkResult(
+                peers=np.empty(0, dtype=np.int64), hops=0, start=start
+            )
+
+        current = self._walk_segment(start, burn_in) if burn_in else start
+        hops = burn_in
+        selected: List[int] = []
+        seen = set()
+        hop_budget = burn_in + 1000 * jump * max(count, 1) + 10_000
+        pending_selection = True  # the post-burn-in position counts
+        while len(selected) < count:
+            if not pending_selection:
+                current = self._walk_segment(current, jump)
+                hops += jump
+            pending_selection = False
+            if self._config.allow_revisits or current not in seen:
+                selected.append(current)
+                seen.add(current)
+            elif hops > hop_budget:
+                raise TopologyError(
+                    f"walk could not find {count} distinct peers within "
+                    f"{hop_budget} hops (graph too small?)"
+                )
+        return WalkResult(
+            peers=np.asarray(selected, dtype=np.int64),
+            hops=hops,
+            start=start,
+        )
+
+    def endpoint_after(self, start: int, hops: int) -> int:
+        """The walker's position after ``hops`` hops (no selections)."""
+        self._check_start(start)
+        if hops < 0:
+            raise ConfigurationError("hops must be >= 0")
+        return self._walk_segment(start, hops)
+
+    def empirical_distribution(
+        self, start: int, walks: int, hops: int
+    ) -> np.ndarray:
+        """Monte-Carlo estimate of the ``hops``-step distribution.
+
+        Runs ``walks`` independent walks of ``hops`` hops from
+        ``start`` and histograms the endpoints.  Convergence tests
+        compare this against :meth:`stationary_probabilities`.
+        """
+        if walks <= 0:
+            raise ConfigurationError("walks must be positive")
+        counts = np.zeros(self._topology.num_peers, dtype=np.int64)
+        for _ in range(walks):
+            counts[self.endpoint_after(start, hops)] += 1
+        return counts / float(walks)
+
+
+class WeightedMetropolisWalker(RandomWalker):
+    """Metropolis–Hastings walk targeting an arbitrary peer weighting.
+
+    Given positive per-peer weights ``w``, the walk proposes a uniform
+    neighbor ``v`` of the current peer ``u`` and accepts with
+
+        min(1, (w(v) * deg(u)) / (w(u) * deg(v)))
+
+    which makes the stationary distribution exactly ``w(p) / sum(w)``.
+    This is the machinery behind *biased sampling* (the paper's §6
+    open problem): weights that correlate with the per-peer aggregate
+    concentrate samples where qualifying tuples live.  Uniform weights
+    recover the ``"metropolis-uniform"`` variant.
+
+    Only relative weights matter (the normalizer cancels in the accept
+    ratio), so peers can compute their own weight locally — no global
+    knowledge is required to *run* the walk.  The plain estimator of
+    Equation 1 needs normalized probabilities, but the self-normalized
+    (Hájek) estimator works from relative weights directly.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        weights,
+        config: Optional[RandomWalkConfig] = None,
+        seed: SeedLike = None,
+    ):
+        config = config or RandomWalkConfig()
+        # The variant string is ignored by this walker's stepping; pin
+        # it so stationary_probabilities below is authoritative.
+        super().__init__(
+            topology,
+            dataclasses.replace(config, variant="simple"),
+            seed=seed,
+        )
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (topology.num_peers,):
+            raise ConfigurationError(
+                f"need one weight per peer ({topology.num_peers}), "
+                f"got shape {weights.shape}"
+            )
+        if np.any(weights <= 0) or not np.all(np.isfinite(weights)):
+            raise ConfigurationError("weights must be positive and finite")
+        self._weights: List[float] = weights.tolist()
+        self._weight_total = float(weights.sum())
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The (unnormalized) target weights."""
+        return np.asarray(self._weights)
+
+    def stationary_probabilities(self) -> np.ndarray:
+        """``w(p) / sum(w)`` — the walk's exact stationary law."""
+        return np.asarray(self._weights) / self._weight_total
+
+    def _walk_segment(self, current: int, hops: int) -> int:
+        indptr = self._indptr
+        indices = self._indices
+        weights = self._weights
+        rng = self._rng
+        randoms = rng.random(
+            min(_RANDOM_BLOCK, max(2 * hops, 2))
+        ).tolist()
+        cursor = 0
+        for _ in range(hops):
+            if cursor + 2 > len(randoms):
+                randoms = rng.random(_RANDOM_BLOCK).tolist()
+                cursor = 0
+            r = randoms[cursor]
+            accept = randoms[cursor + 1]
+            cursor += 2
+            lo = indptr[current]
+            degree = indptr[current + 1] - lo
+            proposal = indices[lo + int(r * degree)]
+            proposal_degree = indptr[proposal + 1] - indptr[proposal]
+            # accept iff u < (w_v * deg_u) / (w_u * deg_v)
+            if (
+                accept * weights[current] * proposal_degree
+                < weights[proposal] * degree
+            ):
+                current = proposal
+        return current

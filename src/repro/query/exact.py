@@ -1,0 +1,151 @@
+"""Exact (ground-truth) query evaluation.
+
+The exact evaluator is what an exhaustive crawl of the P2P repository
+would compute — the paper's "prohibitively slow" alternative.  The
+experiment harness uses it to score every approximate answer, and the
+cost model can price it for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import QueryError
+from .model import AggregateOp, AggregationQuery, ColumnMap
+
+
+def evaluate_on_columns(query: AggregationQuery, columns: ColumnMap) -> float:
+    """Evaluate ``query`` exactly over in-memory column arrays.
+
+    Raises :class:`QueryError` for AVG/MEDIAN/QUANTILE over an empty
+    selection, mirroring SQL's NULL in a numeric API.
+    """
+    mask = query.predicate.mask(columns)
+    if query.agg is AggregateOp.COUNT:
+        return float(np.count_nonzero(mask))
+    if query.column not in columns:
+        raise QueryError(
+            f"unknown column {query.column!r}; available: {sorted(columns)}"
+        )
+    selected = np.asarray(columns[query.column])[mask]
+    if query.agg is AggregateOp.SUM:
+        return float(selected.sum()) if selected.size else 0.0
+    if selected.size == 0:
+        raise QueryError(
+            f"{query.agg.value} over an empty selection is undefined"
+        )
+    if query.agg is AggregateOp.AVG:
+        return float(selected.mean())
+    if query.agg in (AggregateOp.MEDIAN, AggregateOp.QUANTILE):
+        return float(np.quantile(selected, query.quantile_fraction))
+    raise QueryError(f"unsupported aggregate {query.agg!r}")  # pragma: no cover
+
+
+def evaluate_exact(
+    query: AggregationQuery,
+    databases: Iterable,
+) -> float:
+    """Evaluate ``query`` exactly over every peer's local database.
+
+    ``databases`` is an iterable of :class:`repro.data.LocalDatabase`
+    (or anything exposing ``scan()``).  COUNT/SUM distribute over
+    peers; AVG/MEDIAN/QUANTILE gather the selected values.
+    """
+    if query.agg is AggregateOp.COUNT or query.agg is AggregateOp.SUM:
+        total = 0.0
+        for database in databases:
+            total += evaluate_on_columns(query, database.scan())
+        return total
+    # Holistic aggregates: gather qualifying values network-wide.
+    gathered = []
+    for database in databases:
+        columns = database.scan()
+        mask = query.predicate.mask(columns)
+        if query.column not in columns:
+            raise QueryError(
+                f"unknown column {query.column!r} at some peer"
+            )
+        values = np.asarray(columns[query.column])[mask]
+        if values.size:
+            gathered.append(values)
+    if not gathered:
+        raise QueryError(
+            f"{query.agg.value} over an empty selection is undefined"
+        )
+    everything = np.concatenate(gathered)
+    if query.agg is AggregateOp.AVG:
+        return float(everything.mean())
+    return float(np.quantile(everything, query.quantile_fraction))
+
+
+def measured_selectivity(query: AggregationQuery, databases: Iterable) -> float:
+    """Fraction of all tuples satisfying the query's predicate."""
+    matching = 0
+    total = 0
+    for database in databases:
+        columns = database.scan()
+        mask = query.predicate.mask(columns)
+        matching += int(np.count_nonzero(mask))
+        total += int(mask.size)
+    if total == 0:
+        raise QueryError("selectivity over an empty network is undefined")
+    return matching / total
+
+
+def rank_of_value(value: float, databases: Iterable, column: str) -> int:
+    """Global rank of ``value`` in ``column``: #values strictly below.
+
+    Used to score median estimates the way the paper does — "the
+    difference between the true rank of the median that the algorithm
+    returns, and N/2".
+    """
+    below = 0
+    for database in databases:
+        data = np.asarray(database.column(column))
+        below += int(np.count_nonzero(data < value))
+    return below
+
+
+def evaluate_exact_groups(
+    query: AggregationQuery, databases: Iterable
+) -> Dict[float, float]:
+    """Exact per-group answers for a GROUP BY aggregation query.
+
+    Returns ``{group value: aggregate}`` over groups with at least one
+    matching tuple.  Only distributive aggregates support grouping.
+    """
+    if query.group_by is None:
+        raise QueryError("query has no GROUP BY column")
+    if not query.agg.supports_pushdown:
+        raise QueryError(
+            f"GROUP BY is not supported for {query.agg.value}"
+        )
+    counts: Dict[float, float] = {}
+    sums: Dict[float, float] = {}
+    for database in databases:
+        columns = database.scan()
+        if query.group_by not in columns:
+            raise QueryError(
+                f"unknown group column {query.group_by!r} at some peer"
+            )
+        mask = query.predicate.mask(columns)
+        groups = np.asarray(columns[query.group_by])[mask]
+        values = np.asarray(columns[query.column])[mask]
+        for group in np.unique(groups):
+            in_group = groups == group
+            key = float(group)
+            counts[key] = counts.get(key, 0.0) + float(
+                np.count_nonzero(in_group)
+            )
+            sums[key] = sums.get(key, 0.0) + float(values[in_group].sum())
+    if query.agg is AggregateOp.COUNT:
+        return counts
+    if query.agg is AggregateOp.SUM:
+        return sums
+    return {
+        group: sums[group] / counts[group]
+        for group in counts
+        if counts[group] > 0
+    }

@@ -1,0 +1,265 @@
+"""A small SQL-ish parser for aggregation queries.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT agg "(" column [, number] ")" FROM ident
+                  [WHERE predicate] [GROUP BY ident]
+    agg        := COUNT | SUM | AVG | MEDIAN | QUANTILE
+    predicate  := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | "(" predicate ")" | atom
+    atom       := column BETWEEN number AND number
+                | column op number            (op in =,!=,<,<=,>,>=)
+                | column IN "(" number ("," number)* ")"
+
+Only the query shapes in the paper plus natural connectives are
+supported — this is a convenience front-end over
+:mod:`repro.query.model`, not a SQL engine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import QueryParseError
+from .model import (
+    AggregateOp,
+    AggregationQuery,
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.?\d*(?:[eE][+-]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<punct>[(),])"
+    r")"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "between", "and", "or", "not", "in",
+    "count", "sum", "avg", "median", "quantile", "true", "group", "by",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryParseError(
+                f"unexpected character at position {position}: "
+                f"{remainder[:10]!r}"
+            )
+        position = match.end()
+        if match.group("number") is not None:
+            tokens.append(_Token("number", match.group("number")))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", word.lower()))
+            else:
+                tokens.append(_Token("ident", word))
+        elif match.group("op") is not None:
+            op = match.group("op")
+            tokens.append(_Token("op", "!=" if op == "<>" else op))
+        else:
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str):
+        self._tokens = tokens
+        self._index = 0
+        self._text = text
+
+    # Token plumbing ---------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query: {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != word:
+            raise QueryParseError(
+                f"expected {word.upper()!r}, got {token.value!r}"
+            )
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != char:
+            raise QueryParseError(f"expected {char!r}, got {token.value!r}")
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == word:
+            self._index += 1
+            return True
+        return False
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "punct" and token.value == char:
+            self._index += 1
+            return True
+        return False
+
+    def _ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise QueryParseError(f"expected identifier, got {token.value!r}")
+        return token.value
+
+    def _number(self) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise QueryParseError(f"expected number, got {token.value!r}")
+        return float(token.value)
+
+    # Grammar ----------------------------------------------------------
+
+    def parse_query(self) -> AggregationQuery:
+        self._expect_keyword("select")
+        agg_token = self._next()
+        if agg_token.kind != "keyword" or agg_token.value.upper() not in (
+            op.value for op in AggregateOp
+        ):
+            raise QueryParseError(
+                f"expected aggregate function, got {agg_token.value!r}"
+            )
+        agg = AggregateOp(agg_token.value.upper())
+        self._expect_punct("(")
+        column = self._ident()
+        quantile: Optional[float] = None
+        if agg is AggregateOp.QUANTILE:
+            self._expect_punct(",")
+            quantile = self._number()
+        self._expect_punct(")")
+        self._expect_keyword("from")
+        self._ident()  # table name; single-table model, value unused
+        predicate: Predicate = TruePredicate()
+        if self._accept_keyword("where"):
+            predicate = self.parse_predicate()
+        group_by = None
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._ident()
+        if self._peek() is not None:
+            raise QueryParseError(
+                f"trailing tokens after query: {self._peek().value!r}"
+            )
+        return AggregationQuery(
+            agg=agg,
+            column=column,
+            predicate=predicate,
+            quantile=quantile,
+            group_by=group_by,
+        )
+
+    def parse_predicate(self) -> Predicate:
+        return self._or_expr()
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._unary()
+        while self._accept_keyword("and"):
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> Predicate:
+        if self._accept_keyword("not"):
+            return Not(self._unary())
+        if self._accept_punct("("):
+            inner = self._or_expr()
+            self._expect_punct(")")
+            return inner
+        if self._accept_keyword("true"):
+            return TruePredicate()
+        return self._atom()
+
+    def _atom(self) -> Predicate:
+        column = self._ident()
+        token = self._next()
+        if token.kind == "keyword" and token.value == "between":
+            low = self._number()
+            self._expect_keyword("and")
+            high = self._number()
+            return Between(column=column, low=low, high=high)
+        if token.kind == "keyword" and token.value == "in":
+            self._expect_punct("(")
+            values = [self._number()]
+            while self._accept_punct(","):
+                values.append(self._number())
+            self._expect_punct(")")
+            return InSet(column=column, values=tuple(values))
+        if token.kind == "op":
+            value = self._number()
+            return Comparison(column=column, op=token.value, value=value)
+        raise QueryParseError(
+            f"expected BETWEEN/IN/comparison after {column!r}, "
+            f"got {token.value!r}"
+        )
+
+
+def parse_query(text: str) -> AggregationQuery:
+    """Parse SQL-ish text into an :class:`AggregationQuery`.
+
+    >>> parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30").agg
+    <AggregateOp.COUNT: 'COUNT'>
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty query text")
+    return _Parser(tokens, text).parse_query()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse just a predicate expression (no SELECT/FROM)."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty predicate text")
+    parser = _Parser(tokens, text)
+    predicate = parser.parse_predicate()
+    if parser._peek() is not None:
+        raise QueryParseError("trailing tokens after predicate")
+    return predicate

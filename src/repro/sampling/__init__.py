@@ -1,0 +1,25 @@
+"""Sampling strategies: naive baselines and block-level helpers.
+
+The paper's Figure 7 compares the random-walk method against two naive
+ways to collect a peer sample — BFS (the sink's neighborhood, i.e.
+Gnutella-style flooding) and DFS (a random walk with no decorrelating
+jump).  Both are implemented here behind the same estimator pipeline so
+the comparison isolates *how peers are selected*.
+"""
+
+from .baselines import (
+    BaselineResult,
+    BFSEngine,
+    UniformOracleEngine,
+    dfs_engine,
+)
+from .blocklevel import block_aggregate, sampling_design_effect
+
+__all__ = [
+    "BFSEngine",
+    "dfs_engine",
+    "UniformOracleEngine",
+    "BaselineResult",
+    "block_aggregate",
+    "sampling_design_effect",
+]

@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic networks and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.network.generators import (
+    power_law_topology,
+    random_regular_topology,
+)
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A connected power-law topology: 200 peers, 800 edges."""
+    return power_law_topology(200, 800, seed=7)
+
+
+@pytest.fixture(scope="session")
+def regular_topology():
+    """A 6-regular topology (uniform stationary distribution)."""
+    return random_regular_topology(120, 6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_topology():
+    """A hand-built 5-peer topology for exactness checks.
+
+    Edges: 0-1, 0-2, 1-2, 2-3, 3-4 (degrees 2,2,3,2,1).
+    """
+    return Topology(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_topology):
+    """10k tuples over the small topology, CL=0.25, Z=0.2."""
+    return generate_dataset(
+        small_topology,
+        DatasetConfig(num_tuples=10_000, cluster_level=0.25, skew=0.2),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_network(small_topology, small_dataset):
+    """A ready simulator over the small topology/dataset."""
+    return NetworkSimulator(
+        small_topology, small_dataset.databases, seed=7
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,56 @@
+"""Tests for the `python -m repro.experiments` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "1"])
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])
+
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["--figure", "2", "--figure", "3", "--scale", "0.05",
+             "--trials", "2"]
+        )
+        assert args.figure == [2, 3]
+        assert args.scale == 0.05
+        assert args.trials == 2
+
+
+class TestExecution:
+    def test_single_figure_prints_table(self, capsys):
+        code = main(["--figure", "3", "--scale", "0.02", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "selectivity_pct" in out
+        assert "regenerated in" in out
+
+    def test_output_directory(self, tmp_path, capsys):
+        code = main(
+            ["--figure", "3", "--scale", "0.02", "--trials", "1",
+             "--output", str(tmp_path)]
+        )
+        assert code == 0
+        written = tmp_path / "figure_03.txt"
+        assert written.exists()
+        assert "Figure 3" in written.read_text()
+
+    def test_multiple_figures_deduplicated(self, capsys):
+        code = main(
+            ["--figure", "3", "--figure", "3", "--scale", "0.02",
+             "--trials", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Figure 3:") == 1

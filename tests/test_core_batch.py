@@ -1,0 +1,142 @@
+"""Tests for multi-query batching."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchEngine
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.errors import ConfigurationError
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+QUERIES = [
+    parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30"),
+    parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 31 AND 60"),
+    parse_query("SELECT SUM(A) FROM T"),
+]
+AVG_HIGH = parse_query("SELECT AVG(A) FROM T WHERE A > 50")
+
+
+@pytest.fixture()
+def engine(small_network):
+    return BatchEngine(
+        small_network,
+        TwoPhaseConfig(max_phase_two_peers=400),
+        seed=5,
+    )
+
+
+class TestBatchExecution:
+    def test_one_result_per_query(self, engine):
+        results = engine.execute(QUERIES, delta_req=0.1, sink=0)
+        assert len(results) == len(QUERIES)
+        for query, result in zip(QUERIES, results):
+            assert result.query is query
+
+    def test_every_query_accurate(self, engine, small_dataset):
+        results = engine.execute(QUERIES, delta_req=0.1, sink=0)
+        n = small_dataset.num_tuples
+        total_sum = small_dataset.total_sum()
+        for query, result in zip(QUERIES, results):
+            truth = evaluate_exact(query, small_dataset.databases)
+            scale = n if query.agg.value == "COUNT" else total_sum
+            assert abs(result.estimate - truth) / scale <= 0.1
+
+    def test_avg_in_batch(self, engine, small_dataset):
+        results = engine.execute(
+            QUERIES + [AVG_HIGH], delta_req=0.1, sink=0
+        )
+        truth = evaluate_exact(AVG_HIGH, small_dataset.databases)
+        assert results[-1].estimate == pytest.approx(truth, rel=0.1)
+
+    def test_shared_cost(self, engine):
+        results = engine.execute(QUERIES, delta_req=0.1, sink=0)
+        costs = {id(result.cost) for result in results}
+        assert len(costs) == 1  # one shared ledger snapshot
+
+    def test_batch_cheaper_than_sequential(
+        self, small_network, small_dataset
+    ):
+        config = TwoPhaseConfig(max_phase_two_peers=400)
+        batch = BatchEngine(small_network, config, seed=6)
+        batch_cost = batch.execute(
+            QUERIES, delta_req=0.1, sink=0
+        )[0].cost
+        sequential_visits = 0
+        for query in QUERIES:
+            single = TwoPhaseEngine(small_network, config, seed=6)
+            sequential_visits += single.execute(
+                query, delta_req=0.1, sink=0
+            ).cost.peers_visited
+        assert batch_cost.peers_visited < sequential_visits
+
+    def test_phase_two_sized_by_hardest(self, engine):
+        results = engine.execute(QUERIES, delta_req=0.03, sink=0)
+        if results[0].phase_two is not None:
+            sizes = {
+                result.phase_two.peers_visited
+                for result in results
+                if result.phase_two is not None
+            }
+            # Every query receives the same (max) phase-II sample.
+            assert len(sizes) == 1
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.execute([], delta_req=0.1)
+
+    def test_median_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.execute(
+                [parse_query("SELECT MEDIAN(A) FROM T")], delta_req=0.1
+            )
+
+    def test_group_by_rejected(self, engine, small_network):
+        from repro.data.generator import DatasetConfig, generate_dataset
+
+        grouped = parse_query("SELECT COUNT(A) FROM T GROUP BY G")
+        with pytest.raises(ConfigurationError):
+            engine.execute([grouped], delta_req=0.1)
+
+    def test_deterministic(self, small_network):
+        config = TwoPhaseConfig(max_phase_two_peers=400)
+        a = BatchEngine(small_network, config, seed=9).execute(
+            QUERIES, delta_req=0.1, sink=0
+        )
+        b = BatchEngine(small_network, config, seed=9).execute(
+            QUERIES, delta_req=0.1, sink=0
+        )
+        assert [r.estimate for r in a] == [r.estimate for r in b]
+
+
+class TestMultiVisit:
+    def test_one_visit_many_replies(self, small_network):
+        ledger = small_network.new_ledger()
+        replies = small_network.visit_multi_aggregate(
+            0, QUERIES, sink=1, ledger=ledger, tuples_per_peer=25
+        )
+        assert len(replies) == 3
+        cost = ledger.snapshot()
+        assert cost.peers_visited == 1       # one visit overhead
+        assert cost.messages == 3            # but three replies
+        # All replies describe the same sub-sample.
+        assert len({r.processed_tuples for r in replies}) == 1
+
+    def test_queries_evaluated_on_same_sample(self, small_network):
+        """Two complementary COUNTs on one sub-sample partition it."""
+        low = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 50")
+        high = parse_query(
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 51 AND 100"
+        )
+        ledger = small_network.new_ledger()
+        replies = small_network.visit_multi_aggregate(
+            0, [low, high], sink=1, ledger=ledger, tuples_per_peer=25
+        )
+        total = replies[0].matching_count + replies[1].matching_count
+        assert total == pytest.approx(replies[0].local_tuples)
+
+    def test_empty_queries_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            small_network.visit_multi_aggregate(
+                0, [], sink=1, ledger=small_network.new_ledger()
+            )

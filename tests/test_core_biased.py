@@ -1,0 +1,152 @@
+"""Tests for biased (importance) sampling (§6 open problem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import (
+    BiasedConfig,
+    BiasedSamplingEngine,
+    biased_engine_for_query,
+    probe_weights,
+)
+from repro.errors import ConfigurationError, SamplingError
+from repro.network.walker import WeightedMetropolisWalker
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+SELECTIVE = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 3")
+BROAD = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+
+
+class TestBiasedConfig:
+    def test_defaults(self):
+        config = BiasedConfig()
+        assert config.peers_to_visit == 60
+        assert config.jump == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BiasedConfig(peers_to_visit=1)
+        with pytest.raises(ConfigurationError):
+            BiasedConfig(tuples_per_peer=-1)
+
+
+class TestProbeWeights:
+    def test_shape_and_floor(self, small_network):
+        weights = probe_weights(
+            small_network, SELECTIVE, probe_tuples=5, floor=0.2, seed=1
+        )
+        assert weights.shape == (small_network.num_peers,)
+        assert np.all(weights >= 0.2)
+
+    def test_weights_track_matching_density(self, small_network):
+        """Peers holding matching tuples must get higher weights on
+        average than peers without any."""
+        weights = probe_weights(
+            small_network, BROAD, probe_tuples=20, floor=0.1, seed=1
+        )
+        has_match = np.array([
+            bool(
+                BROAD.predicate.mask(
+                    small_network.database(p).scan()
+                ).any()
+            )
+            for p in range(small_network.num_peers)
+        ])
+        if has_match.any() and (~has_match).any():
+            assert weights[has_match].mean() > weights[~has_match].mean()
+
+    def test_validations(self, small_network):
+        with pytest.raises(ConfigurationError):
+            probe_weights(small_network, BROAD, probe_tuples=0)
+        with pytest.raises(ConfigurationError):
+            probe_weights(small_network, BROAD, floor=0.0)
+
+
+class TestWeightedMetropolisWalker:
+    def test_rejects_bad_weights(self, small_topology):
+        with pytest.raises(ConfigurationError):
+            WeightedMetropolisWalker(
+                small_topology, np.zeros(small_topology.num_peers)
+            )
+        with pytest.raises(ConfigurationError):
+            WeightedMetropolisWalker(small_topology, np.ones(3))
+
+    def test_stationary_matches_weights(self, small_topology):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.5, 2.0, small_topology.num_peers)
+        walker = WeightedMetropolisWalker(
+            small_topology, weights, seed=1
+        )
+        pi = walker.stationary_probabilities()
+        np.testing.assert_allclose(pi, weights / weights.sum())
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_empirical_convergence(self, tiny_topology):
+        weights = np.array([1.0, 1.0, 4.0, 1.0, 1.0])
+        walker = WeightedMetropolisWalker(tiny_topology, weights, seed=2)
+        empirical = walker.empirical_distribution(0, walks=4000, hops=40)
+        np.testing.assert_allclose(
+            empirical, weights / weights.sum(), atol=0.04
+        )
+
+
+class TestBiasedSamplingEngine:
+    def test_estimate_close_to_truth(self, small_network, small_dataset):
+        engine = biased_engine_for_query(
+            small_network, SELECTIVE, seed=4
+        )
+        truth = evaluate_exact(SELECTIVE, small_dataset.databases)
+        estimates = [
+            engine.execute(SELECTIVE, sink=0).estimate for _ in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.25)
+
+    def test_beats_plain_walk_on_selective_query(
+        self, small_network, small_dataset
+    ):
+        """For a selective query, importance weighting should shrink
+        the estimator spread at equal peer budget."""
+        from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+
+        truth = evaluate_exact(SELECTIVE, small_dataset.databases)
+        biased_errors = []
+        plain_errors = []
+        for seed in range(12):
+            biased = biased_engine_for_query(
+                small_network, SELECTIVE,
+                config=BiasedConfig(peers_to_visit=60),
+                seed=seed,
+            ).execute(SELECTIVE, sink=0)
+            biased_errors.append(abs(biased.estimate - truth))
+            plain_config = TwoPhaseConfig(
+                phase_one_peers=60, max_phase_two_peers=0
+            )
+            plain = TwoPhaseEngine(
+                small_network, config=plain_config, seed=seed
+            ).execute(SELECTIVE, delta_req=0.99, sink=0)
+            plain_errors.append(abs(plain.estimate - truth))
+        assert np.mean(biased_errors) < np.mean(plain_errors)
+
+    def test_median_rejected(self, small_network):
+        engine = biased_engine_for_query(small_network, BROAD, seed=1)
+        median = parse_query("SELECT MEDIAN(A) FROM T")
+        with pytest.raises(ConfigurationError):
+            engine.execute(median)
+
+    def test_result_shape(self, small_network):
+        engine = biased_engine_for_query(small_network, BROAD, seed=5)
+        result = engine.execute(BROAD, sink=0)
+        assert result.phase_two is None
+        assert result.total_peers_visited == 60
+        assert result.confidence_interval.half_width > 0
+        assert result.cost.hops > 0
+
+    def test_uniform_weights_recover_uniform_walk(self, small_network):
+        engine = BiasedSamplingEngine(
+            small_network,
+            np.ones(small_network.num_peers),
+            seed=6,
+        )
+        pi = engine.walker.stationary_probabilities()
+        np.testing.assert_allclose(pi, 1.0 / small_network.num_peers)

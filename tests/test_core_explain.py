@@ -1,0 +1,79 @@
+"""Tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.core.explain import ExplainReport, explain
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.errors import ConfigurationError
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+
+
+@pytest.fixture()
+def engine(small_network):
+    return TwoPhaseEngine(
+        small_network,
+        TwoPhaseConfig(max_phase_two_peers=400),
+        seed=11,
+    )
+
+
+class TestExplain:
+    def test_returns_report(self, engine):
+        report = explain(engine, COUNT_30, delta_req=0.1, sink=0)
+        assert isinstance(report, ExplainReport)
+        assert report.sniff_peers == 40
+        assert report.analysis.estimate > 0
+
+    def test_render_contains_plan_facts(self, engine):
+        report = explain(engine, COUNT_30, delta_req=0.1, sink=0)
+        text = report.render()
+        assert "EXPLAIN" in text
+        assert "phase I (sniff)" in text
+        assert "planned phase II" in text
+        assert "cost-optimal t" in text
+
+    def test_no_optimizer_when_disabled(self, engine):
+        report = explain(
+            engine, COUNT_30, delta_req=0.1, sink=0,
+            optimize_budget=False,
+        )
+        assert report.optimizer is None
+        assert "cost-optimal" not in report.render()
+
+    def test_tighter_delta_plans_more_peers(self, engine):
+        loose = explain(engine, COUNT_30, delta_req=0.25, sink=0)
+        tight = explain(engine, COUNT_30, delta_req=0.02, sink=0)
+        assert (
+            tight.planned_phase_two_peers
+            > loose.planned_phase_two_peers
+        )
+
+    def test_total_tuples_consistent(self, engine):
+        report = explain(engine, COUNT_30, delta_req=0.1, sink=0)
+        expected = (
+            report.sniff_peers + report.planned_phase_two_peers
+        ) * engine.config.tuples_per_peer
+        assert report.planned_total_tuples == expected
+
+    def test_median_rejected(self, engine):
+        median = parse_query("SELECT MEDIAN(A) FROM T")
+        with pytest.raises(ConfigurationError):
+            explain(engine, median, delta_req=0.1)
+
+    def test_plan_predicts_actual_execution(self, engine, small_network):
+        """The previewed phase-II size should be in the same ballpark
+        as what a real execution then performs."""
+        report = explain(engine, COUNT_30, delta_req=0.05, sink=0)
+        fresh = TwoPhaseEngine(
+            small_network,
+            TwoPhaseConfig(max_phase_two_peers=400),
+            seed=11,
+        )
+        result = fresh.execute(COUNT_30, delta_req=0.05, sink=0)
+        executed = (
+            result.phase_two.peers_visited if result.phase_two else 0
+        )
+        planned = report.planned_phase_two_peers
+        assert executed == pytest.approx(planned, rel=1.0, abs=30)

@@ -1,0 +1,125 @@
+"""Tests for the hybrid pre-computation engine (§6 open problem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import CachedPlan, HybridEngine
+from repro.core.two_phase import TwoPhaseConfig
+from repro.errors import ConfigurationError
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+SUM_ALL = parse_query("SELECT SUM(A) FROM T")
+
+
+@pytest.fixture()
+def engine(small_network):
+    return HybridEngine(
+        small_network,
+        TwoPhaseConfig(max_phase_two_peers=400),
+        seed=7,
+    )
+
+
+class TestConstruction:
+    def test_validation(self, small_network):
+        with pytest.raises(ConfigurationError):
+            HybridEngine(small_network, max_age=0)
+        with pytest.raises(ConfigurationError):
+            HybridEngine(small_network, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            HybridEngine(small_network, decay=-0.1)
+
+
+class TestCaching:
+    def test_first_run_is_cold(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        assert engine.cold_runs == 1
+        assert engine.warm_runs == 0
+        assert engine.cached_plan(COUNT_30) is not None
+
+    def test_repeat_runs_are_warm(self, engine):
+        for _ in range(4):
+            engine.execute(COUNT_30, 0.1, sink=0)
+        assert engine.cold_runs == 1
+        assert engine.warm_runs == 3
+
+    def test_signatures_are_separate(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        engine.execute(SUM_ALL, 0.1, sink=0)
+        assert engine.cold_runs == 2
+        assert engine.cached_plan(COUNT_30) is not engine.cached_plan(
+            SUM_ALL
+        )
+
+    def test_invalidate_one(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        engine.invalidate(COUNT_30)
+        assert engine.cached_plan(COUNT_30) is None
+        engine.execute(COUNT_30, 0.1, sink=0)
+        assert engine.cold_runs == 2
+
+    def test_invalidate_all(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        engine.execute(SUM_ALL, 0.1, sink=0)
+        engine.invalidate()
+        assert engine.cached_plan(COUNT_30) is None
+        assert engine.cached_plan(SUM_ALL) is None
+
+    def test_max_age_forces_cold_refresh(self, small_network):
+        engine = HybridEngine(
+            small_network,
+            TwoPhaseConfig(max_phase_two_peers=400),
+            seed=7,
+            max_age=2,
+        )
+        for _ in range(5):
+            engine.execute(COUNT_30, 0.1, sink=0)
+        assert engine.cold_runs >= 2
+
+    def test_plan_refreshes_statistics(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        before = engine.cached_plan(COUNT_30).mean_squared_cv_error
+        engine.execute(COUNT_30, 0.1, sink=0)
+        plan = engine.cached_plan(COUNT_30)
+        assert plan.uses == 1
+        # Refreshed statistics blend; exact equality would mean the
+        # refresh never happened.
+        assert plan.mean_squared_cv_error != before
+
+
+class TestAccuracyAndCost:
+    def test_warm_runs_stay_accurate(self, engine, small_dataset):
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        n = small_dataset.num_tuples
+        errors = []
+        for _ in range(8):
+            result = engine.execute(COUNT_30, 0.1, sink=0)
+            errors.append(abs(result.estimate - truth) / n)
+        assert np.mean(errors[1:]) <= 0.1  # warm runs
+
+    def test_warm_runs_cost_no_more_than_cold(self, engine):
+        cold = engine.execute(COUNT_30, 0.1, sink=0)
+        warm_costs = [
+            engine.execute(COUNT_30, 0.1, sink=0).total_peers_visited
+            for _ in range(4)
+        ]
+        assert np.mean(warm_costs) <= cold.total_peers_visited
+
+    def test_warm_result_shape(self, engine):
+        engine.execute(COUNT_30, 0.1, sink=0)
+        warm = engine.execute(COUNT_30, 0.1, sink=0)
+        assert warm.phase_two is None
+        assert warm.confidence_interval.half_width > 0
+        assert warm.cost.peers_visited == warm.total_peers_visited
+
+
+class TestCachedPlan:
+    def test_refresh_blends(self):
+        plan = CachedPlan(
+            mean_squared_cv_error=10.0, half_size=20, scale=100.0
+        )
+        plan.refresh(squared_cv=20.0, scale=200.0, decay=0.5)
+        assert plan.mean_squared_cv_error == 15.0
+        assert plan.scale == 150.0

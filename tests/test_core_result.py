@@ -1,0 +1,81 @@
+"""Tests for the result containers (repro.core.result)."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceInterval
+from repro.core.result import ApproximateResult, MedianResult, PhaseReport
+from repro.metrics.cost import QueryCost
+from repro.query.parser import parse_query
+
+QUERY = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+MEDIAN_QUERY = parse_query("SELECT MEDIAN(A) FROM T")
+
+
+def make_result(phase_two=None, estimate=100.0):
+    return ApproximateResult(
+        query=QUERY,
+        estimate=estimate,
+        delta_req=0.1,
+        scale=1000.0,
+        confidence_interval=ConfidenceInterval(
+            estimate=estimate, half_width=5.0, confidence=0.95
+        ),
+        phase_one=PhaseReport(
+            peers_visited=40, tuples_sampled=1000, hops=400, estimate=99.0
+        ),
+        phase_two=phase_two,
+        cost=QueryCost(peers_visited=40),
+    )
+
+
+class TestApproximateResult:
+    def test_totals_single_phase(self):
+        result = make_result()
+        assert result.total_peers_visited == 40
+        assert result.total_tuples_sampled == 1000
+
+    def test_totals_two_phases(self):
+        second = PhaseReport(
+            peers_visited=25, tuples_sampled=625, hops=250, estimate=101.0
+        )
+        result = make_result(phase_two=second)
+        assert result.total_peers_visited == 65
+        assert result.total_tuples_sampled == 1625
+
+    def test_normalized_error(self):
+        result = make_result(estimate=110.0)
+        assert result.normalized_error(truth=100.0) == pytest.approx(0.01)
+
+    def test_str_mentions_query_and_cost(self):
+        text = str(make_result())
+        assert "COUNT" in text
+        assert "40 peers" in text
+
+    def test_immutable(self):
+        result = make_result()
+        with pytest.raises(AttributeError):
+            result.estimate = 1.0
+
+
+class TestMedianResult:
+    def test_totals(self):
+        result = MedianResult(
+            query=MEDIAN_QUERY,
+            estimate=42.0,
+            delta_req=0.1,
+            rank_error_estimate=0.05,
+            phase_one=PhaseReport(
+                peers_visited=40, tuples_sampled=1000, hops=400
+            ),
+            phase_two=PhaseReport(
+                peers_visited=10, tuples_sampled=250, hops=100
+            ),
+            cost=QueryCost(),
+        )
+        assert result.total_peers_visited == 50
+        assert result.total_tuples_sampled == 1250
+        assert "MEDIAN" in str(result)
+
+    def test_phase_report_defaults(self):
+        report = PhaseReport(peers_visited=1, tuples_sampled=2, hops=3)
+        assert report.estimate is None

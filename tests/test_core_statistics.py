@@ -1,0 +1,155 @@
+"""Tests for the histogram / distinct-value engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import (
+    DistinctResult,
+    HistogramResult,
+    StatisticsConfig,
+    StatisticsEngine,
+)
+from repro.errors import ConfigurationError, SamplingError
+from repro.query.model import Between
+
+
+@pytest.fixture()
+def engine(small_network):
+    return StatisticsEngine(small_network, seed=3)
+
+
+class TestStatisticsConfig:
+    def test_defaults(self):
+        config = StatisticsConfig()
+        assert config.phase_one_peers == 40
+        assert config.tuples_per_peer == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StatisticsConfig(phase_one_peers=2)
+        with pytest.raises(ConfigurationError):
+            StatisticsConfig(tuples_per_peer=-1)
+        with pytest.raises(ConfigurationError):
+            StatisticsConfig(cross_validation_rounds=0)
+
+
+class TestHistogram:
+    def test_shape(self, engine):
+        result = engine.histogram(
+            "A", num_buckets=10, value_range=(1, 100), sink=0
+        )
+        assert isinstance(result, HistogramResult)
+        assert result.num_buckets == 10
+        assert result.edges.shape == (11,)
+        assert result.counts.shape == (10,)
+        assert result.total_estimate == pytest.approx(
+            float(result.counts.sum())
+        )
+
+    def test_close_to_truth(self, engine, small_network, small_dataset):
+        result = engine.histogram(
+            "A", num_buckets=10, value_range=(1, 100),
+            delta_req=0.1, sink=0,
+        )
+        true_counts, _ = np.histogram(
+            small_dataset.values, bins=result.edges
+        )
+        tv = result.total_variation_distance(true_counts)
+        assert tv <= 0.1
+
+    def test_total_close_to_n(self, engine, small_dataset):
+        result = engine.histogram(
+            "A", num_buckets=10, value_range=(1, 100), sink=0
+        )
+        assert result.total_estimate == pytest.approx(
+            small_dataset.num_tuples, rel=0.2
+        )
+
+    def test_predicate_filters(self, engine, small_dataset):
+        result = engine.histogram(
+            "A", num_buckets=5, value_range=(1, 100),
+            predicate=Between(column="A", low=1, high=50), sink=0,
+        )
+        # Buckets above 50 must be (nearly) empty.
+        upper_mass = result.counts[-2:].sum()
+        assert upper_mass <= 0.02 * max(result.total_estimate, 1.0)
+
+    def test_auto_range(self, engine):
+        result = engine.histogram("A", num_buckets=4, sink=0)
+        assert result.edges[0] >= 1
+        assert result.edges[-1] <= 101
+
+    def test_normalized_sums_to_one(self, engine):
+        result = engine.histogram(
+            "A", num_buckets=8, value_range=(1, 100), sink=0
+        )
+        assert result.normalized().sum() == pytest.approx(1.0)
+
+    def test_tv_distance_validations(self, engine):
+        result = engine.histogram(
+            "A", num_buckets=4, value_range=(1, 100), sink=0
+        )
+        with pytest.raises(ConfigurationError):
+            result.total_variation_distance(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            result.total_variation_distance(np.zeros(4))
+
+    def test_invalid_params(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.histogram("A", num_buckets=0, sink=0)
+        with pytest.raises(SamplingError):
+            engine.histogram("A", delta_req=0.0, sink=0)
+        with pytest.raises(ConfigurationError):
+            engine.histogram("A", value_range=(5, 5), sink=0)
+
+    def test_cost_accounts_bandwidth(self, engine):
+        result = engine.histogram(
+            "A", num_buckets=4, value_range=(1, 100), sink=0
+        )
+        # Raw samples ship back: bandwidth must dwarf a COUNT reply.
+        assert result.cost.bytes_sent > 1000
+
+    def test_phase_two_triggers_on_clustered_data(self, small_network):
+        engine = StatisticsEngine(
+            small_network,
+            StatisticsConfig(phase_one_peers=8),
+            seed=5,
+        )
+        result = engine.histogram(
+            "A", num_buckets=10, value_range=(1, 100),
+            delta_req=0.02, sink=0,
+        )
+        assert result.phase_two is not None
+
+
+class TestDistinct:
+    def test_finds_full_domain(self, engine):
+        # 10k tuples over domain 1..100: the sample sees everything.
+        result = engine.distinct_values("A", sink=0)
+        assert isinstance(result, DistinctResult)
+        assert result.observed >= 95
+        assert result.chao1 >= result.observed
+
+    def test_predicate_restricts_domain(self, engine):
+        result = engine.distinct_values(
+            "A", predicate=Between(column="A", low=1, high=10), sink=0
+        )
+        assert result.observed <= 10
+
+    def test_chao1_corrects_upward_with_singletons(self, small_network):
+        # A tiny budget leaves rare values unseen -> singletons exist
+        # and Chao1 exceeds the observed count.
+        engine = StatisticsEngine(
+            small_network,
+            StatisticsConfig(phase_one_peers=4, tuples_per_peer=3),
+            seed=11,
+        )
+        result = engine.distinct_values("A", sink=0)
+        assert result.observed < 100
+        if result.singletons > 0:
+            assert result.chao1 > result.observed
+
+    def test_reports_cost(self, engine):
+        result = engine.distinct_values("A", sink=0)
+        assert result.cost.peers_visited == engine.config.phase_one_peers
+        assert result.phase_one.tuples_sampled > 0

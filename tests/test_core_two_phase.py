@@ -1,0 +1,235 @@
+"""Integration tests for the two-phase engine (the paper's algorithm)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.errors import ConfigurationError
+from repro.query.exact import evaluate_exact
+from repro.query.model import AggregateOp, AggregationQuery, Between
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+SUM_ALL = parse_query("SELECT SUM(A) FROM T")
+AVG_ALL = parse_query("SELECT AVG(A) FROM T")
+
+
+class TestTwoPhaseConfig:
+    def test_defaults(self):
+        config = TwoPhaseConfig()
+        assert config.phase_one_peers == 40
+        assert config.tuples_per_peer == 25
+        assert config.jump == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig(phase_one_peers=3)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig(tuples_per_peer=-1)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig(cross_validation_rounds=0)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig(sampling_method="psychic")
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig(max_phase_two_peers=-1)
+
+    def test_from_initial_sample_size(self):
+        config = TwoPhaseConfig.from_initial_sample_size(
+            1000, tuples_per_peer=25
+        )
+        assert config.phase_one_peers == 40
+
+    def test_from_initial_sample_size_floor(self):
+        config = TwoPhaseConfig.from_initial_sample_size(
+            10, tuples_per_peer=25
+        )
+        assert config.phase_one_peers == 4
+
+    def test_from_initial_needs_positive_t(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseConfig.from_initial_sample_size(100, tuples_per_peer=0)
+
+    def test_walk_config(self):
+        config = TwoPhaseConfig(jump=7, walk_variant="lazy")
+        walk = config.walk_config()
+        assert walk.jump == 7
+        assert walk.variant == "lazy"
+
+
+class TestExecution:
+    def test_count_within_requirement(self, small_network, small_dataset):
+        engine = TwoPhaseEngine(small_network, seed=1)
+        result = engine.execute(COUNT_30, delta_req=0.1, sink=0)
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        error = abs(result.estimate - truth) / small_dataset.num_tuples
+        assert error <= 0.1
+
+    def test_sum_within_requirement(self, small_network, small_dataset):
+        engine = TwoPhaseEngine(small_network, seed=2)
+        result = engine.execute(SUM_ALL, delta_req=0.1, sink=0)
+        truth = evaluate_exact(SUM_ALL, small_dataset.databases)
+        error = abs(result.estimate - truth) / small_dataset.total_sum()
+        assert error <= 0.1
+
+    def test_avg_close_to_truth(self, small_network, small_dataset):
+        engine = TwoPhaseEngine(small_network, seed=3)
+        result = engine.execute(AVG_ALL, delta_req=0.1, sink=0)
+        truth = evaluate_exact(AVG_ALL, small_dataset.databases)
+        assert result.estimate == pytest.approx(truth, rel=0.25)
+
+    def test_median_rejected(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=1)
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        with pytest.raises(ConfigurationError):
+            engine.execute(query, delta_req=0.1)
+
+    def test_result_structure(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=4)
+        result = engine.execute(COUNT_30, delta_req=0.15, sink=0)
+        assert result.query is COUNT_30
+        assert result.delta_req == 0.15
+        assert result.scale > 0
+        assert result.phase_one.peers_visited == 40
+        assert result.phase_one.tuples_sampled > 0
+        assert result.cost.peers_visited == result.total_peers_visited
+        assert result.confidence_interval.half_width > 0
+
+    def test_phase_two_runs_when_needed(self, small_network):
+        config = TwoPhaseConfig(phase_one_peers=8)
+        engine = TwoPhaseEngine(small_network, config=config, seed=5)
+        result = engine.execute(COUNT_30, delta_req=0.02, sink=0)
+        assert result.phase_two is not None
+        assert result.phase_two.peers_visited > 0
+
+    def test_phase_two_skipped_when_sample_suffices(self, regular_topology):
+        """Identical partitions on a regular graph make every ratio
+        equal, so CVError = 0 and phase II must be skipped."""
+        from repro.data.localdb import LocalDatabase
+        from repro.network.simulator import NetworkSimulator
+
+        databases = [
+            LocalDatabase({"A": np.full(20, 10)})
+            for _ in range(regular_topology.num_peers)
+        ]
+        network = NetworkSimulator(regular_topology, databases, seed=1)
+        engine = TwoPhaseEngine(network, seed=6)
+        result = engine.execute(COUNT_30, delta_req=0.5, sink=0)
+        assert result.phase_two is None
+
+    def test_tighter_delta_costs_more(self, small_network):
+        def total_sampled(delta, seed):
+            engine = TwoPhaseEngine(small_network, seed=seed)
+            return engine.execute(
+                COUNT_30, delta_req=delta, sink=0
+            ).total_tuples_sampled
+
+        loose = np.mean([total_sampled(0.25, s) for s in range(5)])
+        tight = np.mean([total_sampled(0.03, s) for s in range(5)])
+        assert tight > loose
+
+    def test_random_sink_when_omitted(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=7)
+        result = engine.execute(COUNT_30, delta_req=0.2)
+        assert result.estimate > 0
+
+    def test_pool_phases_false_uses_phase_two_only(self, small_network):
+        config = TwoPhaseConfig(
+            phase_one_peers=8, pool_phases=False
+        )
+        engine = TwoPhaseEngine(small_network, config=config, seed=8)
+        result = engine.execute(COUNT_30, delta_req=0.05, sink=0)
+        assert result.phase_two is not None
+        assert result.estimate == pytest.approx(
+            result.phase_two.estimate
+        )
+
+    def test_deterministic_given_seed(self, small_network):
+        a = TwoPhaseEngine(small_network, seed=99).execute(
+            COUNT_30, delta_req=0.1, sink=0
+        )
+        b = TwoPhaseEngine(small_network, seed=99).execute(
+            COUNT_30, delta_req=0.1, sink=0
+        )
+        assert a.estimate == b.estimate
+
+    def test_block_sampling_method(self, small_network, small_dataset):
+        config = TwoPhaseConfig(sampling_method="block")
+        engine = TwoPhaseEngine(small_network, config=config, seed=9)
+        result = engine.execute(COUNT_30, delta_req=0.1, sink=0)
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        error = abs(result.estimate - truth) / small_dataset.num_tuples
+        assert error <= 0.1
+
+    def test_cost_accounting_hops_match_walks(self, small_network):
+        config = TwoPhaseConfig(jump=5)
+        engine = TwoPhaseEngine(small_network, config=config, seed=10)
+        result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
+        expected_hops = result.phase_one.hops
+        if result.phase_two:
+            expected_hops += result.phase_two.hops
+        assert result.cost.hops == expected_hops
+
+    def test_analyze_only(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=11)
+        analysis = engine.analyze_only(COUNT_30, delta_req=0.1, sink=0)
+        assert analysis.estimate > 0
+        assert analysis.plan.tuples_per_peer == 25
+
+    def test_self_inclusive_variant_still_accurate(
+        self, small_network, small_dataset
+    ):
+        config = TwoPhaseConfig(walk_variant="self-inclusive")
+        engine = TwoPhaseEngine(small_network, config=config, seed=12)
+        result = engine.execute(COUNT_30, delta_req=0.1, sink=0)
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        error = abs(result.estimate - truth) / small_dataset.num_tuples
+        assert error <= 0.1
+
+    def test_result_str(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=13)
+        result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
+        text = str(result)
+        assert "COUNT" in text
+        assert "peers" in text
+
+
+class TestStatisticalGuarantee:
+    def test_error_within_delta_most_of_the_time(
+        self, small_network, small_dataset
+    ):
+        """Across independent runs, the normalized error should sit
+        within delta_req in the vast majority of cases."""
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        n = small_dataset.num_tuples
+        within = 0
+        runs = 20
+        for seed in range(runs):
+            engine = TwoPhaseEngine(small_network, seed=seed)
+            result = engine.execute(COUNT_30, delta_req=0.1)
+            if abs(result.estimate - truth) / n <= 0.1:
+                within += 1
+        assert within >= runs - 2
+
+
+class TestDistinctPeersAndRiskFlag:
+    def test_distinct_peers_mode(self, small_network):
+        config = TwoPhaseConfig(distinct_peers=True, max_phase_two_peers=50)
+        engine = TwoPhaseEngine(small_network, config=config, seed=21)
+        result = engine.execute(COUNT_30, delta_req=0.1, sink=0)
+        assert result.estimate > 0
+        # With replacement disabled, phase I visits 40 distinct peers.
+        assert result.cost.distinct_peers >= 40
+
+    def test_accuracy_at_risk_flag(self, small_network):
+        config = TwoPhaseConfig(max_phase_two_peers=1)
+        engine = TwoPhaseEngine(small_network, config=config, seed=22)
+        result = engine.execute(COUNT_30, delta_req=0.005, sink=0)
+        assert result.accuracy_at_risk
+
+    def test_not_at_risk_when_uncapped(self, small_network):
+        config = TwoPhaseConfig(max_phase_two_peers=10_000)
+        engine = TwoPhaseEngine(small_network, config=config, seed=23)
+        result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
+        assert not result.accuracy_at_risk

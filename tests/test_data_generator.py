@@ -1,0 +1,167 @@
+"""Unit tests for repro.data.generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    DatasetConfig,
+    arrange_cluster_level,
+    generate_dataset,
+)
+from repro.data.placement import PlacementConfig
+from repro.errors import ConfigurationError
+
+
+class TestDatasetConfig:
+    def test_defaults(self):
+        config = DatasetConfig()
+        assert config.num_values == 100
+        assert config.column == "A"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(cluster_level=1.5)
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(skew=-1)
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(num_tuples=-5)
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(block_size=0)
+
+    def test_distribution_property(self):
+        config = DatasetConfig(num_values=50, skew=1.0)
+        dist = config.distribution
+        assert dist.num_values == 50
+        assert dist.skew == 1.0
+
+
+class TestArrangeClusterLevel:
+    def test_zero_is_sorted(self, rng):
+        values = rng.integers(1, 100, size=1000)
+        arranged = arrange_cluster_level(values, 0.0, rng)
+        assert np.all(np.diff(arranged) >= 0)
+
+    def test_one_is_permutation(self, rng):
+        values = np.arange(1000)
+        arranged = arrange_cluster_level(values.copy(), 1.0, rng)
+        assert not np.all(np.diff(arranged) >= 0)
+        np.testing.assert_array_equal(np.sort(arranged), values)
+
+    def test_intermediate_preserves_multiset(self, rng):
+        values = rng.integers(1, 100, size=1000)
+        arranged = arrange_cluster_level(values, 0.5, rng)
+        np.testing.assert_array_equal(
+            np.sort(arranged), np.sort(values)
+        )
+
+    def test_sortedness_decreases_with_cluster_level(self, rng):
+        """Higher CL = fewer positions in sorted order."""
+        values = np.random.default_rng(1).integers(1, 100, size=5000)
+
+        def sortedness(arr):
+            return float(np.mean(np.diff(arr) >= 0))
+
+        scores = []
+        for cluster_level in (0.0, 0.3, 0.7, 1.0):
+            local_rng = np.random.default_rng(2)
+            scores.append(
+                sortedness(
+                    arrange_cluster_level(values, cluster_level, local_rng)
+                )
+            )
+        assert scores[0] >= scores[1] >= scores[2] >= scores[3]
+
+    def test_tiny_arrays(self, rng):
+        np.testing.assert_array_equal(
+            arrange_cluster_level(np.array([5]), 0.5, rng), [5]
+        )
+        assert arrange_cluster_level(np.array([]), 0.5, rng).size == 0
+
+    def test_invalid_level(self, rng):
+        with pytest.raises(ConfigurationError):
+            arrange_cluster_level(np.arange(5), 2.0, rng)
+
+
+class TestGenerateDataset:
+    def test_counts(self, small_topology):
+        dataset = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=5000), seed=1
+        )
+        assert dataset.num_tuples == 5000
+        assert len(dataset.databases) == small_topology.num_peers
+        assert sum(db.num_tuples for db in dataset.databases) == 5000
+
+    def test_values_in_domain(self, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(num_tuples=5000, num_values=100),
+            seed=1,
+        )
+        assert dataset.values.min() >= 1
+        assert dataset.values.max() <= 100
+
+    def test_column_name_respected(self, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(num_tuples=100, column="price"),
+            seed=1,
+        )
+        assert dataset.databases[0].column_names == ["price"]
+        assert dataset.column == "price"
+
+    def test_deterministic(self, small_topology):
+        a = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=1000), seed=9
+        )
+        b = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=1000), seed=9
+        )
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_total_sum_matches_global_array(self, small_dataset):
+        per_peer = sum(
+            db.column("A").sum() for db in small_dataset.databases
+        )
+        assert small_dataset.total_sum() == pytest.approx(float(per_peer))
+
+    def test_tuples_at(self, small_dataset):
+        assert small_dataset.tuples_at(0) == (
+            small_dataset.databases[0].num_tuples
+        )
+
+    def test_clustered_data_concentrates_values_per_peer(self, small_topology):
+        """At CL=0 each peer holds a narrow value range; at CL=1 a wide
+        one.  Mean per-peer value std must be much smaller at CL=0."""
+        def mean_std(cluster_level):
+            dataset = generate_dataset(
+                small_topology,
+                DatasetConfig(
+                    num_tuples=20_000, cluster_level=cluster_level
+                ),
+                seed=3,
+            )
+            stds = [
+                float(np.std(db.column("A")))
+                for db in dataset.databases
+                if db.num_tuples > 1
+            ]
+            return float(np.mean(stds))
+
+        assert mean_std(0.0) < 0.3 * mean_std(1.0)
+
+    def test_custom_placement(self, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(num_tuples=1000),
+            placement=PlacementConfig(order="random"),
+            seed=1,
+        )
+        assert dataset.num_tuples == 1000
+
+    def test_block_size_propagates(self, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(num_tuples=1000, block_size=7),
+            seed=1,
+        )
+        assert dataset.databases[0].block_size == 7

@@ -1,0 +1,174 @@
+"""Unit tests for repro.data.localdb."""
+
+import numpy as np
+import pytest
+
+from repro.data.localdb import Block, LocalDatabase
+from repro.errors import ConfigurationError, SamplingError
+
+
+@pytest.fixture()
+def database():
+    return LocalDatabase(
+        {"A": np.arange(100), "B": np.arange(100) * 2}, block_size=10
+    )
+
+
+class TestConstruction:
+    def test_basic(self, database):
+        assert database.num_tuples == 100
+        assert database.block_size == 10
+        assert database.num_blocks == 10
+        assert sorted(database.column_names) == ["A", "B"]
+
+    def test_len(self, database):
+        assert len(database) == 100
+
+    def test_repr(self, database):
+        assert "tuples=100" in repr(database)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalDatabase({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalDatabase({"A": np.arange(5), "B": np.arange(6)})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalDatabase({"A": np.zeros((3, 3))})
+
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalDatabase({"A": np.arange(5)}, block_size=0)
+
+    def test_empty_database(self):
+        database = LocalDatabase({"A": np.array([])})
+        assert database.num_tuples == 0
+        assert database.num_blocks == 0
+
+
+class TestBlocks:
+    def test_block_layout(self, database):
+        blocks = list(database.blocks())
+        assert len(blocks) == 10
+        assert blocks[0] == Block(index=0, start=0, stop=10)
+        assert all(b.num_tuples == 10 for b in blocks)
+
+    def test_short_last_block(self):
+        database = LocalDatabase({"A": np.arange(25)}, block_size=10)
+        blocks = list(database.blocks())
+        assert len(blocks) == 3
+        assert blocks[-1].num_tuples == 5
+
+
+class TestAccess:
+    def test_column_readonly(self, database):
+        with pytest.raises(ValueError):
+            database.column("A")[0] = 99
+
+    def test_unknown_column(self, database):
+        with pytest.raises(ConfigurationError):
+            database.column("Z")
+
+    def test_scan_returns_all(self, database):
+        columns = database.scan()
+        assert set(columns) == {"A", "B"}
+        assert columns["A"].shape == (100,)
+
+    def test_rows(self, database):
+        rows = database.rows(np.array([0, 50, 99]))
+        np.testing.assert_array_equal(rows["A"], [0, 50, 99])
+        np.testing.assert_array_equal(rows["B"], [0, 100, 198])
+
+    def test_rows_out_of_range(self, database):
+        with pytest.raises(ConfigurationError):
+            database.rows(np.array([100]))
+
+
+class TestUniformSampling:
+    def test_sample_size(self, database):
+        indices = database.uniform_sample_indices(20, seed=1)
+        assert indices.shape == (20,)
+
+    def test_without_replacement(self, database):
+        indices = database.uniform_sample_indices(50, seed=1)
+        assert len(set(indices.tolist())) == 50
+
+    def test_oversized_request_returns_all(self, database):
+        indices = database.uniform_sample_indices(500, seed=1)
+        np.testing.assert_array_equal(indices, np.arange(100))
+
+    def test_deterministic(self, database):
+        a = database.uniform_sample_indices(10, seed=3)
+        b = database.uniform_sample_indices(10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_rejected(self, database):
+        with pytest.raises(SamplingError):
+            database.uniform_sample_indices(-1)
+
+    def test_coverage_over_trials(self, database):
+        """Uniform sampling must reach all regions of the partition."""
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(50):
+            seen.update(
+                database.uniform_sample_indices(10, seed=rng).tolist()
+            )
+        assert len(seen) > 90
+
+
+class TestBlockSampling:
+    def test_sample_size_exact(self, database):
+        indices = database.block_sample_indices(25, seed=1)
+        assert indices.shape == (25,)
+
+    def test_samples_are_whole_blocks(self, database):
+        indices = database.block_sample_indices(30, seed=1)
+        blocks_touched = set(indices // 10)
+        # 30 tuples = exactly 3 blocks of 10
+        assert len(blocks_touched) == 3
+        for block in blocks_touched:
+            block_rows = set(range(block * 10, block * 10 + 10))
+            assert block_rows <= set(indices.tolist()) or (
+                len(block_rows & set(indices.tolist())) > 0
+            )
+
+    def test_partial_final_block_truncated(self, database):
+        indices = database.block_sample_indices(15, seed=1)
+        assert indices.shape == (15,)
+
+    def test_oversized_returns_all(self, database):
+        indices = database.block_sample_indices(1000, seed=1)
+        np.testing.assert_array_equal(indices, np.arange(100))
+
+    def test_negative_rejected(self, database):
+        with pytest.raises(SamplingError):
+            database.block_sample_indices(-5)
+
+    def test_block_sample_fewer_distinct_blocks_than_uniform(self):
+        """The point of block sampling: it touches far fewer blocks."""
+        database = LocalDatabase({"A": np.arange(1000)}, block_size=10)
+        block_indices = database.block_sample_indices(100, seed=7)
+        uniform_indices = database.uniform_sample_indices(100, seed=7)
+        assert len(set(block_indices // 10)) < len(set(uniform_indices // 10))
+
+
+class TestSampleDispatch:
+    def test_uniform_method(self, database):
+        columns = database.sample(10, method="uniform", seed=1)
+        assert columns["A"].shape == (10,)
+
+    def test_block_method(self, database):
+        columns = database.sample(10, method="block", seed=1)
+        assert columns["A"].shape == (10,)
+
+    def test_columns_stay_aligned(self, database):
+        columns = database.sample(20, method="uniform", seed=2)
+        np.testing.assert_array_equal(columns["B"], columns["A"] * 2)
+
+    def test_unknown_method(self, database):
+        with pytest.raises(ConfigurationError):
+            database.sample(10, method="psychic")

@@ -1,0 +1,110 @@
+"""Unit tests for repro.data.placement."""
+
+import numpy as np
+import pytest
+
+from repro.data.placement import (
+    PlacementConfig,
+    assign_tuples_to_peers,
+    peer_slices,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlacementConfig:
+    def test_defaults(self):
+        config = PlacementConfig()
+        assert config.order == "bfs"
+        assert config.size_distribution == "uniform"
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            PlacementConfig(order="spiral")
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ConfigurationError):
+            PlacementConfig(size_distribution="cauchy")
+
+
+class TestPeerSlices:
+    def test_slices_partition_everything(self, small_topology):
+        slices = peer_slices(10_000, small_topology, seed=1)
+        total = sum(stop - start for start, stop in slices)
+        assert total == 10_000
+        assert len(slices) == small_topology.num_peers
+
+    def test_uniform_sizes_nearly_equal(self, small_topology):
+        slices = peer_slices(10_000, small_topology, seed=1)
+        sizes = [stop - start for start, stop in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_lognormal_sizes_vary(self, small_topology):
+        config = PlacementConfig(size_distribution="lognormal")
+        slices = peer_slices(10_000, small_topology, config=config, seed=1)
+        sizes = [stop - start for start, stop in slices]
+        assert sum(sizes) == 10_000
+        assert max(sizes) > 2 * min(sizes)
+
+    def test_bfs_order_adjacent_peers_adjacent_data(self, tiny_topology):
+        """Under BFS placement from peer 0, a peer's slice must be
+        adjacent (in the global array) to a graph-neighbor's slice."""
+        slices = peer_slices(
+            50, tiny_topology, PlacementConfig(order="bfs"), seed=1
+        )
+        # BFS from 0 visits 0, then {1, 2}, then 3, then 4.
+        order = sorted(range(5), key=lambda p: slices[p][0])
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 2}
+        assert order[3:] == [3, 4]
+
+    def test_id_order(self, tiny_topology):
+        slices = peer_slices(
+            50, tiny_topology, PlacementConfig(order="id"), seed=1
+        )
+        starts = [start for start, _ in slices]
+        assert starts == sorted(starts)
+
+    def test_random_order_differs_from_id(self, small_topology):
+        id_slices = peer_slices(
+            10_000, small_topology, PlacementConfig(order="id"), seed=1
+        )
+        random_slices = peer_slices(
+            10_000, small_topology, PlacementConfig(order="random"), seed=1
+        )
+        assert id_slices != random_slices
+
+    def test_zero_tuples(self, tiny_topology):
+        slices = peer_slices(0, tiny_topology, seed=1)
+        assert all(start == stop for start, stop in slices)
+
+    def test_negative_rejected(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            peer_slices(-1, tiny_topology)
+
+    def test_disconnected_graph_still_covered(self):
+        from repro.network.topology import Topology
+        topology = Topology(4, [(0, 1)])  # peers 2, 3 unreachable
+        slices = peer_slices(40, topology, seed=1)
+        assert sum(stop - start for start, stop in slices) == 40
+        assert all(stop > start for start, stop in slices)
+
+
+class TestAssignTuples:
+    def test_round_trip(self, tiny_topology):
+        values = np.arange(50)
+        parts = assign_tuples_to_peers(
+            values, tiny_topology, PlacementConfig(order="id"), seed=1
+        )
+        np.testing.assert_array_equal(np.concatenate(parts), values)
+
+    def test_parts_are_copies(self, tiny_topology):
+        values = np.arange(50)
+        parts = assign_tuples_to_peers(values, tiny_topology, seed=1)
+        parts[0][:] = -1
+        assert values[0] != -1
+
+    def test_one_part_per_peer(self, small_topology):
+        parts = assign_tuples_to_peers(
+            np.arange(1000), small_topology, seed=1
+        )
+        assert len(parts) == small_topology.num_peers

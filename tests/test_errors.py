@@ -1,0 +1,43 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    ChurnError,
+    ConfigurationError,
+    ProtocolError,
+    QueryError,
+    QueryParseError,
+    ReproError,
+    SamplingError,
+    TopologyError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    TopologyError,
+    QueryError,
+    QueryParseError,
+    SamplingError,
+    ProtocolError,
+    ChurnError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_derives_from_repro_error(error_class):
+    assert issubclass(error_class, ReproError)
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_catchable_as_repro_error(error_class):
+    with pytest.raises(ReproError):
+        raise error_class("boom")
+
+
+def test_parse_error_is_query_error():
+    assert issubclass(QueryParseError, QueryError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.experiments.configs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    clear_cache,
+    default_scale,
+    default_trials,
+    gnutella_bundle,
+    synthetic_bundle,
+)
+from repro.network.generators import subgraph_groups
+
+
+class TestDefaults:
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+
+    def test_default_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(ConfigurationError):
+            default_scale()
+
+    def test_default_trials_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "7")
+        assert default_trials() == 7
+
+    def test_default_trials_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "0")
+        with pytest.raises(ConfigurationError):
+            default_trials()
+
+
+class TestSyntheticBundle:
+    def test_proportions(self):
+        bundle = synthetic_bundle(scale=0.02, seed=1)
+        assert bundle.num_peers == 200
+        assert bundle.topology.num_edges == 2000
+        assert bundle.num_tuples == 200 * 100
+
+    def test_tuples_per_peer(self):
+        bundle = synthetic_bundle(scale=0.02, tuples_per_peer=50, seed=1)
+        assert bundle.num_tuples == 200 * 50
+
+    def test_caching(self):
+        clear_cache()
+        a = synthetic_bundle(scale=0.02, seed=1)
+        b = synthetic_bundle(scale=0.02, seed=1)
+        assert a is b
+
+    def test_cache_distinguishes_params(self):
+        a = synthetic_bundle(scale=0.02, cluster_level=0.0, seed=1)
+        b = synthetic_bundle(scale=0.02, cluster_level=1.0, seed=1)
+        assert a is not b
+
+    def test_clustered_variant_places_by_id(self):
+        bundle = synthetic_bundle(
+            scale=0.02, num_subgraphs=2, cut_edges=20, seed=1
+        )
+        groups = subgraph_groups(bundle.num_peers, 2)
+        assert bundle.topology.cut_size(groups[0]) == 20
+        # Id-order placement: sub-graph 0 holds the low value range.
+        import numpy as np
+        group0_mean = np.mean(
+            [
+                bundle.dataset.databases[p].column("A").mean()
+                for p in groups[0]
+                if bundle.dataset.databases[p].num_tuples
+            ]
+        )
+        group1_mean = np.mean(
+            [
+                bundle.dataset.databases[p].column("A").mean()
+                for p in groups[1]
+                if bundle.dataset.databases[p].num_tuples
+            ]
+        )
+        assert group0_mean < group1_mean
+
+    def test_simulator_wired(self):
+        bundle = synthetic_bundle(scale=0.02, seed=1)
+        assert bundle.simulator.num_peers == bundle.num_peers
+        assert bundle.simulator.total_tuples() == bundle.num_tuples
+
+
+class TestGnutellaBundle:
+    def test_proportions(self):
+        bundle = gnutella_bundle(scale=0.02, seed=1)
+        assert bundle.num_peers == round(22_556 * 0.02)
+
+    def test_named(self):
+        assert gnutella_bundle(scale=0.02, seed=1).name == "gnutella"
+
+    def test_sparser_than_synthetic(self):
+        gnutella = gnutella_bundle(scale=0.02, seed=1)
+        synthetic = synthetic_bundle(scale=0.02, seed=1)
+        gnutella_avg_degree = (
+            2 * gnutella.topology.num_edges / gnutella.num_peers
+        )
+        synthetic_avg_degree = (
+            2 * synthetic.topology.num_edges / synthetic.num_peers
+        )
+        assert gnutella_avg_degree < synthetic_avg_degree

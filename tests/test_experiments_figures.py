@@ -1,0 +1,105 @@
+"""Shape tests for the figure harness at tiny scale.
+
+Full-scale shape checks live in the benchmarks; these verify the
+harness produces well-formed figures and the most robust qualitative
+facts at a very small scale (fast enough for the unit suite).
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    figure02_required_accuracy,
+    figure07_baselines,
+    figure09_clustering_sample_size,
+    figure12_cut_vs_jump,
+)
+from repro.experiments.report import render_figure, render_table
+
+SCALE = 0.02
+TRIALS = 2
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        assert sorted(FIGURES) == list(range(2, 17))
+
+    def test_all_callables(self):
+        assert all(callable(fn) for fn in FIGURES.values())
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure02_required_accuracy(scale=SCALE, trials=TRIALS)
+
+    def test_columns(self, figure):
+        assert figure.columns == [
+            "delta_req", "error_synthetic", "error_gnutella"
+        ]
+
+    def test_rows_cover_sweep(self, figure):
+        assert figure.column("delta_req") == [0.25, 0.20, 0.15, 0.10]
+
+    def test_errors_mostly_within_requirement(self, figure):
+        within = sum(
+            1
+            for row in figure.rows
+            if row[1] <= row[0] * 1.5 and row[2] <= row[0] * 1.5
+        )
+        assert within >= len(figure.rows) - 1
+
+    def test_column_accessor_unknown(self, figure):
+        with pytest.raises(ValueError):
+            figure.column("nope")
+
+
+class TestFigure7:
+    def test_random_walk_wins(self):
+        figure = figure07_baselines(scale=SCALE, trials=TRIALS)
+        walk = figure.column("error_random_walk")
+        bfs = figure.column("error_bfs")
+        # On average across the sweep the walk must beat BFS clearly.
+        assert sum(walk) < sum(bfs)
+
+
+class TestFigure9:
+    def test_sample_size_decreases_with_cluster_level(self):
+        figure = figure09_clustering_sample_size(scale=SCALE, trials=TRIALS)
+        sizes = figure.column("sample_size_synthetic")
+        # CL=0 (perfectly clustered) needs more than CL=1.
+        assert sizes[0] > sizes[-1]
+
+
+class TestFigure12:
+    def test_grid_shape(self):
+        figure = figure12_cut_vs_jump(
+            scale=SCALE, trials=1, jumps=(1, 10), cuts=(2, 20)
+        )
+        assert len(figure.rows) == 4
+        assert figure.columns == ["cut_size", "jump_size", "error"]
+
+    def test_bigger_jump_helps_at_small_cut(self):
+        figure = figure12_cut_vs_jump(
+            scale=SCALE, trials=2, jumps=(1, 50), cuts=(2,)
+        )
+        errors = {row[1]: row[2] for row in figure.rows}
+        assert errors[50] <= errors[1] * 1.2
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1.0, 0.5], [2.0, 0.25]])
+        assert "a" in text and "b" in text
+        assert "0.2500" in text
+
+    def test_render_table_empty(self):
+        text = render_table(["a"], [])
+        assert text == "a"
+
+    def test_render_figure(self):
+        figure = figure02_required_accuracy(scale=SCALE, trials=1)
+        text = render_figure(figure)
+        assert "Figure 2" in text
+        assert "expectation" in text
+        assert "delta_req" in text

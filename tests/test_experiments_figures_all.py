@@ -1,0 +1,45 @@
+"""Smoke + structure tests for every figure function at tiny scale.
+
+The benchmarks exercise the figures with shape assertions at real
+scale; these tests only verify each function produces a well-formed
+FigureResult quickly, so the unit suite covers all fifteen entry
+points.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    FigureResult,
+)
+
+SCALE = 0.02
+TRIALS = 1
+
+# Figure 12 at default args walks jump=1000 cells; restrict it.
+SPECIAL_KWARGS = {
+    12: {"jumps": (1, 10), "cuts": (2,)},
+}
+
+EXPECTED_POINTS = {
+    2: 4, 3: 5, 4: 15, 5: 15, 6: 5, 7: 5, 8: 5, 9: 5,
+    10: 5, 11: 5, 12: 2, 13: 5, 14: 5, 15: 5, 16: 5,
+}
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+def test_figure_structure(figure_id):
+    kwargs = SPECIAL_KWARGS.get(figure_id, {})
+    figure = FIGURES[figure_id](scale=SCALE, trials=TRIALS, **kwargs)
+    assert isinstance(figure, FigureResult)
+    assert figure.figure_id == figure_id
+    assert figure.title
+    assert figure.expectation
+    assert len(figure.rows) == EXPECTED_POINTS[figure_id]
+    assert all(len(row) == len(figure.columns) for row in figure.rows)
+    # Every numeric cell is finite.
+    for row in figure.rows:
+        for cell in row:
+            assert cell == cell  # not NaN
+    assert figure.parameters["scale"] == SCALE
+    assert figure.parameters["trials"] == TRIALS

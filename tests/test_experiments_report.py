@@ -1,0 +1,65 @@
+"""Edge-case tests for the report renderer."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import render_figure, render_table
+
+
+class TestRenderTable:
+    def test_integers_render_bare(self):
+        text = render_table(["n"], [[1000.0]])
+        assert "1000" in text
+        assert "1000.0000" not in text
+
+    def test_floats_render_formatted(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_mixed_types(self):
+        text = render_table(["a", "b"], [[1, 0.5], ["label", 2.25]])
+        assert "label" in text
+        assert "0.5000" in text
+
+    def test_alignment(self):
+        text = render_table(["long_column_name", "x"], [[1, 2]])
+        header, divider, row = text.splitlines()
+        assert len(header) == len(divider)
+
+    def test_custom_format(self):
+        text = render_table(
+            ["x"], [[0.123456]], float_format="{:.1f}"
+        )
+        assert "0.1" in text
+
+    def test_empty_rows_header_only(self):
+        assert render_table(["a", "b"], []) == "a  b"
+
+
+class TestRenderFigure:
+    def test_all_sections_present(self):
+        figure = FigureResult(
+            figure_id=99,
+            title="Test figure",
+            parameters={"alpha": 1, "beta": "x"},
+            columns=["p", "q"],
+            rows=[[1.0, 2.0]],
+            expectation="q grows",
+        )
+        text = render_figure(figure)
+        assert "Figure 99: Test figure" in text
+        assert "alpha=1" in text
+        assert "beta=x" in text
+        assert "q grows" in text
+
+    def test_parameters_sorted(self):
+        figure = FigureResult(
+            figure_id=1,
+            title="t",
+            parameters={"zeta": 1, "alpha": 2},
+            columns=["x"],
+            rows=[[1.0]],
+            expectation="e",
+        )
+        text = render_figure(figure)
+        assert text.index("alpha") < text.index("zeta")

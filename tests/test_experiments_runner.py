@@ -1,0 +1,97 @@
+"""Unit tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.core.median import MedianConfig
+from repro.core.two_phase import TwoPhaseConfig
+from repro.errors import ConfigurationError
+from repro.experiments.configs import synthetic_bundle
+from repro.experiments.runner import (
+    mean_error,
+    mean_peers,
+    mean_sample_size,
+    run_trials,
+)
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+MEDIAN_ALL = parse_query("SELECT MEDIAN(A) FROM T")
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return synthetic_bundle(scale=0.02, seed=5)
+
+
+class TestRunTrials:
+    def test_trial_count(self, bundle):
+        outcomes = run_trials(bundle, COUNT_30, 0.1, trials=3, seed=1)
+        assert len(outcomes) == 3
+
+    def test_outcomes_scored(self, bundle):
+        outcomes = run_trials(bundle, COUNT_30, 0.1, trials=2, seed=1)
+        for outcome in outcomes:
+            assert outcome.truth > 0
+            assert 0 <= outcome.error <= 1
+            assert outcome.tuples_sampled > 0
+            assert outcome.peers_visited >= 40
+            assert outcome.latency_ms > 0
+
+    def test_trials_vary_by_seed(self, bundle):
+        outcomes = run_trials(bundle, COUNT_30, 0.1, trials=3, seed=1)
+        estimates = {o.estimate for o in outcomes}
+        assert len(estimates) > 1
+
+    def test_deterministic_given_seed(self, bundle):
+        a = run_trials(bundle, COUNT_30, 0.1, trials=2, seed=9)
+        b = run_trials(bundle, COUNT_30, 0.1, trials=2, seed=9)
+        assert [o.estimate for o in a] == [o.estimate for o in b]
+
+    def test_bfs_engine(self, bundle):
+        outcomes = run_trials(
+            bundle, COUNT_30, 0.1, engine="bfs", trials=2, seed=1
+        )
+        assert len(outcomes) == 2
+
+    def test_dfs_engine(self, bundle):
+        outcomes = run_trials(
+            bundle, COUNT_30, 0.1, engine="dfs", trials=2, seed=1
+        )
+        assert len(outcomes) == 2
+
+    def test_median_engine(self, bundle):
+        outcomes = run_trials(
+            bundle, MEDIAN_ALL, 0.1, engine="median", trials=2, seed=1
+        )
+        for outcome in outcomes:
+            assert 0 <= outcome.error <= 0.5
+
+    def test_unknown_engine(self, bundle):
+        with pytest.raises(ConfigurationError):
+            run_trials(bundle, COUNT_30, 0.1, engine="teleport")
+
+    def test_zero_trials_rejected(self, bundle):
+        with pytest.raises(ConfigurationError):
+            run_trials(bundle, COUNT_30, 0.1, trials=0)
+
+    def test_wrong_config_type(self, bundle):
+        with pytest.raises(ConfigurationError):
+            run_trials(
+                bundle, MEDIAN_ALL, 0.1, engine="median",
+                config=TwoPhaseConfig(), trials=1,
+            )
+        with pytest.raises(ConfigurationError):
+            run_trials(
+                bundle, COUNT_30, 0.1, engine="two-phase",
+                config=MedianConfig(), trials=1,
+            )
+
+
+class TestAggregates:
+    def test_means(self, bundle):
+        outcomes = run_trials(bundle, COUNT_30, 0.1, trials=3, seed=2)
+        assert mean_error(outcomes) == pytest.approx(
+            sum(o.error for o in outcomes) / 3
+        )
+        assert mean_sample_size(outcomes) > 0
+        assert mean_peers(outcomes) >= 40

@@ -1,0 +1,147 @@
+"""Failure-injection tests: lost replies and departed peers.
+
+P2P peers "depart without a priori notification" — a visited peer may
+simply never reply.  The simulator injects such losses with
+``reply_loss_rate``; every engine must degrade gracefully: skip the
+observation, keep the cost accounting consistent, and stay accurate as
+long as enough replies survive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.median import MedianEngine
+from repro.core.statistics import StatisticsEngine
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.errors import (
+    ConfigurationError,
+    PeerUnavailableError,
+    ReproError,
+)
+from repro.network.simulator import NetworkSimulator
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+from repro.sampling.baselines import BFSEngine
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+MEDIAN_ALL = parse_query("SELECT MEDIAN(A) FROM T")
+
+
+@pytest.fixture()
+def lossy_network(small_topology, small_dataset):
+    return NetworkSimulator(
+        small_topology,
+        small_dataset.databases,
+        seed=7,
+        reply_loss_rate=0.2,
+    )
+
+
+class TestSimulatorInjection:
+    def test_invalid_rate_rejected(self, small_topology, small_dataset):
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(
+                small_topology,
+                small_dataset.databases,
+                reply_loss_rate=1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(
+                small_topology,
+                small_dataset.databases,
+                reply_loss_rate=-0.1,
+            )
+
+    def test_losses_occur_at_configured_rate(self, lossy_network):
+        ledger = lossy_network.new_ledger()
+        losses = 0
+        trials = 400
+        for _ in range(trials):
+            try:
+                lossy_network.visit_aggregate(
+                    0, COUNT_30, sink=1, ledger=ledger
+                )
+            except PeerUnavailableError:
+                losses += 1
+        assert losses / trials == pytest.approx(0.2, abs=0.06)
+
+    def test_lost_visit_still_charged(self, small_topology, small_dataset):
+        network = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=1,
+            reply_loss_rate=0.999999 - 1e-7,  # just under the cap
+        )
+        ledger = network.new_ledger()
+        with pytest.raises(PeerUnavailableError):
+            network.visit_aggregate(0, COUNT_30, sink=1, ledger=ledger)
+        cost = ledger.snapshot()
+        assert cost.peers_visited == 1
+        assert cost.tuples_processed == 0
+
+    def test_zero_rate_never_fails(self, small_network):
+        ledger = small_network.new_ledger()
+        for _ in range(200):
+            small_network.visit_aggregate(
+                0, COUNT_30, sink=1, ledger=ledger
+            )
+
+
+class TestEnginesUnderLoss:
+    def test_two_phase_survives_and_stays_accurate(
+        self, lossy_network, small_dataset
+    ):
+        truth = evaluate_exact(COUNT_30, small_dataset.databases)
+        n = small_dataset.num_tuples
+        errors = []
+        for seed in range(6):
+            engine = TwoPhaseEngine(
+                lossy_network,
+                config=TwoPhaseConfig(
+                    phase_one_peers=60, max_phase_two_peers=400
+                ),
+                seed=seed,
+            )
+            result = engine.execute(COUNT_30, delta_req=0.1, sink=0)
+            errors.append(abs(result.estimate - truth) / n)
+        assert np.mean(errors) <= 0.1
+
+    def test_phase_report_reflects_surviving_replies(self, lossy_network):
+        engine = TwoPhaseEngine(
+            lossy_network,
+            config=TwoPhaseConfig(phase_one_peers=60),
+            seed=3,
+        )
+        result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
+        # ~20% of replies are lost; the report counts survivors only.
+        assert result.phase_one.peers_visited < 60
+        assert result.phase_one.peers_visited >= 30
+
+    def test_median_survives(self, lossy_network, small_dataset):
+        engine = MedianEngine(lossy_network, seed=4)
+        result = engine.execute(MEDIAN_ALL, delta_req=0.15, sink=0)
+        truth = evaluate_exact(MEDIAN_ALL, small_dataset.databases)
+        assert abs(result.estimate - truth) <= 15
+
+    def test_statistics_survive(self, lossy_network):
+        engine = StatisticsEngine(lossy_network, seed=5)
+        result = engine.histogram(
+            "A", num_buckets=5, value_range=(1, 100), sink=0
+        )
+        assert result.total_estimate > 0
+
+    def test_bfs_survives(self, lossy_network):
+        engine = BFSEngine(lossy_network, seed=6)
+        result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
+        assert result.estimate > 0
+
+    def test_total_loss_fails_loudly(self, small_topology, small_dataset):
+        network = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=2,
+            reply_loss_rate=0.999999 - 1e-7,
+        )
+        engine = TwoPhaseEngine(network, seed=1)
+        with pytest.raises(ReproError):
+            engine.execute(COUNT_30, delta_req=0.1, sink=0)

@@ -1,0 +1,133 @@
+"""Tests for artifact persistence (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.errors import ConfigurationError
+from repro.io import load_dataset, load_topology, save_dataset, save_topology
+from repro.network.generators import power_law_topology
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+
+class TestTopologyRoundTrip:
+    def test_round_trip(self, tmp_path, small_topology):
+        path = tmp_path / "topology.npz"
+        save_topology(small_topology, path)
+        loaded = load_topology(path)
+        assert loaded.num_peers == small_topology.num_peers
+        assert sorted(loaded.edges()) == sorted(small_topology.edges())
+
+    def test_degrees_preserved(self, tmp_path, small_topology):
+        path = tmp_path / "topology.npz"
+        save_topology(small_topology, path)
+        loaded = load_topology(path)
+        np.testing.assert_array_equal(
+            loaded.degrees, small_topology.degrees
+        )
+
+    def test_wrong_artifact_rejected(self, tmp_path, small_topology):
+        path = tmp_path / "not_a_topology.npz"
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_topology(path)
+
+    def test_dataset_artifact_rejected_as_topology(
+        self, tmp_path, small_topology
+    ):
+        dataset = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=100), seed=1
+        )
+        path = tmp_path / "dataset.npz"
+        save_dataset(dataset, path)
+        with pytest.raises(ConfigurationError):
+            load_topology(path)
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip_single_column(self, tmp_path, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(num_tuples=5_000, cluster_level=0.3),
+            seed=2,
+        )
+        path = tmp_path / "dataset.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        # Global arrays are rebuilt in peer-id order: same multiset.
+        np.testing.assert_array_equal(
+            np.sort(loaded.values), np.sort(dataset.values)
+        )
+        assert loaded.config == dataset.config
+        assert len(loaded.databases) == len(dataset.databases)
+        for original, restored in zip(dataset.databases, loaded.databases):
+            np.testing.assert_array_equal(
+                original.column("A"), restored.column("A")
+            )
+            assert restored.block_size == original.block_size
+
+    def test_round_trip_with_group_column(self, tmp_path, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(
+                num_tuples=3_000, group_column="G", num_groups=5
+            ),
+            seed=3,
+        )
+        path = tmp_path / "grouped.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(
+            np.sort(loaded.group_values), np.sort(dataset.group_values)
+        )
+        assert sorted(loaded.databases[0].column_names) == ["A", "G"]
+        # Rows stay joined: (A, G) pairs are the same multiset.
+        original_pairs = sorted(
+            zip(dataset.values.tolist(), dataset.group_values.tolist())
+        )
+        loaded_pairs = sorted(
+            zip(loaded.values.tolist(), loaded.group_values.tolist())
+        )
+        assert original_pairs == loaded_pairs
+
+    def test_ground_truth_identical(self, tmp_path, small_topology):
+        dataset = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=5_000), seed=4
+        )
+        path = tmp_path / "dataset.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        query = parse_query(
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30"
+        )
+        assert evaluate_exact(query, loaded.databases) == evaluate_exact(
+            query, dataset.databases
+        )
+
+    def test_usable_in_simulator(self, tmp_path, small_topology):
+        import repro
+
+        dataset = generate_dataset(
+            small_topology, DatasetConfig(num_tuples=5_000), seed=5
+        )
+        path = tmp_path / "dataset.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        network = repro.NetworkSimulator(
+            small_topology, loaded.databases, seed=5
+        )
+        engine = repro.TwoPhaseEngine(network, seed=5)
+        query = repro.parse_query(
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30"
+        )
+        result = engine.execute(query, delta_req=0.2, sink=0)
+        assert result.estimate > 0
+
+    def test_topology_artifact_rejected_as_dataset(
+        self, tmp_path, small_topology
+    ):
+        path = tmp_path / "topology.npz"
+        save_topology(small_topology, path)
+        with pytest.raises(ConfigurationError):
+            load_dataset(path)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.metrics.accuracy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accuracy import (
+    count_error,
+    fraction_within,
+    median_rank_error,
+    normalized_error,
+    sum_error,
+    summarize_trials,
+)
+
+
+class TestNormalizations:
+    def test_normalized_error(self):
+        assert normalized_error(110, 100, 1000) == pytest.approx(0.01)
+
+    def test_normalized_error_needs_positive_scale(self):
+        with pytest.raises(ConfigurationError):
+            normalized_error(1, 1, 0)
+
+    def test_count_error(self):
+        assert count_error(3200, 3000, 10_000) == pytest.approx(0.02)
+
+    def test_count_error_symmetric(self):
+        assert count_error(2800, 3000, 10_000) == count_error(
+            3200, 3000, 10_000
+        )
+
+    def test_sum_error(self):
+        assert sum_error(5200, 5000, 50_000) == pytest.approx(0.004)
+
+    def test_sum_error_negative_total(self):
+        assert sum_error(-90, -100, -1000) == pytest.approx(0.01)
+
+    def test_median_rank_error_center_is_zero(self):
+        assert median_rank_error(5000, 10_000) == 0.0
+
+    def test_median_rank_error_extreme(self):
+        assert median_rank_error(0, 10_000) == 0.5
+        assert median_rank_error(10_000, 10_000) == 0.5
+
+    def test_median_rank_error_validates(self):
+        with pytest.raises(ConfigurationError):
+            median_rank_error(-1, 100)
+        with pytest.raises(ConfigurationError):
+            median_rank_error(101, 100)
+
+
+class TestTrialSummary:
+    def test_statistics(self):
+        summary = summarize_trials([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.num_trials == 3
+
+    def test_single_trial_std_zero(self):
+        assert summarize_trials([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_trials([])
+
+    def test_str(self):
+        text = str(summarize_trials([1.0, 2.0]))
+        assert "n=2" in text
+
+
+class TestFractionWithin:
+    def test_all_within(self):
+        assert fraction_within([0.01, 0.05], 0.1) == 1.0
+
+    def test_partial(self):
+        assert fraction_within([0.05, 0.2], 0.1) == 0.5
+
+    def test_boundary_inclusive(self):
+        assert fraction_within([0.1], 0.1) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fraction_within([], 0.1)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.network.churn."""
+
+import pytest
+
+from repro.errors import ChurnError
+from repro.network.churn import ChurnConfig, ChurnProcess
+from repro.network.generators import power_law_topology
+
+
+@pytest.fixture()
+def process(small_topology):
+    return ChurnProcess(small_topology, seed=5)
+
+
+class TestChurnConfig:
+    def test_defaults(self):
+        config = ChurnConfig()
+        assert config.join_degree == 3
+        assert config.attachment == "preferential"
+
+    def test_invalid_attachment(self):
+        with pytest.raises(ChurnError):
+            ChurnConfig(attachment="magnetic")
+
+    def test_invalid_rates(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(leave_rate=1.5)
+
+
+class TestJoin:
+    def test_join_adds_peer(self, process):
+        before = process.num_peers
+        label = process.join()
+        assert process.num_peers == before + 1
+        assert label == before  # labels continue from initial count
+
+    def test_join_respects_degree(self, small_topology):
+        process = ChurnProcess(
+            small_topology, ChurnConfig(join_degree=5), seed=5
+        )
+        label = process.join()
+        snapshot = process.snapshot()
+        vertex = snapshot.vertex_of(label)
+        assert snapshot.topology.degree(vertex) == 5
+
+    def test_labels_never_reused(self, process):
+        first = process.join()
+        process.leave(first)
+        second = process.join()
+        assert second != first
+
+    def test_joined_peers_tracked(self, process):
+        labels = [process.join() for _ in range(3)]
+        assert process.joined_peers == labels
+
+    def test_uniform_attachment(self, small_topology):
+        process = ChurnProcess(
+            small_topology,
+            ChurnConfig(attachment="uniform", join_degree=2),
+            seed=5,
+        )
+        label = process.join()
+        assert label in process.joined_peers
+
+
+class TestLeave:
+    def test_leave_removes_peer(self, process):
+        before = process.num_peers
+        label = process.leave()
+        assert process.num_peers == before - 1
+        assert label in process.departed_peers
+
+    def test_leave_specific_peer(self, process):
+        process.leave(10)
+        snapshot = process.snapshot()
+        with pytest.raises(ChurnError):
+            snapshot.vertex_of(10)
+
+    def test_leave_unknown_peer(self, process):
+        with pytest.raises(ChurnError):
+            process.leave(10**9)
+
+    def test_leave_heals_orphans(self):
+        # A star: removing the hub would isolate all leaves.
+        topology = power_law_topology(50, 60, seed=8)
+        process = ChurnProcess(
+            topology, ChurnConfig(heal_on_leave=True), seed=8
+        )
+        hub = int(topology.degrees.argmax())
+        process.leave(hub)
+        snapshot = process.snapshot()
+        assert int(snapshot.topology.degrees.min()) >= 1
+
+    def test_refuses_to_empty_network(self):
+        from repro.network.topology import Topology
+        process = ChurnProcess(Topology(2, [(0, 1)]), seed=1)
+        with pytest.raises(ChurnError):
+            process.leave()
+
+
+class TestStepAndRun:
+    def test_step_returns_counts(self, process):
+        events = process.step()
+        assert set(events) == {"joins", "leaves"}
+
+    def test_run_accumulates(self, small_topology):
+        process = ChurnProcess(
+            small_topology,
+            ChurnConfig(join_rate=1.0, leave_rate=1.0),
+            seed=5,
+        )
+        totals = process.run(10)
+        assert totals["joins"] == 10
+        assert totals["leaves"] == 10
+
+    def test_network_size_drifts_with_asymmetric_rates(self, small_topology):
+        process = ChurnProcess(
+            small_topology,
+            ChurnConfig(join_rate=1.0, leave_rate=0.0),
+            seed=5,
+        )
+        before = process.num_peers
+        process.run(20)
+        assert process.num_peers == before + 20
+
+
+class TestSnapshot:
+    def test_snapshot_is_valid_topology(self, process):
+        process.run(5)
+        snapshot = process.snapshot()
+        assert snapshot.topology.num_peers == process.num_peers
+
+    def test_snapshot_labels_align(self, process):
+        snapshot = process.snapshot()
+        assert len(snapshot.labels) == snapshot.topology.num_peers
+        assert snapshot.vertex_of(snapshot.labels[3]) == 3
+
+    def test_snapshot_after_churn_stays_mostly_connected(self, small_topology):
+        process = ChurnProcess(
+            small_topology,
+            ChurnConfig(join_rate=0.5, leave_rate=0.5),
+            seed=5,
+        )
+        process.run(50)
+        snapshot = process.snapshot()
+        giant = snapshot.topology.giant_component()
+        assert len(giant) > 0.9 * snapshot.topology.num_peers
+
+    def test_stationary_distribution_recomputable(self, process):
+        process.run(10)
+        pi = process.snapshot().topology.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)

@@ -1,0 +1,215 @@
+"""Unit tests for repro.network.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.generators import (
+    TopologyConfig,
+    clustered_power_law,
+    gnutella_2001_like,
+    gnutella_paper_topology,
+    power_law_topology,
+    random_regular_topology,
+    subgraph_groups,
+    synthetic_paper_topology,
+)
+
+
+class TestPowerLaw:
+    def test_exact_counts(self):
+        topology = power_law_topology(300, 1500, seed=3)
+        assert topology.num_peers == 300
+        assert topology.num_edges == 1500
+
+    def test_connected(self):
+        assert power_law_topology(300, 1500, seed=3).is_connected()
+
+    def test_deterministic_per_seed(self):
+        a = power_law_topology(100, 400, seed=5)
+        b = power_law_topology(100, 400, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seeds_differ(self):
+        a = power_law_topology(100, 400, seed=5)
+        b = power_law_topology(100, 400, seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_degree_skew(self):
+        """Preferential attachment must create a heavy tail: the max
+        degree should be far above the mean."""
+        topology = power_law_topology(1000, 4000, seed=3)
+        degrees = topology.degrees
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(TopologyError):
+            power_law_topology(100, 50, seed=1)
+
+    def test_sparse_graph(self):
+        """num_edges just above the tree bound still works."""
+        topology = power_law_topology(100, 105, seed=2)
+        assert topology.num_edges == 105
+        assert topology.is_connected()
+
+
+class TestClusteredPowerLaw:
+    def test_counts_and_cut(self):
+        topology = clustered_power_law(
+            num_peers=200, num_edges=1000, num_subgraphs=2,
+            cut_edges=10, seed=9,
+        )
+        assert topology.num_peers == 200
+        assert topology.num_edges == 1000
+        groups = subgraph_groups(200, 2)
+        assert topology.cut_size(groups[0]) == 10
+
+    def test_connected_with_minimal_cut(self):
+        topology = clustered_power_law(
+            num_peers=120, num_edges=600, num_subgraphs=3,
+            cut_edges=3, seed=9,
+        )
+        assert topology.is_connected()
+
+    def test_large_cut(self):
+        topology = clustered_power_law(
+            num_peers=200, num_edges=1200, num_subgraphs=2,
+            cut_edges=400, seed=9,
+        )
+        groups = subgraph_groups(200, 2)
+        assert topology.cut_size(groups[0]) == 400
+
+    def test_needs_two_subgraphs(self):
+        with pytest.raises(ConfigurationError):
+            clustered_power_law(100, 500, num_subgraphs=1, cut_edges=5)
+
+    def test_cut_smaller_than_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clustered_power_law(100, 500, num_subgraphs=3, cut_edges=2)
+
+    def test_internal_edges_must_suffice(self):
+        with pytest.raises(TopologyError):
+            clustered_power_law(
+                num_peers=100, num_edges=100, num_subgraphs=2,
+                cut_edges=50, seed=1,
+            )
+
+
+class TestSubgraphGroups:
+    def test_even_split(self):
+        groups = subgraph_groups(10, 2)
+        assert groups == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_uneven_split(self):
+        groups = subgraph_groups(10, 3)
+        assert [len(g) for g in groups] == [4, 3, 3]
+        assert sorted(sum(groups, [])) == list(range(10))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            subgraph_groups(5, 0)
+        with pytest.raises(ConfigurationError):
+            subgraph_groups(2, 5)
+
+
+class TestGnutellaLike:
+    def test_default_shape(self):
+        topology = gnutella_2001_like(
+            num_peers=2000, num_edges=4640, seed=4
+        )
+        assert topology.num_peers == 2000
+        assert topology.num_edges == 4640
+
+    def test_connected(self):
+        topology = gnutella_2001_like(
+            num_peers=1500, num_edges=3480, seed=4
+        )
+        assert topology.is_connected()
+
+    def test_degree_heavy_tail(self):
+        topology = gnutella_2001_like(
+            num_peers=3000, num_edges=6960, seed=4
+        )
+        degrees = topology.degrees
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_paper_scaled(self):
+        topology = gnutella_paper_topology(seed=4, scale=0.05)
+        assert topology.num_peers == round(22_556 * 0.05)
+
+    def test_too_few_edges(self):
+        with pytest.raises(TopologyError):
+            gnutella_2001_like(num_peers=100, num_edges=50)
+
+
+class TestPaperTopology:
+    def test_scaled_counts(self):
+        topology = synthetic_paper_topology(seed=1, scale=0.05)
+        assert topology.num_peers == 500
+        assert topology.num_edges == 5000
+
+    def test_clustered_variant(self):
+        topology = synthetic_paper_topology(
+            seed=1, scale=0.05, num_subgraphs=2, cut_edges=20
+        )
+        groups = subgraph_groups(topology.num_peers, 2)
+        assert topology.cut_size(groups[0]) == 20
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_paper_topology(scale=0)
+
+
+class TestRandomRegular:
+    def test_degrees_uniform(self):
+        topology = random_regular_topology(50, 4, seed=2)
+        assert set(topology.degrees.tolist()) == {4}
+
+    def test_connected(self):
+        assert random_regular_topology(50, 4, seed=2).is_connected()
+
+    def test_parity_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 3, seed=2)
+
+    def test_degree_too_large(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(4, 4, seed=2)
+
+
+class TestTopologyConfig:
+    def test_kind_dispatch_power_law(self):
+        topology = TopologyConfig(
+            num_peers=100, num_edges=400, kind="power-law"
+        ).build(seed=1)
+        assert topology.num_peers == 100
+
+    def test_kind_dispatch_clustered(self):
+        topology = TopologyConfig(
+            num_peers=100, num_edges=500, num_subgraphs=2,
+            cut_edges=10, kind="clustered-power-law",
+        ).build(seed=1)
+        assert topology.num_edges == 500
+
+    def test_single_subgraph_falls_back(self):
+        topology = TopologyConfig(
+            num_peers=100, num_edges=400, num_subgraphs=1,
+            kind="clustered-power-law",
+        ).build(seed=1)
+        assert topology.is_connected()
+
+    def test_gnutella_kind(self):
+        topology = TopologyConfig(
+            num_peers=500, num_edges=1160, kind="gnutella-like"
+        ).build(seed=1)
+        assert topology.num_edges == 1160
+
+    def test_random_regular_kind(self):
+        topology = TopologyConfig(
+            num_peers=100, num_edges=300, kind="random-regular"
+        ).build(seed=1)
+        assert topology.is_connected()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(kind="mystery").build()

@@ -1,0 +1,111 @@
+"""Tests for the live network (churn + data lifecycle)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.localdb import LocalDatabase
+from repro.errors import ConfigurationError
+from repro.network.churn import ChurnConfig
+from repro.network.live import LiveNetwork
+from repro.query.exact import evaluate_exact
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+
+
+def make_live(small_topology, handoff=False, seed=5):
+    rng = np.random.default_rng(3)
+    databases = [
+        LocalDatabase({"A": rng.integers(1, 101, 100)})
+        for _ in range(small_topology.num_peers)
+    ]
+    return LiveNetwork(
+        small_topology,
+        databases,
+        churn_config=ChurnConfig(join_rate=0.8, leave_rate=0.8),
+        tuples_per_new_peer=100,
+        handoff=handoff,
+        seed=seed,
+    )
+
+
+class TestLifecycle:
+    def test_join_brings_data(self, small_topology):
+        live = make_live(small_topology)
+        before = live.total_tuples()
+        live.join()
+        assert live.total_tuples() == before + 100
+
+    def test_leave_without_handoff_loses_data(self, small_topology):
+        live = make_live(small_topology, handoff=False)
+        before = live.total_tuples()
+        live.leave()
+        assert live.total_tuples() == before - 100
+
+    def test_leave_with_handoff_preserves_data(self, small_topology):
+        live = make_live(small_topology, handoff=True)
+        before = live.total_tuples()
+        live.leave()
+        assert live.total_tuples() == before
+
+    def test_step_applies_both(self, small_topology):
+        live = make_live(small_topology)
+        totals = live.step(50)
+        assert totals["joins"] > 20
+        assert totals["leaves"] > 20
+
+    def test_validations(self, small_topology):
+        live = make_live(small_topology)
+        with pytest.raises(ConfigurationError):
+            live.step(0)
+        with pytest.raises(ConfigurationError):
+            LiveNetwork(small_topology, [], seed=1)
+
+
+class TestSnapshots:
+    def test_snapshot_is_consistent(self, small_topology):
+        live = make_live(small_topology)
+        live.step(30)
+        network = live.snapshot()
+        assert network.num_peers == live.num_peers
+        assert network.total_tuples() == live.total_tuples()
+
+    def test_queries_stay_accurate_across_epochs(self, small_topology):
+        """The headline property: each epoch's snapshot answers within
+        the requirement even as peers and data churn."""
+        live = make_live(small_topology, seed=11)
+        for epoch in range(3):
+            live.step(40)
+            network = live.snapshot(seed=epoch)
+            truth = evaluate_exact(COUNT_30, network.databases())
+            n = network.total_tuples()
+            sink = int(network.topology.giant_component()[0])
+            engine = repro.TwoPhaseEngine(
+                network,
+                repro.TwoPhaseConfig(
+                    max_phase_two_peers=2 * network.num_peers
+                ),
+                seed=epoch,
+            )
+            result = engine.execute(COUNT_30, delta_req=0.1, sink=sink)
+            assert abs(result.estimate - truth) / n <= 0.1
+
+    def test_hybrid_invalidation_story(self, small_topology):
+        """Cache across snapshots: invalidate after churn, keep
+        meeting the requirement."""
+        live = make_live(small_topology, seed=13)
+        network = live.snapshot(seed=1)
+        hybrid = repro.HybridEngine(
+            network,
+            repro.TwoPhaseConfig(max_phase_two_peers=400),
+            seed=1,
+        )
+        hybrid.execute(COUNT_30, 0.1, sink=0)
+        assert hybrid.warm_runs == 0
+        hybrid.execute(COUNT_30, 0.1, sink=0)
+        assert hybrid.warm_runs == 1
+        # Churn epoch: new snapshot, new engine, cache dropped.
+        live.step(30)
+        hybrid.invalidate()
+        assert hybrid.cached_plan(COUNT_30) is None

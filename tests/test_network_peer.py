@@ -1,0 +1,96 @@
+"""Unit tests for repro.network.peer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.peer import (
+    Peer,
+    PeerCapabilities,
+    random_capabilities,
+    synthesize_peer,
+)
+
+
+class TestPeerCapabilities:
+    def test_defaults_valid(self):
+        caps = PeerCapabilities()
+        assert caps.cpu_speed == 1.0
+        assert caps.max_connections >= 1
+
+    def test_zero_cpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerCapabilities(cpu_speed=0)
+
+    def test_negative_disk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerCapabilities(disk_space=-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerCapabilities(network_bandwidth=0)
+
+    def test_zero_connections_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerCapabilities(max_connections=0)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerCapabilities(memory_bandwidth=0)
+
+    def test_random_capabilities_valid(self):
+        for seed in range(10):
+            caps = random_capabilities(seed)
+            assert caps.cpu_speed > 0
+            assert caps.max_connections >= 8
+
+    def test_random_capabilities_deterministic(self):
+        assert random_capabilities(3) == random_capabilities(3)
+
+    def test_random_capabilities_vary(self):
+        assert random_capabilities(3) != random_capabilities(4)
+
+
+class TestPeer:
+    def test_address(self):
+        peer = Peer(peer_id=7, ip="10.0.0.7", port=6353)
+        assert peer.address == ("10.0.0.7", 6353)
+
+    def test_str(self):
+        peer = Peer(peer_id=7, ip="10.0.0.7", port=6353)
+        assert "peer#7" in str(peer)
+        assert "10.0.0.7:6353" in str(peer)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Peer(peer_id=-1, ip="10.0.0.1", port=6346)
+
+    def test_port_range(self):
+        with pytest.raises(ConfigurationError):
+            Peer(peer_id=0, ip="10.0.0.1", port=0)
+        with pytest.raises(ConfigurationError):
+            Peer(peer_id=0, ip="10.0.0.1", port=70000)
+
+    def test_frozen(self):
+        peer = Peer(peer_id=1, ip="10.0.0.1", port=6346)
+        with pytest.raises(AttributeError):
+            peer.port = 1234
+
+
+class TestSynthesizePeer:
+    def test_stable_address(self):
+        a = synthesize_peer(300, seed=1)
+        b = synthesize_peer(300, seed=99)
+        assert a.ip == b.ip  # address derives from id, not seed
+        assert a.port == b.port
+
+    def test_distinct_ids_distinct_ips(self):
+        ips = {synthesize_peer(i, seed=1).ip for i in range(200)}
+        assert len(ips) == 200
+
+    def test_port_in_gnutella_range(self):
+        peer = synthesize_peer(12345, seed=1)
+        assert 6346 <= peer.port < 6346 + 1024
+
+    def test_ip_octets_encode_id(self):
+        peer = synthesize_peer(0x010203, seed=1)
+        assert peer.ip == "10.1.2.3"

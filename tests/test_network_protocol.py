@@ -1,0 +1,118 @@
+"""Unit tests for repro.network.protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.network.protocol import (
+    GNUTELLA_HEADER_BYTES,
+    AggregateReply,
+    Message,
+    MessageType,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    TupleReply,
+    WalkerProbe,
+)
+
+
+class TestMessageBasics:
+    def test_ping_type_and_size(self):
+        ping = Ping(source=0, destination=1)
+        assert ping.message_type is MessageType.PING
+        assert ping.size_bytes() == GNUTELLA_HEADER_BYTES
+
+    def test_pong_payload(self):
+        pong = Pong(source=1, destination=0, ip="10.0.0.1", port=6346)
+        assert pong.message_type is MessageType.PONG
+        assert pong.size_bytes() == GNUTELLA_HEADER_BYTES + 14
+
+    def test_query_size_tracks_text(self):
+        short = Query(source=0, destination=1, text="a")
+        long = Query(source=0, destination=1, text="a" * 50)
+        assert long.size_bytes() - short.size_bytes() == 49
+
+    def test_query_hit_size_tracks_hits(self):
+        none = QueryHit(source=0, destination=1, num_hits=0)
+        some = QueryHit(source=0, destination=1, num_hits=5)
+        assert some.size_bytes() - none.size_bytes() == 40
+
+    def test_message_ids_unique(self):
+        a = Ping(source=0, destination=1)
+        b = Ping(source=0, destination=1)
+        assert a.message_id != b.message_id
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ProtocolError):
+            Ping(source=-1, destination=0)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ProtocolError):
+            Ping(source=0, destination=1, ttl=-1)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ProtocolError):
+            Ping(source=0, destination=1, hops=-2)
+
+
+class TestForwarding:
+    def test_forwarded_advances_hop_and_ttl(self):
+        query = Query(source=0, destination=1, ttl=5, text="x")
+        forwarded = query.forwarded(1, 2)
+        assert forwarded.source == 1
+        assert forwarded.destination == 2
+        assert forwarded.ttl == 4
+        assert forwarded.hops == 1
+
+    def test_forwarded_preserves_id(self):
+        query = Query(source=0, destination=1, text="x")
+        assert query.forwarded(1, 2).message_id == query.message_id
+
+    def test_forward_at_zero_ttl_rejected(self):
+        query = Query(source=0, destination=1, ttl=0, text="x")
+        with pytest.raises(ProtocolError):
+            query.forwarded(1, 2)
+
+    def test_forward_chain(self):
+        message = Ping(source=0, destination=1, ttl=3)
+        for expected_hops in (1, 2, 3):
+            message = message.forwarded(
+                message.destination, message.destination + 1
+            )
+            assert message.hops == expected_hops
+
+
+class TestSamplingMessages:
+    def test_walker_probe_fields(self):
+        probe = WalkerProbe(
+            source=0, destination=1, sink=0,
+            query_text="SELECT COUNT(A) FROM T", tuples_per_peer=25,
+        )
+        assert probe.message_type is MessageType.WALKER_PROBE
+        assert probe.size_bytes() > GNUTELLA_HEADER_BYTES
+
+    def test_aggregate_reply_fixed_size(self):
+        reply = AggregateReply(
+            source=3, destination=0, aggregate_value=42.0,
+            matching_count=17.0, column_total=100.0,
+            degree=4, local_tuples=100, processed_tuples=25,
+        )
+        assert reply.message_type is MessageType.AGGREGATE_REPLY
+        assert reply.size_bytes() == GNUTELLA_HEADER_BYTES + 44
+
+    def test_tuple_reply_size_scales_with_values(self):
+        small = TupleReply(source=3, destination=0, values=(1.0,))
+        large = TupleReply(
+            source=3, destination=0, values=tuple(float(i) for i in range(10))
+        )
+        assert large.size_bytes() - small.size_bytes() == 72
+
+    def test_tuple_reply_empty_values(self):
+        reply = TupleReply(source=3, destination=0, values=())
+        assert reply.size_bytes() == GNUTELLA_HEADER_BYTES + 12
+
+    def test_messages_are_immutable(self):
+        reply = AggregateReply(source=3, destination=0)
+        with pytest.raises(AttributeError):
+            reply.aggregate_value = 1.0

@@ -1,0 +1,274 @@
+"""Unit tests for repro.network.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.localdb import LocalDatabase
+from repro.errors import ConfigurationError, ProtocolError
+from repro.network.peer import Peer, PeerCapabilities
+from repro.network.simulator import NetworkSimulator, PeerNode
+from repro.network.topology import Topology
+from repro.query.model import AggregateOp, AggregationQuery, Between
+
+
+@pytest.fixture()
+def mini_network():
+    """4 peers in a path, known data at each peer."""
+    topology = Topology(4, [(0, 1), (1, 2), (2, 3)])
+    databases = [
+        LocalDatabase({"A": np.array([1, 2, 3, 4])}, block_size=2),
+        LocalDatabase({"A": np.array([10, 20])}, block_size=2),
+        LocalDatabase({"A": np.array([5])}, block_size=2),
+        LocalDatabase({"A": np.array([], dtype=np.int64)}, block_size=2),
+    ]
+    return NetworkSimulator(topology, databases, seed=3)
+
+
+COUNT_SMALL = AggregationQuery(
+    agg=AggregateOp.COUNT, column="A",
+    predicate=Between(column="A", low=1, high=5),
+)
+SUM_ALL = AggregationQuery(agg=AggregateOp.SUM, column="A")
+
+
+class TestConstruction:
+    def test_database_count_must_match(self):
+        topology = Topology(2, [(0, 1)])
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(
+                topology, [LocalDatabase({"A": np.array([1])})]
+            )
+
+    def test_peer_identities_synthesized(self, mini_network):
+        node = mini_network.node(2)
+        assert isinstance(node, PeerNode)
+        assert node.peer.peer_id == 2
+        assert node.peer.ip.startswith("10.")
+
+    def test_explicit_peers(self):
+        topology = Topology(2, [(0, 1)])
+        peers = [
+            Peer(peer_id=i, ip=f"192.168.0.{i + 1}", port=7000 + i,
+                 capabilities=PeerCapabilities())
+            for i in range(2)
+        ]
+        databases = [LocalDatabase({"A": np.array([1])})] * 2
+        network = NetworkSimulator(topology, databases, peers=peers)
+        assert network.node(1).peer.port == 7001
+
+    def test_peer_count_mismatch(self):
+        topology = Topology(2, [(0, 1)])
+        databases = [LocalDatabase({"A": np.array([1])})] * 2
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(
+                topology, databases,
+                peers=[Peer(peer_id=0, ip="1.1.1.1", port=1)],
+            )
+
+    def test_unknown_peer(self, mini_network):
+        with pytest.raises(ProtocolError):
+            mini_network.node(9)
+
+    def test_total_tuples(self, mini_network):
+        assert mini_network.total_tuples() == 7
+
+    def test_databases_accessor(self, mini_network):
+        assert len(mini_network.databases()) == 4
+        assert mini_network.database(0).num_tuples == 4
+
+
+class TestPing:
+    def test_ping_neighbor(self, mini_network):
+        ledger = mini_network.new_ledger()
+        pong = mini_network.ping(0, 1, ledger)
+        assert pong.source == 1
+        assert pong.shared_tuples == 2
+        cost = ledger.snapshot()
+        assert cost.messages == 2  # ping + pong
+        assert cost.hops == 1
+
+    def test_ping_non_neighbor_rejected(self, mini_network):
+        with pytest.raises(ProtocolError):
+            mini_network.ping(0, 3, mini_network.new_ledger())
+
+
+class TestVisitAggregate:
+    def test_full_scan_count(self, mini_network):
+        ledger = mini_network.new_ledger()
+        reply = mini_network.visit_aggregate(
+            0, COUNT_SMALL, sink=1, ledger=ledger
+        )
+        assert reply.aggregate_value == 4.0  # all of 1,2,3,4 in [1,5]
+        assert reply.degree == 1
+        assert reply.local_tuples == 4
+        assert reply.processed_tuples == 4
+
+    def test_full_scan_sum(self, mini_network):
+        reply = mini_network.visit_aggregate(
+            1, SUM_ALL, sink=0, ledger=mini_network.new_ledger()
+        )
+        assert reply.aggregate_value == 30.0
+        assert reply.matching_count == 2.0
+        assert reply.column_total == 30.0
+
+    def test_empty_peer(self, mini_network):
+        reply = mini_network.visit_aggregate(
+            3, SUM_ALL, sink=0, ledger=mini_network.new_ledger()
+        )
+        assert reply.aggregate_value == 0.0
+        assert reply.local_tuples == 0
+
+    def test_subsampled_scaling(self, mini_network):
+        """With t=2 of 4 tuples the scaled estimate uses factor 2."""
+        ledger = mini_network.new_ledger()
+        reply = mini_network.visit_aggregate(
+            0, COUNT_SMALL, sink=1, ledger=ledger, tuples_per_peer=2
+        )
+        assert reply.processed_tuples == 2
+        # All tuples match, so 2 matching * (4/2) = 4 regardless of draw.
+        assert reply.aggregate_value == 4.0
+
+    def test_subsample_not_triggered_when_small(self, mini_network):
+        reply = mini_network.visit_aggregate(
+            2, COUNT_SMALL, sink=1,
+            ledger=mini_network.new_ledger(), tuples_per_peer=10,
+        )
+        assert reply.processed_tuples == 1
+
+    def test_ledger_accounting(self, mini_network):
+        ledger = mini_network.new_ledger()
+        mini_network.visit_aggregate(0, COUNT_SMALL, sink=1, ledger=ledger)
+        cost = ledger.snapshot()
+        assert cost.peers_visited == 1
+        assert cost.distinct_peers == 1
+        assert cost.tuples_processed == 4
+        assert cost.messages == 1  # the direct reply
+        assert cost.latency_ms > 0
+
+    def test_revisit_counts_twice(self, mini_network):
+        ledger = mini_network.new_ledger()
+        mini_network.visit_aggregate(0, COUNT_SMALL, sink=1, ledger=ledger)
+        mini_network.visit_aggregate(0, COUNT_SMALL, sink=1, ledger=ledger)
+        cost = ledger.snapshot()
+        assert cost.peers_visited == 2
+        assert cost.distinct_peers == 1
+
+    def test_median_rejected(self, mini_network):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        with pytest.raises(ConfigurationError):
+            mini_network.visit_aggregate(
+                0, query, sink=1, ledger=mini_network.new_ledger()
+            )
+
+    def test_negative_budget_rejected(self, mini_network):
+        with pytest.raises(ConfigurationError):
+            mini_network.visit_aggregate(
+                0, COUNT_SMALL, sink=1,
+                ledger=mini_network.new_ledger(), tuples_per_peer=-1,
+            )
+
+    def test_block_sampling_method(self, mini_network):
+        reply = mini_network.visit_aggregate(
+            0, COUNT_SMALL, sink=1,
+            ledger=mini_network.new_ledger(),
+            tuples_per_peer=2, sampling_method="block",
+        )
+        assert reply.processed_tuples == 2
+
+
+class TestVisitValues:
+    def test_median_ship(self, mini_network):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        reply = mini_network.visit_values(
+            0, query, sink=1, ledger=mini_network.new_ledger()
+        )
+        assert len(reply.values) == 1
+        assert reply.values[0] == pytest.approx(2.5)
+
+    def test_sample_ship(self, mini_network):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        reply = mini_network.visit_values(
+            0, query, sink=1,
+            ledger=mini_network.new_ledger(), ship="sample",
+        )
+        assert sorted(reply.values) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_selection_ships_nothing(self, mini_network):
+        query = AggregationQuery(
+            agg=AggregateOp.MEDIAN, column="A",
+            predicate=Between(column="A", low=99, high=100),
+        )
+        reply = mini_network.visit_values(
+            0, query, sink=1, ledger=mini_network.new_ledger()
+        )
+        assert reply.values == ()
+
+    def test_quantile_ship(self, mini_network):
+        query = AggregationQuery(
+            agg=AggregateOp.QUANTILE, column="A", quantile=0.25
+        )
+        reply = mini_network.visit_values(
+            0, query, sink=1, ledger=mini_network.new_ledger()
+        )
+        assert reply.values[0] == pytest.approx(1.75)
+
+    def test_unknown_ship_mode(self, mini_network):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        with pytest.raises(ConfigurationError):
+            mini_network.visit_values(
+                0, query, sink=1,
+                ledger=mini_network.new_ledger(), ship="teleport",
+            )
+
+    def test_bandwidth_scales_with_shipment(self, mini_network):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        ledger_median = mini_network.new_ledger()
+        mini_network.visit_values(
+            0, query, sink=1, ledger=ledger_median, ship="median"
+        )
+        ledger_sample = mini_network.new_ledger()
+        mini_network.visit_values(
+            0, query, sink=1, ledger=ledger_sample, ship="sample"
+        )
+        assert (
+            ledger_sample.snapshot().bytes_sent
+            > ledger_median.snapshot().bytes_sent
+        )
+
+
+class TestFlood:
+    def test_reaches_whole_path(self, mini_network):
+        ledger = mini_network.new_ledger()
+        reached = mini_network.flood(0, ttl=5, ledger=ledger)
+        assert [peer for peer, _ in reached] == [0, 1, 2, 3]
+        assert [depth for _, depth in reached] == [0, 1, 2, 3]
+
+    def test_ttl_limits_depth(self, mini_network):
+        reached = mini_network.flood(
+            0, ttl=1, ledger=mini_network.new_ledger()
+        )
+        assert [peer for peer, _ in reached] == [0, 1]
+
+    def test_max_peers_truncates(self, mini_network):
+        reached = mini_network.flood(
+            0, ttl=5, ledger=mini_network.new_ledger(), max_peers=2
+        )
+        assert len(reached) == 2
+
+    def test_message_cost_counts_edge_traversals(self, mini_network):
+        ledger = mini_network.new_ledger()
+        mini_network.flood(0, ttl=5, ledger=ledger)
+        # Path graph: edges (0,1),(1,2),(2,3) traversed once forward,
+        # and each non-frontier expansion re-sends over known edges.
+        assert ledger.snapshot().messages >= 3
+
+    def test_flood_on_larger_graph_counts_every_edge(self, small_network):
+        ledger = small_network.new_ledger()
+        reached = small_network.flood(0, ttl=10**6, ledger=ledger)
+        assert len(reached) == small_network.num_peers
+        # every directed edge traversal charged at most once per endpoint
+        assert ledger.snapshot().messages >= small_network.topology.num_edges
+
+    def test_negative_ttl_rejected(self, mini_network):
+        with pytest.raises(ConfigurationError):
+            mini_network.flood(0, ttl=-1, ledger=mini_network.new_ledger())

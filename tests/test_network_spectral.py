@@ -1,0 +1,149 @@
+"""Unit tests for repro.network.spectral."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.generators import (
+    clustered_power_law,
+    power_law_topology,
+    random_regular_topology,
+    subgraph_groups,
+)
+from repro.network.spectral import (
+    SpectralProfile,
+    analyze_topology,
+    conductance,
+    recommend_jump,
+)
+from repro.network.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def expander():
+    """A random regular graph: a near-optimal expander."""
+    return random_regular_topology(200, 8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def barbell():
+    """Two dense clusters bridged by a single edge: tiny cut."""
+    edges = []
+    for offset in (0, 10):
+        for i in range(10):
+            for j in range(i + 1, 10):
+                edges.append((offset + i, offset + j))
+    edges.append((9, 10))
+    return Topology(20, edges)
+
+
+class TestAnalyzeTopology:
+    def test_expander_has_large_gap(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.spectral_gap > 0.3
+
+    def test_barbell_has_small_gap(self, barbell):
+        profile = analyze_topology(barbell)
+        assert profile.spectral_gap < 0.05
+
+    def test_second_eigenvalue_below_one(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.second_eigenvalue < 1.0
+
+    def test_profile_records_size(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.num_peers == 200
+        assert profile.num_edges == expander.num_edges
+
+    def test_min_stationary(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.min_stationary == pytest.approx(
+            expander.stationary_distribution().min()
+        )
+
+    def test_tiny_graph_dense_path(self, tiny_topology):
+        profile = analyze_topology(tiny_topology)
+        assert 0.0 < profile.spectral_gap <= 1.0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            analyze_topology(Topology(4, [(0, 1), (2, 3)]))
+
+    def test_isolated_peer_rejected(self):
+        with pytest.raises(TopologyError):
+            analyze_topology(Topology(3, [(0, 1)]))
+
+
+class TestMixingAndJump:
+    def test_mixing_time_finite_for_expander(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.mixing_time() < 100
+
+    def test_mixing_time_monotone_in_epsilon(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.mixing_time(0.001) > profile.mixing_time(0.1)
+
+    def test_barbell_mixes_slower_than_expander(self, expander, barbell):
+        slow = analyze_topology(barbell)
+        fast = analyze_topology(expander)
+        assert slow.mixing_time() > fast.mixing_time()
+
+    def test_relaxation_time(self, expander):
+        profile = analyze_topology(expander)
+        assert profile.relaxation_time == pytest.approx(
+            1.0 / profile.spectral_gap
+        )
+
+    def test_recommended_jump_decorrelates(self, expander):
+        profile = analyze_topology(expander)
+        jump = profile.recommended_jump(0.05)
+        lambda_star = 1.0 - profile.spectral_gap
+        assert lambda_star**jump <= 0.05 + 1e-12
+
+    def test_recommended_jump_small_cut_larger(self, expander, barbell):
+        jump_fast = recommend_jump(expander)
+        jump_slow = recommend_jump(barbell)
+        assert jump_slow > jump_fast
+
+    def test_recommend_jump_wrapper(self, expander):
+        profile = analyze_topology(expander)
+        assert recommend_jump(expander, profile=profile) == (
+            profile.recommended_jump()
+        )
+
+    def test_gapless_profile_degenerates(self):
+        profile = SpectralProfile(
+            num_peers=10, num_edges=20,
+            second_eigenvalue=1.0, spectral_gap=0.0,
+            min_stationary=0.01,
+        )
+        assert profile.mixing_time() == math.inf
+        assert profile.relaxation_time == math.inf
+        assert profile.recommended_jump() == 10
+
+
+class TestConductance:
+    def test_barbell_cut_has_low_conductance(self, barbell):
+        value = conductance(barbell, list(range(10)))
+        assert value < 0.02
+
+    def test_clustered_topology_conductance_scales_with_cut(self):
+        small = clustered_power_law(200, 1000, 2, 4, seed=3)
+        large = clustered_power_law(200, 1000, 2, 200, seed=3)
+        groups = subgraph_groups(200, 2)
+        assert conductance(small, groups[0]) < conductance(large, groups[0])
+
+    def test_empty_group_rejected(self, barbell):
+        with pytest.raises(TopologyError):
+            conductance(barbell, [])
+
+    def test_full_group_rejected(self, barbell):
+        with pytest.raises(TopologyError):
+            conductance(barbell, list(range(20)))
+
+    def test_conductance_in_unit_range(self):
+        topology = power_law_topology(100, 400, seed=5)
+        value = conductance(topology, list(range(50)))
+        assert 0.0 <= value <= 1.0

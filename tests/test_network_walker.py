@@ -1,0 +1,290 @@
+"""Unit and statistical tests for repro.network.walker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.topology import Topology
+from repro.network.walker import RandomWalkConfig, RandomWalker, WalkResult
+
+
+class TestRandomWalkConfig:
+    def test_defaults(self):
+        config = RandomWalkConfig()
+        assert config.jump == 10
+        assert config.variant == "simple"
+        assert config.effective_jump == 10
+        assert config.effective_burn_in == 10
+
+    def test_zero_jump_normalizes_to_one(self):
+        assert RandomWalkConfig(jump=0).effective_jump == 1
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkConfig(jump=-1)
+
+    def test_explicit_burn_in(self):
+        assert RandomWalkConfig(jump=5, burn_in=0).effective_burn_in == 0
+
+    def test_negative_burn_in_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkConfig(burn_in=-1)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkConfig(variant="teleport")
+
+
+class TestWalkMechanics:
+    def test_step_moves_to_neighbor(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=1)
+        for _ in range(20):
+            nxt = walker.step(0)
+            assert nxt in (1, 2)
+
+    def test_leaf_always_steps_back(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=1)
+        assert walker.step(4) == 3
+
+    def test_trace_length(self, small_topology):
+        walker = RandomWalker(small_topology, seed=1)
+        trace = walker.trace(0, 50)
+        assert trace.shape == (51,)
+        assert trace[0] == 0
+
+    def test_trace_moves_along_edges(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=2)
+        trace = walker.trace(0, 30)
+        for current, nxt in zip(trace[:-1], trace[1:]):
+            assert tiny_topology.has_edge(int(current), int(nxt))
+
+    def test_trace_negative_hops(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=2)
+        with pytest.raises(ConfigurationError):
+            walker.trace(0, -1)
+
+    def test_lazy_walk_can_stay(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology, RandomWalkConfig(variant="lazy"), seed=3
+        )
+        trace = walker.trace(0, 100)
+        stays = sum(
+            1 for a, b in zip(trace[:-1], trace[1:]) if a == b
+        )
+        assert stays > 20  # expect ~50
+
+    def test_self_inclusive_walk_can_stay(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology,
+            RandomWalkConfig(variant="self-inclusive"),
+            seed=3,
+        )
+        trace = walker.trace(4, 100)
+        stays = sum(1 for a, b in zip(trace[:-1], trace[1:]) if a == b)
+        assert stays > 10  # leaf stays w.p. 1/2
+
+    def test_simple_walk_never_stays(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=3)
+        trace = walker.trace(0, 200)
+        assert all(a != b for a, b in zip(trace[:-1], trace[1:]))
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(TopologyError):
+            RandomWalker(Topology(3, []))
+
+    def test_isolated_start_rejected(self):
+        topology = Topology(3, [(0, 1)])
+        walker = RandomWalker(topology, seed=1)
+        with pytest.raises(TopologyError):
+            walker.step(2)
+
+    def test_out_of_range_start(self, tiny_topology):
+        walker = RandomWalker(tiny_topology, seed=1)
+        with pytest.raises(TopologyError):
+            walker.step(7)
+
+
+class TestSamplePeers:
+    def test_count_selected(self, small_topology):
+        walker = RandomWalker(small_topology, seed=4)
+        result = walker.sample_peers(0, 25)
+        assert len(result) == 25
+        assert result.start == 0
+
+    def test_zero_count(self, small_topology):
+        walker = RandomWalker(small_topology, seed=4)
+        result = walker.sample_peers(0, 0)
+        assert len(result) == 0
+        assert result.hops == 0
+
+    def test_negative_count_rejected(self, small_topology):
+        walker = RandomWalker(small_topology, seed=4)
+        with pytest.raises(ConfigurationError):
+            walker.sample_peers(0, -1)
+
+    def test_hops_match_jump(self, small_topology):
+        config = RandomWalkConfig(jump=7, burn_in=7)
+        walker = RandomWalker(small_topology, config, seed=4)
+        result = walker.sample_peers(0, 10)
+        # burn_in + (count - 1) selections * jump hops
+        assert result.hops == 7 + 9 * 7
+
+    def test_no_burn_in_selects_sink_first(self, small_topology):
+        config = RandomWalkConfig(jump=1, burn_in=0)
+        walker = RandomWalker(small_topology, config, seed=4)
+        result = walker.sample_peers(3, 5)
+        assert result.peers[0] == 3
+
+    def test_jump_zero_selects_consecutive_neighbors(self, small_topology):
+        config = RandomWalkConfig(jump=0, burn_in=0)
+        walker = RandomWalker(small_topology, config, seed=4)
+        result = walker.sample_peers(0, 10)
+        for a, b in zip(result.peers[:-1], result.peers[1:]):
+            assert small_topology.has_edge(int(a), int(b))
+
+    def test_revisits_allowed_by_default(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology, RandomWalkConfig(jump=1), seed=4
+        )
+        result = walker.sample_peers(0, 50)
+        assert result.distinct_peers < 50  # only 5 peers exist
+
+    def test_distinct_mode(self, small_topology):
+        config = RandomWalkConfig(jump=2, allow_revisits=False)
+        walker = RandomWalker(small_topology, config, seed=4)
+        result = walker.sample_peers(0, 30)
+        assert result.distinct_peers == 30
+
+    def test_distinct_mode_impossible_raises(self, tiny_topology):
+        config = RandomWalkConfig(jump=1, allow_revisits=False)
+        walker = RandomWalker(tiny_topology, config, seed=4)
+        with pytest.raises(TopologyError):
+            walker.sample_peers(0, 10)  # only 5 peers exist
+
+    def test_walk_result_is_reproducible(self, small_topology):
+        a = RandomWalker(small_topology, seed=9).sample_peers(0, 20)
+        b = RandomWalker(small_topology, seed=9).sample_peers(0, 20)
+        np.testing.assert_array_equal(a.peers, b.peers)
+
+
+class TestStationaryDistribution:
+    def test_simple_variant_matches_topology(self, small_topology):
+        walker = RandomWalker(small_topology, seed=1)
+        np.testing.assert_allclose(
+            walker.stationary_probabilities(),
+            small_topology.stationary_distribution(),
+        )
+
+    def test_self_inclusive_distribution(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology,
+            RandomWalkConfig(variant="self-inclusive"),
+            seed=1,
+        )
+        pi = walker.stationary_probabilities()
+        expected = (tiny_topology.degrees + 1) / (2 * 5 + 5)
+        np.testing.assert_allclose(pi, expected)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_empirical_convergence_simple(self, tiny_topology):
+        """After many hops the endpoint distribution approaches
+        deg/2|E| (statistical, fixed seed)."""
+        walker = RandomWalker(tiny_topology, seed=100)
+        empirical = walker.empirical_distribution(0, walks=4000, hops=25)
+        expected = tiny_topology.stationary_distribution()
+        np.testing.assert_allclose(empirical, expected, atol=0.035)
+
+    def test_empirical_convergence_lazy(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology, RandomWalkConfig(variant="lazy"), seed=100
+        )
+        empirical = walker.empirical_distribution(0, walks=4000, hops=50)
+        expected = tiny_topology.stationary_distribution()
+        np.testing.assert_allclose(empirical, expected, atol=0.035)
+
+    def test_empirical_convergence_self_inclusive(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology,
+            RandomWalkConfig(variant="self-inclusive"),
+            seed=100,
+        )
+        empirical = walker.empirical_distribution(0, walks=4000, hops=50)
+        expected = walker.stationary_probabilities()
+        np.testing.assert_allclose(empirical, expected, atol=0.035)
+
+    def test_endpoint_after(self, small_topology):
+        walker = RandomWalker(small_topology, seed=5)
+        endpoint = walker.endpoint_after(0, 100)
+        assert 0 <= endpoint < small_topology.num_peers
+
+    def test_empirical_distribution_validates(self, small_topology):
+        walker = RandomWalker(small_topology, seed=5)
+        with pytest.raises(ConfigurationError):
+            walker.empirical_distribution(0, walks=0, hops=5)
+
+
+class TestSampledFrequencies:
+    def test_jump_walk_sampling_tracks_degree(self, small_topology):
+        """Peers selected by a jumping walk should appear with
+        frequency roughly proportional to degree."""
+        walker = RandomWalker(
+            small_topology, RandomWalkConfig(jump=8), seed=42
+        )
+        result = walker.sample_peers(0, 4000)
+        counts = np.bincount(
+            result.peers, minlength=small_topology.num_peers
+        )
+        empirical = counts / counts.sum()
+        expected = small_topology.stationary_distribution()
+        # Aggregate correlation check rather than pointwise.
+        correlation = np.corrcoef(empirical, expected)[0, 1]
+        assert correlation > 0.9
+
+
+class TestMetropolisUniform:
+    def test_stationary_is_uniform(self, small_topology):
+        walker = RandomWalker(
+            small_topology,
+            RandomWalkConfig(variant="metropolis-uniform"),
+            seed=1,
+        )
+        pi = walker.stationary_probabilities()
+        np.testing.assert_allclose(pi, 1.0 / small_topology.num_peers)
+
+    def test_empirical_convergence(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology,
+            RandomWalkConfig(variant="metropolis-uniform"),
+            seed=100,
+        )
+        empirical = walker.empirical_distribution(0, walks=4000, hops=40)
+        np.testing.assert_allclose(empirical, 0.2, atol=0.04)
+
+    def test_can_reject_and_stay(self, tiny_topology):
+        walker = RandomWalker(
+            tiny_topology,
+            RandomWalkConfig(variant="metropolis-uniform"),
+            seed=3,
+        )
+        # From the leaf (deg 1) to its neighbor (deg 2), proposals are
+        # rejected half the time, so stays must occur.
+        trace = walker.trace(4, 200)
+        stays = sum(1 for a, b in zip(trace[:-1], trace[1:]) if a == b)
+        assert stays > 10
+
+    def test_sampling_frequencies_flatten(self, small_topology):
+        """Unlike the simple walk, selection frequency must NOT track
+        degree."""
+        walker = RandomWalker(
+            small_topology,
+            RandomWalkConfig(variant="metropolis-uniform", jump=8),
+            seed=42,
+        )
+        result = walker.sample_peers(0, 4000)
+        counts = np.bincount(
+            result.peers, minlength=small_topology.num_peers
+        )
+        empirical = counts / counts.sum()
+        degrees = small_topology.degrees.astype(float)
+        correlation = np.corrcoef(empirical, degrees)[0, 1]
+        assert abs(correlation) < 0.35

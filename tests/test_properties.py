@@ -1,0 +1,458 @@
+"""Property-based tests (hypothesis) on core data structures and
+estimator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._util import weighted_median
+from repro.core.crossval import cross_validate
+from repro.core.estimators import (
+    PeerObservation,
+    clustering_badness,
+    horvitz_thompson,
+)
+from repro.data.generator import arrange_cluster_level
+from repro.data.localdb import LocalDatabase
+from repro.data.zipf import zipf_probabilities, zipf_sample
+from repro.network.topology import Topology
+from repro.query.model import (
+    AggregateOp,
+    AggregationQuery,
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+)
+from repro.query.exact import evaluate_on_columns
+from repro.query.parser import parse_query
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+values_arrays = st.lists(
+    st.integers(min_value=1, max_value=100), min_size=1, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+@st.composite
+def populations(draw):
+    """(values, probabilities) for an HT population."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    weights = np.asarray(weights)
+    return np.asarray(values), weights / weights.sum()
+
+
+@st.composite
+def simple_graphs(draw):
+    """A connected simple graph as (num_nodes, edge list)."""
+    n = draw(st.integers(min_value=2, max_value=20))
+    # Random spanning tree guarantees connectivity.
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add((parent, node))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return n, sorted(edges)
+
+
+# ---------------------------------------------------------------------------
+# Topology invariants
+# ---------------------------------------------------------------------------
+
+@given(simple_graphs())
+@settings(max_examples=50, deadline=None)
+def test_topology_handshake_lemma(graph):
+    n, edges = graph
+    topology = Topology(n, edges)
+    assert int(topology.degrees.sum()) == 2 * topology.num_edges
+
+
+@given(simple_graphs())
+@settings(max_examples=50, deadline=None)
+def test_topology_stationary_distribution_sums_to_one(graph):
+    n, edges = graph
+    topology = Topology(n, edges)
+    assert topology.stationary_distribution().sum() == pytest.approx(1.0)
+
+
+@given(simple_graphs())
+@settings(max_examples=50, deadline=None)
+def test_topology_bfs_covers_connected_graph(graph):
+    n, edges = graph
+    topology = Topology(n, edges)
+    assert sorted(topology.bfs_order(0)) == list(range(n))
+
+
+@given(simple_graphs())
+@settings(max_examples=30, deadline=None)
+def test_topology_networkx_round_trip(graph):
+    n, edges = graph
+    topology = Topology(n, edges)
+    back = Topology.from_networkx(topology.to_networkx())
+    assert sorted(back.edges()) == sorted(topology.edges())
+
+
+# ---------------------------------------------------------------------------
+# Zipf invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0, max_value=3, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_zipf_probabilities_are_a_distribution(num_values, skew):
+    probabilities = zipf_probabilities(num_values, skew)
+    assert probabilities.sum() == pytest.approx(1.0)
+    assert np.all(probabilities > 0)
+    assert np.all(np.diff(probabilities) <= 1e-15)
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=100),
+    st.floats(min_value=0, max_value=2.5, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_zipf_sample_stays_in_domain(n, num_values, skew, seed):
+    sample = zipf_sample(n, num_values=num_values, skew=skew, seed=seed)
+    assert sample.size == n
+    if n:
+        assert sample.min() >= 1
+        assert sample.max() <= num_values
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level arrangement invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    values_arrays,
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_arrange_preserves_multiset(values, cluster_level, seed):
+    rng = np.random.default_rng(seed)
+    arranged = arrange_cluster_level(values.copy(), cluster_level, rng)
+    np.testing.assert_array_equal(np.sort(arranged), np.sort(values))
+
+
+# ---------------------------------------------------------------------------
+# Weighted median invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.floats(min_value=0.001, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_weighted_median_is_input_value_with_balanced_mass(pairs):
+    values = np.asarray([p[0] for p in pairs])
+    weights = np.asarray([p[1] for p in pairs])
+    median = weighted_median(values, weights)
+    assert median in values
+    total = weights.sum()
+    below = weights[values < median].sum()
+    above = weights[values > median].sum()
+    # No more than half the mass can sit strictly on either side.
+    assert below <= total / 2 + 1e-9
+    assert above <= total / 2 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Estimator invariants
+# ---------------------------------------------------------------------------
+
+@given(populations())
+@settings(max_examples=50, deadline=None)
+def test_badness_nonnegative_and_variance_law(population):
+    values, probabilities = population
+    badness = clustering_badness(values, probabilities)
+    assert badness >= -1e-6
+
+
+@given(populations(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50, deadline=None)
+def test_ht_estimate_bounded_by_extreme_ratios(population, seed):
+    values, probabilities = population
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(values), size=10, p=probabilities)
+    observations = [
+        PeerObservation(
+            peer_id=int(i),
+            value=float(values[i]),
+            probability=float(probabilities[i]),
+        )
+        for i in picks
+    ]
+    estimate = horvitz_thompson(observations)
+    ratios = [o.ratio for o in observations]
+    assert min(ratios) - 1e-9 <= estimate <= max(ratios) + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        min_size=4, max_size=40,
+    ),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_cross_validation_error_nonnegative(ratio_values, seed):
+    observations = [
+        PeerObservation(peer_id=i, value=v, probability=0.5)
+        for i, v in enumerate(ratio_values)
+    ]
+    cv = cross_validate(observations, rounds=3, seed=seed)
+    assert cv.mean_squared_error >= 0
+    assert all(e >= 0 for e in cv.errors)
+
+
+# ---------------------------------------------------------------------------
+# Query invariants
+# ---------------------------------------------------------------------------
+
+predicates = st.deferred(
+    lambda: st.one_of(
+        st.builds(
+            Between,
+            column=st.just("A"),
+            low=st.integers(min_value=1, max_value=50),
+            high=st.integers(min_value=50, max_value=100),
+        ),
+        st.builds(
+            Comparison,
+            column=st.just("A"),
+            op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+            value=st.integers(min_value=1, max_value=100),
+        ),
+        st.builds(And, predicates, predicates),
+        st.builds(Or, predicates, predicates),
+        st.builds(Not, predicates),
+    )
+)
+
+
+@given(values_arrays, predicates)
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_count_never_exceeds_rows_and_not_complements(values, predicate):
+    columns = {"A": values}
+    count_query = AggregationQuery(
+        agg=AggregateOp.COUNT, column="A", predicate=predicate
+    )
+    count = evaluate_on_columns(count_query, columns)
+    assert 0 <= count <= values.size
+    complement = AggregationQuery(
+        agg=AggregateOp.COUNT, column="A", predicate=Not(predicate)
+    )
+    assert count + evaluate_on_columns(complement, columns) == values.size
+
+
+@given(values_arrays, predicates)
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_predicate_sql_round_trips_through_parser(values, predicate):
+    query = AggregationQuery(
+        agg=AggregateOp.COUNT, column="A", predicate=predicate
+    )
+    reparsed = parse_query(query.to_sql())
+    columns = {"A": values}
+    np.testing.assert_array_equal(
+        reparsed.predicate.mask(columns), predicate.mask(columns)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Local database invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    values_arrays,
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_block_sample_size_and_membership(values, block_size, t, seed):
+    database = LocalDatabase({"A": values}, block_size=block_size)
+    indices = database.block_sample_indices(t, seed=seed)
+    assert indices.size == min(t, values.size)
+    if indices.size:
+        assert indices.min() >= 0
+        assert indices.max() < values.size
+        assert len(set(indices.tolist())) == indices.size
+
+
+@given(
+    values_arrays,
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_uniform_sample_without_replacement(values, t, seed):
+    database = LocalDatabase({"A": values})
+    indices = database.uniform_sample_indices(t, seed=seed)
+    assert indices.size == min(t, values.size)
+    assert len(set(indices.tolist())) == indices.size
+
+
+# ---------------------------------------------------------------------------
+# Cost-optimizer invariants
+# ---------------------------------------------------------------------------
+
+@st.composite
+def variance_observations(draw):
+    """Observations with controlled variance fields."""
+    n = draw(st.integers(min_value=2, max_value=20))
+    observations = []
+    for i in range(n):
+        observations.append(
+            PeerObservation(
+                peer_id=i,
+                value=draw(
+                    st.floats(min_value=0, max_value=1000, allow_nan=False)
+                ),
+                probability=draw(
+                    st.floats(min_value=0.001, max_value=0.5,
+                              allow_nan=False)
+                ),
+                local_tuples=draw(st.integers(min_value=1, max_value=500)),
+                contribution_variance=draw(
+                    st.floats(min_value=0, max_value=100, allow_nan=False)
+                ),
+                processed_tuples=draw(
+                    st.integers(min_value=1, max_value=100)
+                ),
+            )
+        )
+    return observations
+
+
+@given(variance_observations())
+@settings(max_examples=60, deadline=None)
+def test_variance_decomposition_nonnegative(observations):
+    from repro.core.cost_optimizer import decompose_variance
+
+    decomposition = decompose_variance(observations)
+    assert decomposition.between >= 0
+    assert decomposition.within_rate >= 0
+    # badness is monotone non-increasing in t
+    assert decomposition.badness_at(10) >= decomposition.badness_at(1000)
+
+
+@given(
+    variance_observations(),
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=1, max_value=2000),
+)
+@settings(max_examples=60, deadline=None)
+def test_optimizer_respects_bounds(observations, absolute_error, max_tuples):
+    from repro.core.cost_optimizer import optimize_tuple_budget
+
+    plan = optimize_tuple_budget(
+        observations, absolute_error=absolute_error, max_tuples=max_tuples
+    )
+    assert 1 <= plan.tuples_per_peer <= max_tuples
+    assert plan.peers_to_visit >= 1
+    assert plan.predicted_latency_ms > 0
+
+
+# ---------------------------------------------------------------------------
+# Hájek estimator invariants
+# ---------------------------------------------------------------------------
+
+@given(populations(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50, deadline=None)
+def test_hajek_bounded_by_scaled_extremes(population, seed):
+    """y_H = M * weighted mean of y(s), so it lies within M times the
+    extreme per-peer values of the sample."""
+    from repro.core.estimators import hajek_estimate
+
+    values, probabilities = population
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(values), size=10, p=probabilities)
+    observations = [
+        PeerObservation(
+            peer_id=int(i),
+            value=float(values[i]),
+            probability=float(probabilities[i]),
+        )
+        for i in picks
+    ]
+    num_peers = len(values)
+    estimate = hajek_estimate(observations, num_peers)
+    sampled_values = [o.value for o in observations]
+    assert (
+        num_peers * min(sampled_values) - 1e-6
+        <= estimate
+        <= num_peers * max(sampled_values) + 1e-6
+    )
+
+
+@given(populations(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50, deadline=None)
+def test_hajek_scale_invariant_in_weights(population, seed):
+    """Multiplying every probability by a constant (un-normalizing)
+    leaves the Hájek estimate unchanged — the property biased sampling
+    relies on."""
+    from repro.core.estimators import hajek_estimate
+
+    values, probabilities = population
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(values), size=8, p=probabilities)
+    base = [
+        PeerObservation(
+            peer_id=int(i),
+            value=float(values[i]),
+            probability=float(probabilities[i]),
+        )
+        for i in picks
+    ]
+    scaled = [
+        PeerObservation(
+            peer_id=o.peer_id,
+            value=o.value,
+            probability=min(1.0, o.probability * 0.5),
+        )
+        for o in base
+    ]
+    m = len(values)
+    assert hajek_estimate(base, m) == pytest.approx(
+        hajek_estimate(scaled, m)
+    )

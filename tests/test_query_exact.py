@@ -1,0 +1,141 @@
+"""Unit tests for repro.query.exact."""
+
+import numpy as np
+import pytest
+
+from repro.data.localdb import LocalDatabase
+from repro.errors import QueryError
+from repro.query.exact import (
+    evaluate_exact,
+    evaluate_on_columns,
+    measured_selectivity,
+    rank_of_value,
+)
+from repro.query.model import AggregateOp, AggregationQuery, Between
+
+DATABASES = [
+    LocalDatabase({"A": np.array([1, 2, 3])}),
+    LocalDatabase({"A": np.array([4, 5])}),
+    LocalDatabase({"A": np.array([], dtype=np.int64)}),
+]
+
+
+def query(agg, low=None, high=None, quantile=None):
+    predicate = (
+        Between(column="A", low=low, high=high)
+        if low is not None
+        else None
+    )
+    kwargs = {"agg": agg, "column": "A"}
+    if predicate is not None:
+        kwargs["predicate"] = predicate
+    if quantile is not None:
+        kwargs["quantile"] = quantile
+    return AggregationQuery(**kwargs)
+
+
+class TestEvaluateOnColumns:
+    def test_count(self):
+        columns = {"A": np.array([1, 2, 3, 4])}
+        assert evaluate_on_columns(
+            query(AggregateOp.COUNT, 2, 3), columns
+        ) == 2.0
+
+    def test_sum(self):
+        columns = {"A": np.array([1, 2, 3, 4])}
+        assert evaluate_on_columns(
+            query(AggregateOp.SUM, 2, 4), columns
+        ) == 9.0
+
+    def test_sum_empty_selection_is_zero(self):
+        columns = {"A": np.array([1, 2])}
+        assert evaluate_on_columns(
+            query(AggregateOp.SUM, 50, 60), columns
+        ) == 0.0
+
+    def test_avg(self):
+        columns = {"A": np.array([1, 2, 3, 4])}
+        assert evaluate_on_columns(query(AggregateOp.AVG), columns) == 2.5
+
+    def test_avg_empty_selection_raises(self):
+        columns = {"A": np.array([1, 2])}
+        with pytest.raises(QueryError):
+            evaluate_on_columns(query(AggregateOp.AVG, 50, 60), columns)
+
+    def test_median(self):
+        columns = {"A": np.array([1, 2, 3, 4, 100])}
+        assert evaluate_on_columns(query(AggregateOp.MEDIAN), columns) == 3.0
+
+    def test_quantile(self):
+        columns = {"A": np.arange(1, 101)}
+        value = evaluate_on_columns(
+            query(AggregateOp.QUANTILE, quantile=0.25), columns
+        )
+        assert value == pytest.approx(25.75)
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            evaluate_on_columns(
+                AggregationQuery(agg=AggregateOp.SUM, column="Z"),
+                {"A": np.array([1])},
+            )
+
+
+class TestEvaluateExact:
+    def test_count_distributes(self):
+        assert evaluate_exact(query(AggregateOp.COUNT, 2, 4), DATABASES) == 3.0
+
+    def test_sum_distributes(self):
+        assert evaluate_exact(query(AggregateOp.SUM), DATABASES) == 15.0
+
+    def test_avg_gathers(self):
+        assert evaluate_exact(query(AggregateOp.AVG), DATABASES) == 3.0
+
+    def test_median_gathers(self):
+        assert evaluate_exact(query(AggregateOp.MEDIAN), DATABASES) == 3.0
+
+    def test_median_empty_selection_raises(self):
+        with pytest.raises(QueryError):
+            evaluate_exact(query(AggregateOp.MEDIAN, 50, 60), DATABASES)
+
+    def test_matches_global_computation(self, small_dataset):
+        q = query(AggregateOp.COUNT, 1, 30)
+        exact = evaluate_exact(q, small_dataset.databases)
+        global_count = float(
+            np.count_nonzero(
+                (small_dataset.values >= 1) & (small_dataset.values <= 30)
+            )
+        )
+        assert exact == global_count
+
+
+class TestSelectivity:
+    def test_value(self):
+        assert measured_selectivity(
+            query(AggregateOp.COUNT, 1, 2), DATABASES
+        ) == pytest.approx(0.4)
+
+    def test_full_range(self):
+        assert measured_selectivity(
+            query(AggregateOp.COUNT, 1, 5), DATABASES
+        ) == 1.0
+
+    def test_empty_network_raises(self):
+        with pytest.raises(QueryError):
+            measured_selectivity(query(AggregateOp.COUNT, 1, 5), [])
+
+
+class TestRankOfValue:
+    def test_rank_counts_strictly_below(self):
+        assert rank_of_value(3, DATABASES, "A") == 2
+        assert rank_of_value(1, DATABASES, "A") == 0
+        assert rank_of_value(100, DATABASES, "A") == 5
+
+    def test_true_median_has_central_rank(self, small_dataset):
+        q = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        median = evaluate_exact(q, small_dataset.databases)
+        rank = rank_of_value(median, small_dataset.databases, "A")
+        n = small_dataset.num_tuples
+        # Values are heavily tied integers; rank of the median value
+        # is below N/2 but within one value-frequency of it.
+        assert rank <= n / 2

@@ -1,0 +1,231 @@
+"""Unit tests for repro.query.model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.model import (
+    AggregateOp,
+    AggregationQuery,
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    TruePredicate,
+)
+
+COLUMNS = {
+    "A": np.array([1, 5, 10, 50, 100]),
+    "B": np.array([2, 4, 6, 8, 10]),
+}
+
+
+class TestTruePredicate:
+    def test_matches_everything(self):
+        mask = TruePredicate().mask(COLUMNS)
+        assert mask.all()
+        assert mask.shape == (5,)
+
+    def test_no_columns_referenced(self):
+        assert TruePredicate().columns_referenced() == frozenset()
+
+    def test_empty_column_map_rejected(self):
+        with pytest.raises(QueryError):
+            TruePredicate().mask({})
+
+    def test_sql(self):
+        assert TruePredicate().to_sql() == "TRUE"
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        mask = Between(column="A", low=5, high=50).mask(COLUMNS)
+        np.testing.assert_array_equal(
+            mask, [False, True, True, True, False]
+        )
+
+    def test_point_range(self):
+        mask = Between(column="A", low=10, high=10).mask(COLUMNS)
+        assert mask.sum() == 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            Between(column="A", low=10, high=5)
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            Between(column="Z", low=1, high=2).mask(COLUMNS)
+
+    def test_columns_referenced(self):
+        assert Between(column="A", low=1, high=2).columns_referenced() == (
+            frozenset({"A"})
+        )
+
+    def test_sql(self):
+        assert Between(column="A", low=1, high=30).to_sql() == (
+            "A BETWEEN 1 AND 30"
+        )
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", [False, False, True, False, False]),
+            ("!=", [True, True, False, True, True]),
+            ("<", [True, True, False, False, False]),
+            ("<=", [True, True, True, False, False]),
+            (">", [False, False, False, True, True]),
+            (">=", [False, False, True, True, True]),
+        ],
+    )
+    def test_operators(self, op, expected):
+        mask = Comparison(column="A", op=op, value=10).mask(COLUMNS)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison(column="A", op="~", value=1)
+
+    def test_sql(self):
+        assert Comparison(column="A", op=">=", value=5).to_sql() == "A >= 5"
+
+
+class TestInSet:
+    def test_membership(self):
+        mask = InSet(column="A", values=(1, 100)).mask(COLUMNS)
+        np.testing.assert_array_equal(
+            mask, [True, False, False, False, True]
+        )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(QueryError):
+            InSet(column="A", values=())
+
+    def test_sql(self):
+        assert InSet(column="A", values=(1, 2)).to_sql() == "A IN (1, 2)"
+
+
+class TestConnectives:
+    def test_and(self):
+        predicate = And(
+            Comparison(column="A", op=">", value=1),
+            Comparison(column="B", op="<", value=8),
+        )
+        np.testing.assert_array_equal(
+            predicate.mask(COLUMNS), [False, True, True, False, False]
+        )
+
+    def test_or(self):
+        predicate = Or(
+            Comparison(column="A", op="=", value=1),
+            Comparison(column="A", op="=", value=100),
+        )
+        assert predicate.mask(COLUMNS).sum() == 2
+
+    def test_not(self):
+        predicate = Not(TruePredicate())
+        assert not predicate.mask(COLUMNS).any()
+
+    def test_operator_sugar(self):
+        left = Comparison(column="A", op=">", value=1)
+        right = Comparison(column="A", op="<", value=100)
+        assert isinstance(left & right, And)
+        assert isinstance(left | right, Or)
+        assert isinstance(~left, Not)
+
+    def test_combined_columns_referenced(self):
+        predicate = And(
+            Comparison(column="A", op=">", value=1),
+            Comparison(column="B", op="<", value=8),
+        )
+        assert predicate.columns_referenced() == frozenset({"A", "B"})
+
+    def test_nested_sql(self):
+        predicate = Or(
+            Not(Between(column="A", low=1, high=5)),
+            Comparison(column="B", op="=", value=2),
+        )
+        assert predicate.to_sql() == "((NOT A BETWEEN 1 AND 5) OR B = 2)"
+
+
+class TestAggregationQuery:
+    def test_count_query(self):
+        query = AggregationQuery(agg=AggregateOp.COUNT, column="A")
+        assert query.to_sql() == "SELECT COUNT(A) FROM T"
+
+    def test_with_predicate_sql(self):
+        query = AggregationQuery(
+            agg=AggregateOp.SUM,
+            column="A",
+            predicate=Between(column="A", low=1, high=30),
+        )
+        assert query.to_sql() == (
+            "SELECT SUM(A) FROM T WHERE A BETWEEN 1 AND 30"
+        )
+
+    def test_str_matches_sql(self):
+        query = AggregationQuery(agg=AggregateOp.AVG, column="A")
+        assert str(query) == query.to_sql()
+
+    def test_quantile_needs_fraction(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(agg=AggregateOp.QUANTILE, column="A")
+        with pytest.raises(QueryError):
+            AggregationQuery(
+                agg=AggregateOp.QUANTILE, column="A", quantile=1.5
+            )
+
+    def test_quantile_fraction(self):
+        query = AggregationQuery(
+            agg=AggregateOp.QUANTILE, column="A", quantile=0.9
+        )
+        assert query.quantile_fraction == 0.9
+
+    def test_median_fraction_is_half(self):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        assert query.quantile_fraction == 0.5
+
+    def test_count_has_no_fraction(self):
+        query = AggregationQuery(agg=AggregateOp.COUNT, column="A")
+        with pytest.raises(QueryError):
+            query.quantile_fraction
+
+    def test_quantile_on_count_rejected(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(
+                agg=AggregateOp.COUNT, column="A", quantile=0.5
+            )
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(agg=AggregateOp.COUNT, column="")
+
+    def test_columns_referenced(self):
+        query = AggregationQuery(
+            agg=AggregateOp.SUM,
+            column="A",
+            predicate=Comparison(column="B", op=">", value=1),
+        )
+        assert query.columns_referenced() == frozenset({"A", "B"})
+
+    def test_quantile_sql(self):
+        query = AggregationQuery(
+            agg=AggregateOp.QUANTILE, column="A", quantile=0.75
+        )
+        assert query.to_sql() == "SELECT QUANTILE(A, 0.75) FROM T"
+
+    @pytest.mark.parametrize(
+        "agg,expected",
+        [
+            (AggregateOp.COUNT, True),
+            (AggregateOp.SUM, True),
+            (AggregateOp.AVG, True),
+            (AggregateOp.MEDIAN, False),
+            (AggregateOp.QUANTILE, False),
+        ],
+    )
+    def test_pushdown_support(self, agg, expected):
+        assert agg.supports_pushdown is expected

@@ -1,0 +1,154 @@
+"""Unit tests for repro.query.parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query.model import (
+    AggregateOp,
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.query.parser import parse_predicate, parse_query
+
+
+class TestBasicQueries:
+    def test_count_between(self):
+        query = parse_query(
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30"
+        )
+        assert query.agg is AggregateOp.COUNT
+        assert query.column == "A"
+        assert query.predicate == Between(column="A", low=1, high=30)
+
+    def test_sum_no_where(self):
+        query = parse_query("SELECT SUM(A) FROM T")
+        assert query.agg is AggregateOp.SUM
+        assert isinstance(query.predicate, TruePredicate)
+
+    def test_avg(self):
+        query = parse_query("SELECT AVG(price) FROM sales WHERE price > 10")
+        assert query.agg is AggregateOp.AVG
+        assert query.column == "price"
+
+    def test_median(self):
+        query = parse_query("SELECT MEDIAN(A) FROM T")
+        assert query.agg is AggregateOp.MEDIAN
+        assert query.quantile_fraction == 0.5
+
+    def test_quantile(self):
+        query = parse_query("SELECT QUANTILE(A, 0.9) FROM T")
+        assert query.agg is AggregateOp.QUANTILE
+        assert query.quantile_fraction == 0.9
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select count(A) from t where A between 1 and 5")
+        assert query.agg is AggregateOp.COUNT
+
+    def test_column_names_case_sensitive(self):
+        query = parse_query("SELECT COUNT(Price) FROM T")
+        assert query.column == "Price"
+
+    def test_round_trip(self):
+        text = "SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30"
+        assert parse_query(parse_query(text).to_sql()).predicate == (
+            Between(column="A", low=1, high=30)
+        )
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            predicate = parse_predicate(f"A {op} 5")
+            assert predicate == Comparison(column="A", op=op, value=5)
+
+    def test_diamond_not_equal(self):
+        assert parse_predicate("A <> 5") == Comparison(
+            column="A", op="!=", value=5
+        )
+
+    def test_in_set(self):
+        assert parse_predicate("A IN (1, 2, 3)") == InSet(
+            column="A", values=(1.0, 2.0, 3.0)
+        )
+
+    def test_and_binds_tighter_than_or(self):
+        predicate = parse_predicate("A = 1 OR A = 2 AND B = 3")
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.right, And)
+
+    def test_parentheses_override(self):
+        predicate = parse_predicate("(A = 1 OR A = 2) AND B = 3")
+        assert isinstance(predicate, And)
+        assert isinstance(predicate.left, Or)
+
+    def test_not(self):
+        predicate = parse_predicate("NOT A > 5")
+        assert isinstance(predicate, Not)
+
+    def test_double_not(self):
+        predicate = parse_predicate("NOT NOT A > 5")
+        assert isinstance(predicate, Not)
+        assert isinstance(predicate.inner, Not)
+
+    def test_between_inside_and(self):
+        predicate = parse_predicate("A BETWEEN 1 AND 5 AND B > 2")
+        assert isinstance(predicate, And)
+        assert predicate.left == Between(column="A", low=1, high=5)
+
+    def test_floats_and_scientific(self):
+        assert parse_predicate("A > 2.5") == Comparison(
+            column="A", op=">", value=2.5
+        )
+        assert parse_predicate("A > 1e3") == Comparison(
+            column="A", op=">", value=1000.0
+        )
+
+    def test_negative_numbers(self):
+        assert parse_predicate("A > -5") == Comparison(
+            column="A", op=">", value=-5
+        )
+
+    def test_true_keyword(self):
+        assert isinstance(parse_predicate("TRUE"), TruePredicate)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT COUNT(A)",
+            "SELECT COUNT(A) FROM",
+            "SELECT COUNT FROM T",
+            "SELECT FIRST(A) FROM T",
+            "SELECT COUNT(A) FROM T WHERE",
+            "SELECT COUNT(A) FROM T WHERE A",
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 1",
+            "SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND",
+            "SELECT COUNT(A) FROM T WHERE A IN ()",
+            "SELECT COUNT(A) FROM T trailing",
+            "SELECT QUANTILE(A) FROM T",
+            "SELECT COUNT(A FROM T",
+        ],
+    )
+    def test_malformed_queries(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT COUNT(A) FROM T WHERE A @ 5")
+
+    def test_empty_predicate(self):
+        with pytest.raises(QueryParseError):
+            parse_predicate("")
+
+    def test_trailing_predicate_tokens(self):
+        with pytest.raises(QueryParseError):
+            parse_predicate("A > 5 extra")

@@ -1,0 +1,108 @@
+"""Tests for block-level sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.localdb import LocalDatabase
+from repro.errors import SamplingError
+from repro.query.model import AggregateOp, AggregationQuery, Between
+from repro.sampling.blocklevel import block_aggregate, sampling_design_effect
+
+COUNT_LOW = AggregationQuery(
+    agg=AggregateOp.COUNT, column="A",
+    predicate=Between(column="A", low=0, high=49),
+)
+SUM_ALL = AggregationQuery(agg=AggregateOp.SUM, column="A")
+
+
+@pytest.fixture()
+def clustered_db():
+    """Values sorted, so blocks are perfectly internally correlated."""
+    return LocalDatabase({"A": np.arange(100)}, block_size=10)
+
+
+@pytest.fixture()
+def shuffled_db():
+    values = np.arange(100)
+    np.random.default_rng(3).shuffle(values)
+    return LocalDatabase({"A": values}, block_size=10)
+
+
+class TestBlockAggregate:
+    def test_full_scan_when_small(self, clustered_db):
+        value, processed = block_aggregate(
+            clustered_db, COUNT_LOW, tuples_per_peer=200, seed=1
+        )
+        assert processed == 100
+        assert value == 50.0
+
+    def test_scaling_applied(self, clustered_db):
+        value, processed = block_aggregate(
+            clustered_db, COUNT_LOW, tuples_per_peer=20, seed=1
+        )
+        assert processed == 20
+        # 20 tuples drawn as 2 whole blocks; each block is either
+        # fully matching or fully not, so estimate is in {0,250,500}
+        # scaled by 100/20 = 5: possible values 0, 50*5=250, 100...
+        assert value % 50.0 == 0.0
+
+    def test_sum_aggregate(self, shuffled_db):
+        value, processed = block_aggregate(
+            shuffled_db, SUM_ALL, tuples_per_peer=50, seed=1
+        )
+        assert processed == 50
+        assert value > 0
+
+    def test_empty_database(self):
+        database = LocalDatabase({"A": np.array([])})
+        value, processed = block_aggregate(
+            database, SUM_ALL, tuples_per_peer=10
+        )
+        assert value == 0.0
+        assert processed == 0
+
+    def test_median_rejected(self, clustered_db):
+        query = AggregationQuery(agg=AggregateOp.MEDIAN, column="A")
+        with pytest.raises(SamplingError):
+            block_aggregate(clustered_db, query, tuples_per_peer=10)
+
+    def test_unbiasedness(self, shuffled_db):
+        """Averaged over draws, the scaled estimate matches the truth."""
+        rng = np.random.default_rng(5)
+        estimates = [
+            block_aggregate(
+                shuffled_db, COUNT_LOW, tuples_per_peer=20, seed=rng
+            )[0]
+            for _ in range(500)
+        ]
+        assert np.mean(estimates) == pytest.approx(50.0, rel=0.1)
+
+
+class TestDesignEffect:
+    def test_clustered_layout_inflates_variance(self, clustered_db):
+        result = sampling_design_effect(
+            clustered_db, COUNT_LOW, tuples_per_peer=20,
+            trials=300, seed=1,
+        )
+        assert result["design_effect"] > 2.0
+
+    def test_shuffled_layout_no_inflation(self, shuffled_db):
+        result = sampling_design_effect(
+            shuffled_db, COUNT_LOW, tuples_per_peer=20,
+            trials=500, seed=1,
+        )
+        assert result["design_effect"] < 2.0
+
+    def test_small_database_degenerate(self):
+        database = LocalDatabase({"A": np.arange(5)}, block_size=2)
+        result = sampling_design_effect(
+            database, SUM_ALL, tuples_per_peer=100, trials=10, seed=1
+        )
+        # Full scans both ways: zero variance on both sides.
+        assert result["design_effect"] == 1.0
+
+    def test_needs_trials(self, clustered_db):
+        with pytest.raises(SamplingError):
+            sampling_design_effect(
+                clustered_db, COUNT_LOW, tuples_per_peer=20, trials=1
+            )
