@@ -12,10 +12,8 @@ printing a small table alongside the timing:
   query.
 """
 
-import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.core.biased import BiasedConfig, biased_engine_for_query
 from repro.core.hybrid import HybridEngine

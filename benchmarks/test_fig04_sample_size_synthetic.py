@@ -1,6 +1,5 @@
 """Figure 4: Δreq × initial sample size × final sample size (synthetic)."""
 
-import numpy as np
 
 from repro.experiments.figures import figure04_sample_size_synthetic
 

@@ -1,6 +1,5 @@
 """Figure 12: cut size × jump size vs error % (SUM, two sub-graphs)."""
 
-import numpy as np
 
 from repro.experiments.figures import figure12_cut_vs_jump
 

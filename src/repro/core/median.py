@@ -31,11 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import SeedLike, ensure_rng, weighted_median
-from ..errors import (
-    ConfigurationError,
-    PeerUnavailableError,
-    SamplingError,
-)
+from ..errors import ConfigurationError, SamplingError
 from ..network.protocol import TupleReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
@@ -165,22 +161,19 @@ class MedianEngine:
         )
         ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
         probabilities = self._walker.stationary_probabilities()
+        replies: List[TupleReply] = self._simulator.visit_values_batch(
+            walk.peers,
+            query,
+            sink=sink,
+            ledger=ledger,
+            tuples_per_peer=self._config.tuples_per_peer,
+            ship="median",
+            seed=self._visit_rng,
+        )
         observations: List[_MedianObservation] = []
         tuples_processed = 0
-        for peer in walk.peers:
-            peer = int(peer)
-            try:
-                reply: TupleReply = self._simulator.visit_values(
-                    peer,
-                    query,
-                    sink=sink,
-                    ledger=ledger,
-                    tuples_per_peer=self._config.tuples_per_peer,
-                    ship="median",
-                    seed=self._visit_rng,
-                )
-            except PeerUnavailableError:
-                continue  # lost reply: the sample just shrinks
+        for reply in replies:
+            peer = reply.source
             tuples_processed += min(
                 reply.local_tuples,
                 self._config.tuples_per_peer or reply.local_tuples,

@@ -34,7 +34,6 @@ from .estimators import (
     clustering_badness_estimate,
     estimate_total_column_sum,
     estimate_total_tuples,
-    horvitz_thompson,
     make_estimator,
 )
 

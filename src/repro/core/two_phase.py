@@ -29,11 +29,7 @@ import dataclasses
 from typing import List, Optional, Sequence
 
 from .._util import SeedLike, ensure_rng
-from ..errors import (
-    ConfigurationError,
-    PeerUnavailableError,
-    SamplingError,
-)
+from ..errors import ConfigurationError, SamplingError
 from ..network.protocol import AggregateReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
@@ -206,23 +202,18 @@ class TwoPhaseEngine:
             tuples_per_peer=self._config.tuples_per_peer,
         )
         ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
-        replies = []
-        for peer in walk.peers:
-            try:
-                replies.append(
-                    self._simulator.visit_aggregate(
-                        int(peer),
-                        query,
-                        sink=sink,
-                        ledger=ledger,
-                        tuples_per_peer=self._config.tuples_per_peer,
-                        sampling_method=self._config.sampling_method,
-                        seed=self._visit_rng,
-                    )
-                )
-            except PeerUnavailableError:
-                continue  # lost reply: the sample just shrinks
-        return replies
+        # The batch fast path visits all selected peers in one
+        # vectorized pass; under fault injection it degrades to the
+        # per-peer loop internally, dropping lost replies either way.
+        return self._simulator.visit_aggregate_batch(
+            walk.peers,
+            query,
+            sink=sink,
+            ledger=ledger,
+            tuples_per_peer=self._config.tuples_per_peer,
+            sampling_method=self._config.sampling_method,
+            seed=self._visit_rng,
+        )
 
     def _observations(
         self, replies: Sequence[AggregateReply]

@@ -11,6 +11,8 @@ from .zipf import ZipfDistribution, zipf_probabilities, zipf_sample
 from .generator import DatasetConfig, GeneratedDataset, generate_dataset
 from .placement import PlacementConfig, assign_tuples_to_peers, peer_slices
 from .localdb import Block, LocalDatabase
+from .flat import FlatDataset
+from .segments import segment_aggregate, segment_sums
 
 __all__ = [
     "ZipfDistribution",
@@ -24,4 +26,7 @@ __all__ = [
     "peer_slices",
     "Block",
     "LocalDatabase",
+    "FlatDataset",
+    "segment_aggregate",
+    "segment_sums",
 ]

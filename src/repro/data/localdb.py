@@ -20,7 +20,7 @@ lives in the callers (simulator / estimators), matching the paper's
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 

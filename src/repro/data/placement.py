@@ -15,7 +15,7 @@ sizes" of horizontal partitions the problem statement mentions.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

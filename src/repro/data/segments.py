@@ -1,0 +1,119 @@
+"""Segmented (per-peer) aggregation kernels for the visit fast path.
+
+The batch-visit optimisation lays the sampled rows of all visited
+peers out in one contiguous buffer and reduces each peer's segment in
+a single numpy call.  The delicate part is *bit-for-bit* equivalence
+with the per-peer loop: naive ``np.sum`` uses pairwise summation whose
+grouping depends on how the call is issued, so summing one peer's rows
+alone and summing them as a segment of a larger buffer could round
+differently.  ``np.add.reduceat`` does not have that problem — it
+reduces every segment strictly left-to-right, and the reduction of a
+segment is independent of what surrounds it.  Both the scalar
+``visit_aggregate`` and the batched ``visit_aggregate_batch`` therefore
+funnel through :func:`segment_aggregate`, which makes their float
+outputs identical by construction rather than by accident.
+
+One ``reduceat`` wrinkle: a zero-length segment (``starts[i] ==
+starts[i+1]``) does not yield the additive identity — numpy returns
+``values[starts[i]]`` instead.  :func:`segment_sums` filters empty
+segments out before reducing and scatters explicit zeros for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, QueryError
+from ..query.model import AggregateOp, AggregationQuery
+
+ColumnMap = Dict[str, np.ndarray]
+
+
+def segment_sums(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums of ``values``; empty segments sum to 0.
+
+    ``starts``/``counts`` describe contiguous segments laid end to end:
+    segment ``i`` is ``values[starts[i] : starts[i] + counts[i]]`` and
+    ``starts[i] + counts[i] == starts[i + 1]`` (the final segment ends
+    exactly at ``values.size``).  Each segment is reduced sequentially
+    left-to-right (``np.add.reduceat``), so the result for a segment is
+    bitwise independent of the segmentation around it.
+    """
+    out = np.zeros(counts.shape[0], dtype=np.float64)
+    if values.size == 0:
+        return out
+    nonempty = counts > 0
+    if not nonempty.any():
+        return out
+    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+def segment_aggregate(
+    query: AggregationQuery,
+    columns: ColumnMap,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment local aggregates of the paper's ``Visit`` procedure.
+
+    ``columns`` holds the (sub-sampled) rows of every segment laid out
+    contiguously.  Returns, one entry per segment:
+
+    ``local_count``
+        Number of rows matching the query predicate.
+    ``local_sum``
+        Sum of the aggregated column over matching rows.
+    ``column_sum``
+        Sum of the aggregated column over *all* rows.
+    ``contribution_variance``
+        Population variance of the per-tuple contribution ``z_u``
+        (the predicate mask for COUNT, the selection-gated value
+        otherwise), computed two-pass around each segment's mean.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape or starts.ndim != 1:
+        raise ConfigurationError("starts and counts must be 1-D and aligned")
+    num_segments = starts.shape[0]
+    if query.column not in columns:
+        raise QueryError(
+            f"unknown column {query.column!r}; available: {sorted(columns)}"
+        )
+    column = np.asarray(columns[query.column])
+    if counts.size and int(starts[-1] + counts[-1]) != column.size:
+        raise ConfigurationError(
+            "segments must tile the column buffer exactly"
+        )
+
+    if column.size == 0 or num_segments == 0:
+        zeros = np.zeros(num_segments, dtype=np.float64)
+        return zeros, zeros.copy(), zeros.copy(), zeros.copy()
+
+    mask = query.predicate.mask(columns)
+    mask_f = mask.astype(np.float64)
+    column_f = column.astype(np.float64, copy=False)
+    masked_values = column_f * mask_f
+
+    local_count = segment_sums(mask_f, starts, counts)
+    local_sum = segment_sums(masked_values, starts, counts)
+    column_sum = segment_sums(column_f, starts, counts)
+
+    contributions = mask_f if query.agg is AggregateOp.COUNT else masked_values
+    if query.agg is AggregateOp.COUNT:
+        contribution_sums = local_count
+    else:
+        contribution_sums = local_sum
+    nonempty = counts > 0
+    means = np.zeros(num_segments, dtype=np.float64)
+    np.divide(contribution_sums, counts, out=means, where=nonempty)
+    deviations = contributions - np.repeat(means, counts)
+    squared = segment_sums(deviations * deviations, starts, counts)
+    contribution_variance = np.zeros(num_segments, dtype=np.float64)
+    np.divide(squared, counts, out=contribution_variance, where=nonempty)
+
+    return local_count, local_sum, column_sum, contribution_variance

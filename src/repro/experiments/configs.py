@@ -20,8 +20,12 @@ reuses its network instead of regenerating it per point.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
-from typing import Dict, Optional, Tuple
+import pathlib
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
 
 from ..data.generator import DatasetConfig, GeneratedDataset, generate_dataset
 from ..data.placement import PlacementConfig
@@ -52,6 +56,21 @@ def default_trials() -> int:
     return value
 
 
+def default_workers() -> int:
+    """Worker processes for :func:`~repro.experiments.runner.run_trials`;
+    env ``REPRO_WORKERS`` overrides (default 1 = serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_WORKERS must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
 @dataclasses.dataclass(frozen=True)
 class NetworkBundle:
     """A ready-to-query evaluation network.
@@ -79,6 +98,11 @@ class NetworkBundle:
         """Total tuples across all peers."""
         return self.dataset.num_tuples
 
+    @property
+    def flat_dataset(self):
+        """The simulator's concatenated columnar view (lazy, cached)."""
+        return self.simulator.flat_dataset
+
 
 _CACHE: Dict[Tuple, NetworkBundle] = {}
 
@@ -86,6 +110,63 @@ _CACHE: Dict[Tuple, NetworkBundle] = {}
 def clear_cache() -> None:
     """Drop all cached bundles (tests use this to bound memory)."""
     _CACHE.clear()
+
+
+def topology_cache_dir() -> Optional[pathlib.Path]:
+    """Directory for the on-disk topology cache.
+
+    ``REPRO_CACHE_DIR`` overrides the location; set it to the empty
+    string to disable disk caching entirely.  The default lives inside
+    the repository (``.cache/topologies``), next to the sources.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if env == "":
+            return None
+        return pathlib.Path(env)
+    return (
+        pathlib.Path(__file__).resolve().parents[3]
+        / ".cache"
+        / "topologies"
+    )
+
+
+def _cached_topology(key: Tuple, builder: Callable[[], Topology]) -> Topology:
+    """Build a topology through the on-disk cache.
+
+    Generators are deterministic in their parameters, so the cache key
+    is the parameter tuple (hashed).  The stored edge array round-trips
+    via :meth:`Topology.from_edge_array` to a bit-identical CSR, so a
+    cache hit changes nothing about any walk — it only skips the
+    networkx construction, which dominates cold figure start-up.
+    """
+    directory = topology_cache_dir()
+    if directory is None:
+        return builder()
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+    path = directory / f"{digest}.npz"
+    if path.exists():
+        try:
+            with np.load(path) as stored:
+                return Topology.from_edge_array(
+                    int(stored["num_peers"]), stored["edges"]
+                )
+        except Exception:
+            pass  # unreadable entry: fall through and rebuild
+    topology = builder()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{digest}.{os.getpid()}.tmp")
+        with open(temporary, "wb") as handle:
+            np.savez(
+                handle,
+                num_peers=np.int64(topology.num_peers),
+                edges=topology.edge_array,
+            )
+        os.replace(temporary, path)
+    except OSError:
+        pass  # read-only filesystem etc.: caching is best-effort
+    return topology
 
 
 def _build_bundle(
@@ -142,12 +223,15 @@ def synthetic_bundle(
             cluster_level, skew, tuples_per_peer, seed, placement_order,
         )
         if key not in _CACHE:
-            topology = clustered_power_law(
-                num_peers=num_peers,
-                num_edges=num_edges,
-                num_subgraphs=num_subgraphs,
-                cut_edges=cut,
-                seed=seed,
+            topology = _cached_topology(
+                key,
+                lambda: clustered_power_law(
+                    num_peers=num_peers,
+                    num_edges=num_edges,
+                    num_subgraphs=num_subgraphs,
+                    cut_edges=cut,
+                    seed=seed,
+                ),
             )
             _CACHE[key] = _build_bundle(
                 f"synthetic/s={num_subgraphs},e={cut}",
@@ -165,7 +249,10 @@ def synthetic_bundle(
         cluster_level, skew, tuples_per_peer, seed, placement_order,
     )
     if key not in _CACHE:
-        topology = power_law_topology(num_peers, num_edges, seed=seed)
+        topology = _cached_topology(
+            key,
+            lambda: power_law_topology(num_peers, num_edges, seed=seed),
+        )
         _CACHE[key] = _build_bundle(
             "synthetic",
             topology,
@@ -200,8 +287,11 @@ def gnutella_bundle(
         cluster_level, skew, tuples_per_peer, seed, placement_order,
     )
     if key not in _CACHE:
-        topology = gnutella_2001_like(
-            num_peers=num_peers, num_edges=num_edges, seed=seed
+        topology = _cached_topology(
+            key,
+            lambda: gnutella_2001_like(
+                num_peers=num_peers, num_edges=num_edges, seed=seed
+            ),
         )
         _CACHE[key] = _build_bundle(
             "gnutella",

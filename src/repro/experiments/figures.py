@@ -16,11 +16,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..core.two_phase import TwoPhaseConfig
 from ..core.median import MedianConfig
-from ..query.model import AggregateOp, AggregationQuery, Between, TruePredicate
+from ..query.model import AggregateOp, AggregationQuery, Between
 from .configs import (
     NetworkBundle,
     default_scale,

@@ -6,7 +6,7 @@ paper plots); EXPERIMENTS.md is assembled from the same rendering.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from .figures import FigureResult
 

@@ -6,11 +6,22 @@ is that loop.  :func:`run_trials` executes one engine flavour several
 times with independent seeds (and sinks), scores each run against the
 exact answer with the paper's normalization, and returns per-trial
 outcomes ready for averaging.
+
+Trials are statistically independent (trial ``i`` always derives its
+engine from ``seed + i``, never from shared mutable state), so with
+``workers > 1`` they execute on a fork-based process pool — results
+are identical to the serial loop, element for element, regardless of
+worker count.  Fault-injected networks (``reply_loss_rate > 0``) share
+the simulator's failure stream across trials, so those always run
+serially to keep the injected losses exactly reproducible.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -22,7 +33,7 @@ from ..metrics.accuracy import median_rank_error
 from ..query.exact import evaluate_exact, rank_of_value
 from ..query.model import AggregateOp, AggregationQuery
 from ..sampling.baselines import BFSEngine, dfs_engine
-from .configs import NetworkBundle
+from .configs import NetworkBundle, default_workers
 
 _ENGINES = ("two-phase", "bfs", "dfs", "median")
 
@@ -60,13 +71,73 @@ def _score(
     if query.agg is AggregateOp.AVG:
         return abs(estimate - truth) / abs(truth)
     # MEDIAN / QUANTILE: rank distance from the target rank.
-    rank = rank_of_value(
-        estimate, bundle.dataset.databases, query.column
-    )
+    rank = rank_of_value(estimate, bundle.flat_dataset, query.column)
     if query.agg is AggregateOp.MEDIAN or query.quantile_fraction == 0.5:
         return median_rank_error(rank, bundle.num_tuples)
     target = query.quantile_fraction * bundle.num_tuples
     return abs(rank - target) / bundle.num_tuples
+
+
+def _run_single_trial(
+    bundle: NetworkBundle,
+    query: AggregationQuery,
+    delta_req: float,
+    engine: str,
+    config: Union[TwoPhaseConfig, MedianConfig],
+    truth: float,
+    trial_seed: int,
+) -> TrialOutcome:
+    """Execute and score one trial — the unit both the serial loop and
+    the process pool run, so results cannot depend on the executor."""
+    if engine == "two-phase":
+        runner = TwoPhaseEngine(
+            bundle.simulator, config=config, seed=trial_seed
+        )
+        result = runner.execute(query, delta_req)
+    elif engine == "dfs":
+        runner = dfs_engine(
+            bundle.simulator, config=config, seed=trial_seed
+        )
+        result = runner.execute(query, delta_req)
+    elif engine == "bfs":
+        runner = BFSEngine(
+            bundle.simulator, config=config, seed=trial_seed
+        )
+        result = runner.execute(query, delta_req)
+    else:
+        runner = MedianEngine(
+            bundle.simulator, config=config, seed=trial_seed
+        )
+        result = runner.execute(query, delta_req)
+
+    cost = result.cost
+    return TrialOutcome(
+        estimate=result.estimate,
+        truth=truth,
+        error=_score(bundle, query, result.estimate, truth),
+        tuples_sampled=result.total_tuples_sampled,
+        peers_visited=result.total_peers_visited,
+        hops=cost.hops,
+        messages=cost.messages,
+        latency_ms=cost.latency_ms,
+    )
+
+
+# Worker processes are forked, so the (large, unpicklable-in-practice)
+# trial context travels to them via copy-on-write memory instead of the
+# pickle pipe; only the per-trial seed and the TrialOutcome cross it.
+_TRIAL_CONTEXT: Optional[tuple] = None
+
+
+def _run_trial_from_context(trial_seed: int) -> TrialOutcome:
+    bundle, query, delta_req, engine, config, truth = _TRIAL_CONTEXT
+    return _run_single_trial(
+        bundle, query, delta_req, engine, config, truth, trial_seed
+    )
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def run_trials(
@@ -77,6 +148,7 @@ def run_trials(
     trials: int = 3,
     config: Optional[Union[TwoPhaseConfig, MedianConfig]] = None,
     seed: int = 1000,
+    workers: Optional[int] = None,
 ) -> List[TrialOutcome]:
     """Run ``trials`` independent executions and score each.
 
@@ -99,6 +171,14 @@ def run_trials(
         with a phase-II cost cap is used when omitted.
     seed:
         Base seed; trial ``i`` uses ``seed + i``.
+    workers:
+        Process-pool size; defaults to ``REPRO_WORKERS`` (1 = serial).
+        Per-trial seed derivation is unchanged, so any worker count
+        returns exactly the serial results.  The pool is capped at the
+        machine's core count (extra forks only add overhead);
+        fault-injected bundles (``reply_loss_rate > 0``) always run
+        serially, and platforms without ``fork`` fall back to the
+        serial loop.
     """
     if engine not in _ENGINES:
         raise ConfigurationError(
@@ -106,60 +186,55 @@ def run_trials(
         )
     if trials < 1:
         raise ConfigurationError("trials must be >= 1")
+    workers = default_workers() if workers is None else workers
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
 
     cap = 2 * bundle.num_peers
     if engine == "median":
-        median_config = config or MedianConfig(max_phase_two_peers=cap)
-        if not isinstance(median_config, MedianConfig):
+        engine_config: Union[TwoPhaseConfig, MedianConfig] = (
+            config or MedianConfig(max_phase_two_peers=cap)
+        )
+        if not isinstance(engine_config, MedianConfig):
             raise ConfigurationError(
                 "median engine needs a MedianConfig"
             )
     else:
-        two_phase_config = config or TwoPhaseConfig(max_phase_two_peers=cap)
-        if not isinstance(two_phase_config, TwoPhaseConfig):
+        engine_config = config or TwoPhaseConfig(max_phase_two_peers=cap)
+        if not isinstance(engine_config, TwoPhaseConfig):
             raise ConfigurationError(
                 f"{engine} engine needs a TwoPhaseConfig"
             )
 
-    truth = evaluate_exact(query, bundle.dataset.databases)
-    outcomes: List[TrialOutcome] = []
-    for trial in range(trials):
-        trial_seed = seed + trial
-        if engine == "two-phase":
-            runner = TwoPhaseEngine(
-                bundle.simulator, config=two_phase_config, seed=trial_seed
-            )
-            result = runner.execute(query, delta_req)
-        elif engine == "dfs":
-            runner = dfs_engine(
-                bundle.simulator, config=two_phase_config, seed=trial_seed
-            )
-            result = runner.execute(query, delta_req)
-        elif engine == "bfs":
-            runner = BFSEngine(
-                bundle.simulator, config=two_phase_config, seed=trial_seed
-            )
-            result = runner.execute(query, delta_req)
-        else:
-            runner = MedianEngine(
-                bundle.simulator, config=median_config, seed=trial_seed
-            )
-            result = runner.execute(query, delta_req)
+    truth = evaluate_exact(query, bundle.flat_dataset)
+    seeds = [seed + trial for trial in range(trials)]
 
-        cost = result.cost
-        outcomes.append(
-            TrialOutcome(
-                estimate=result.estimate,
-                truth=truth,
-                error=_score(bundle, query, result.estimate, truth),
-                tuples_sampled=result.total_tuples_sampled,
-                peers_visited=result.total_peers_visited,
-                hops=cost.hops,
-                messages=cost.messages,
-                latency_ms=cost.latency_ms,
+    # Forking more workers than cores only adds overhead (results are
+    # identical either way), so the pool is capped at the machine size.
+    effective_workers = min(workers, trials, os.cpu_count() or 1)
+    parallel = (
+        effective_workers > 1
+        and bundle.simulator.reply_loss_rate == 0.0
+        and _fork_available()
+    )
+    if not parallel:
+        return [
+            _run_single_trial(
+                bundle, query, delta_req, engine, engine_config, truth, s
             )
-        )
-    return outcomes
+            for s in seeds
+        ]
+
+    global _TRIAL_CONTEXT
+    _TRIAL_CONTEXT = (bundle, query, delta_req, engine, engine_config, truth)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=effective_workers, mp_context=context
+        ) as pool:
+            return list(pool.map(_run_trial_from_context, seeds))
+    finally:
+        _TRIAL_CONTEXT = None
 
 
 def mean_error(outcomes: Sequence[TrialOutcome]) -> float:

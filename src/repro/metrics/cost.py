@@ -20,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Set
 
+import numpy as np
+
 from .._util import check_nonnegative
 from ..errors import ConfigurationError
 
@@ -141,6 +143,75 @@ class CostLedger:
             self._model.visit_overhead_ms
             + tuples_processed * self._model.tuple_processing_ms / cpu_speed
         )
+
+    def record_visit_replies(
+        self,
+        peers,
+        tuples_processed,
+        tuples_sampled,
+        reply_bytes,
+        cpu_speeds=None,
+    ) -> None:
+        """Bulk-account a sequence of visit + reply pairs.
+
+        Equivalent to alternating :meth:`record_visit` /
+        :meth:`record_reply` calls, one pair per entry, in order — the
+        latency accumulator is advanced with the same additions in the
+        same sequence, so totals are bit-for-bit identical to the
+        per-event path.  Used by the simulator's batch visits.
+        """
+        peers = np.asarray(peers, dtype=np.int64).reshape(-1)
+        tuples_processed = np.asarray(tuples_processed, dtype=np.int64)
+        tuples_sampled = np.asarray(tuples_sampled, dtype=np.int64)
+        reply_bytes = np.asarray(reply_bytes, dtype=np.int64)
+        n = peers.size
+        if not (
+            tuples_processed.shape == (n,)
+            and tuples_sampled.shape == (n,)
+            and reply_bytes.shape == (n,)
+        ):
+            raise ConfigurationError(
+                "per-visit arrays must align with the peer list"
+            )
+        if n == 0:
+            return
+        if tuples_processed.min() < 0 or tuples_sampled.min() < 0:
+            raise ConfigurationError("tuple counts must be non-negative")
+        if reply_bytes.min() < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+        if cpu_speeds is None:
+            cpu_speeds = np.ones(n, dtype=np.float64)
+        else:
+            cpu_speeds = np.asarray(cpu_speeds, dtype=np.float64)
+            if cpu_speeds.shape != (n,):
+                raise ConfigurationError(
+                    "cpu_speeds must align with the peer list"
+                )
+            if cpu_speeds.min() <= 0:
+                raise ConfigurationError("cpu_speed must be positive")
+
+        # Order-independent integer totals vectorize freely ...
+        self._visits += n
+        self._distinct.update(int(peer) for peer in peers)
+        self._tuples_processed += int(tuples_processed.sum())
+        self._tuples_sampled += int(tuples_sampled.sum())
+        self._messages += n
+        self._bytes += int(reply_bytes.sum())
+        # ... but float accumulation must replay the per-event order
+        # (visit overhead + processing, then reply transfer, per peer)
+        # to land on the identical rounded value.
+        overhead = self._model.visit_overhead_ms
+        per_tuple = self._model.tuple_processing_ms
+        per_byte = self._model.byte_latency_ms
+        latency = self._latency_ms
+        for position in range(n):
+            latency += (
+                overhead
+                + int(tuples_processed[position]) * per_tuple
+                / float(cpu_speeds[position])
+            )
+            latency += int(reply_bytes[position]) * per_byte
+        self._latency_ms = latency
 
     def record_reply(self, payload_bytes: int) -> None:
         """Account for a direct reply message back to the sink."""

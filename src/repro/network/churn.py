@@ -22,7 +22,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-import networkx as nx
 import numpy as np
 
 from .._util import SeedLike, check_fraction, check_positive, ensure_rng

@@ -23,7 +23,7 @@ The paper builds two families of topologies:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import networkx as nx
 import numpy as np

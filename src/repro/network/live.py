@@ -95,6 +95,11 @@ class LiveNetwork:
         self._databases: Dict[int, LocalDatabase] = {
             label: database for label, database in enumerate(databases)
         }
+        # Running tuple total, maintained incrementally by join/leave so
+        # queries against a churning network never re-sum every peer.
+        self._total_tuples = sum(
+            database.num_tuples for database in self._databases.values()
+        )
 
     # ------------------------------------------------------------------
 
@@ -104,12 +109,9 @@ class LiveNetwork:
         return self._process.num_peers
 
     def total_tuples(self) -> int:
-        """Tuples currently stored across live peers."""
-        snapshot = self._process.snapshot()
-        return sum(
-            self._databases[label].num_tuples
-            for label in snapshot.labels
-        )
+        """Tuples currently stored across live peers (cached; updated
+        incrementally on every join and leave)."""
+        return self._total_tuples
 
     # ------------------------------------------------------------------
     # Lifecycle events
@@ -126,7 +128,9 @@ class LiveNetwork:
     def join(self) -> int:
         """A peer joins with a fresh partition; returns its label."""
         label = self._process.join()
-        self._databases[label] = self._fresh_partition()
+        partition = self._fresh_partition()
+        self._databases[label] = partition
+        self._total_tuples += partition.num_tuples
         return label
 
     def leave(self, label: Optional[int] = None) -> int:
@@ -134,6 +138,8 @@ class LiveNetwork:
         snapshot_before = self._process.snapshot()
         departed = self._process.leave(label)
         departing_db = self._databases.pop(departed, None)
+        if departing_db is not None:
+            self._total_tuples -= departing_db.num_tuples
         if self._handoff and departing_db is not None:
             vertex = snapshot_before.labels.index(departed)
             neighbors = snapshot_before.topology.neighbors(vertex)
@@ -155,6 +161,8 @@ class LiveNetwork:
                 self._databases[target] = LocalDatabase(
                     {self._column: merged}, block_size=self._block_size
                 )
+                # Handed-off tuples survive on the target peer.
+                self._total_tuples += departing_db.num_tuples
         return departed
 
     def step(self, steps: int = 1) -> Dict[str, int]:

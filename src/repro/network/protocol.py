@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
-from typing import Tuple
+from typing import ClassVar, Optional, Tuple
 
 from ..errors import ProtocolError
 
@@ -44,7 +44,7 @@ class MessageType(enum.Enum):
     GROUP_REPLY = 0x93
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Message:
     """Base class for all protocol messages.
 
@@ -57,6 +57,10 @@ class Message:
     hops:
         Hops travelled so far.
     """
+
+    # Total wire size for fixed-payload message families, precomputed
+    # once per class; ``None`` means the payload is instance-dependent.
+    SIZE_BYTES: ClassVar[Optional[int]] = None
 
     source: int
     destination: int
@@ -84,6 +88,8 @@ class Message:
 
     def size_bytes(self) -> int:
         """Total wire size: Gnutella header plus payload."""
+        if self.SIZE_BYTES is not None:
+            return self.SIZE_BYTES
         return GNUTELLA_HEADER_BYTES + self.payload_bytes()
 
     def forwarded(self, new_source: int, new_destination: int) -> "Message":
@@ -99,9 +105,11 @@ class Message:
         )
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Ping(Message):
     """Membership probe."""
+
+    SIZE_BYTES: ClassVar[int] = GNUTELLA_HEADER_BYTES
 
     @property
     def message_type(self) -> MessageType:
@@ -111,9 +119,11 @@ class Ping(Message):
         return 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Pong(Message):
     """Membership reply: the responder's address and share counts."""
+
+    SIZE_BYTES: ClassVar[int] = GNUTELLA_HEADER_BYTES + 14
 
     ip: str = "0.0.0.0"
     port: int = 6346
@@ -127,7 +137,7 @@ class Pong(Message):
         return 14  # port(2) + ip(4) + files(4) + kb(4), classic pong
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Query(Message):
     """Flooding search query (the naive BFS the paper contrasts with)."""
 
@@ -141,7 +151,7 @@ class Query(Message):
         return 2 + len(self.text.encode("utf-8")) + 1
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueryHit(Message):
     """Reply to a flooded :class:`Query`."""
 
@@ -155,7 +165,7 @@ class QueryHit(Message):
         return 11 + 8 * max(self.num_hits, 0)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class WalkerProbe(Message):
     """The sampling walker: carries the query along the random walk.
 
@@ -175,7 +185,7 @@ class WalkerProbe(Message):
         return 4 + 4 + 2 + len(self.query_text.encode("utf-8"))
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class AggregateReply(Message):
     """A visited peer's contribution for COUNT/SUM/AVG estimation.
 
@@ -183,6 +193,10 @@ class AggregateReply(Message):
     ``deg(p)`` (from which the sink reconstructs ``prob(p)``), exactly
     the tuple the paper's ``Visit`` procedure returns.
     """
+
+    SIZE_BYTES: ClassVar[int] = GNUTELLA_HEADER_BYTES + (
+        8 + 8 + 8 + 8 + 4 + 4 + 4
+    )
 
     aggregate_value: float = 0.0
     matching_count: float = 0.0
@@ -200,7 +214,7 @@ class AggregateReply(Message):
         return 8 + 8 + 8 + 8 + 4 + 4 + 4
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class GroupReply(Message):
     """Per-group scaled aggregates for GROUP BY queries.
 
@@ -224,7 +238,7 @@ class GroupReply(Message):
         return 4 + 4 + 4 + 24 * len(self.entries)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TupleReply(Message):
     """Raw sub-sampled values for aggregates without push-down.
 

@@ -26,7 +26,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import SeedLike, ensure_rng
+from ..data.flat import FlatDataset
 from ..data.localdb import LocalDatabase
+from ..data.segments import segment_aggregate, segment_sums
 from ..errors import ConfigurationError, PeerUnavailableError, ProtocolError
 from ..metrics.cost import CostLedger, CostModel
 from ..query.model import AggregateOp, AggregationQuery
@@ -37,9 +39,7 @@ from .protocol import (
     Ping,
     Pong,
     Query,
-    QueryHit,
     TupleReply,
-    WalkerProbe,
 )
 from .topology import Topology
 
@@ -117,6 +117,12 @@ class NetworkSimulator:
             )
         self._reply_loss_rate = reply_loss_rate
         self._failure_rng = ensure_rng(self._rng.spawn(1)[0])
+        # Lazy caches.  A simulator's databases are immutable for its
+        # lifetime (churn produces *new* simulators via
+        # LiveNetwork.snapshot), so both stay valid once built.
+        self._total_tuples: Optional[int] = None
+        self._flat: Optional[FlatDataset] = None
+        self._cpu_speeds: Optional[np.ndarray] = None
 
     def _maybe_drop_reply(self, peer_id: int, ledger: CostLedger) -> None:
         """Simulate a lost reply with the configured probability.
@@ -152,6 +158,25 @@ class NetworkSimulator:
         """The unit-cost model used by new ledgers."""
         return self._cost_model
 
+    @property
+    def reply_loss_rate(self) -> float:
+        """Probability that a visited peer fails to reply."""
+        return self._reply_loss_rate
+
+    @property
+    def flat_dataset(self) -> FlatDataset:
+        """Concatenated columnar view over all peers' databases.
+
+        Built on first access and cached — the batch-visit fast path
+        and the exact evaluator read through it instead of scanning
+        peers one by one.
+        """
+        if self._flat is None:
+            self._flat = FlatDataset.from_databases(
+                [node.database for node in self._nodes]
+            )
+        return self._flat
+
     def node(self, peer_id: int) -> PeerNode:
         """The runtime node for ``peer_id``."""
         if not 0 <= peer_id < self.num_peers:
@@ -171,8 +196,24 @@ class NetworkSimulator:
         return CostLedger(self._cost_model)
 
     def total_tuples(self) -> int:
-        """Network-wide tuple count N."""
-        return sum(node.database.num_tuples for node in self._nodes)
+        """Network-wide tuple count N (computed once, then cached)."""
+        if self._total_tuples is None:
+            if self._flat is not None:
+                self._total_tuples = self._flat.num_tuples
+            else:
+                self._total_tuples = sum(
+                    node.database.num_tuples for node in self._nodes
+                )
+        return self._total_tuples
+
+    def _cpu_speed_array(self) -> np.ndarray:
+        """Per-peer CPU speeds, cached for the batch cost accounting."""
+        if self._cpu_speeds is None:
+            self._cpu_speeds = np.asarray(
+                [node.peer.capabilities.cpu_speed for node in self._nodes],
+                dtype=np.float64,
+            )
+        return self._cpu_speeds
 
     # ------------------------------------------------------------------
     # Membership probes
@@ -241,25 +282,18 @@ class NetworkSimulator:
             columns = database.scan()
             processed = total
 
-        if processed == 0:
-            local_count = 0.0
-            local_sum = 0.0
-            column_sum = 0.0
-            contribution_variance = 0.0
-        else:
-            mask = query.predicate.mask(columns)
-            local_count = float(np.count_nonzero(mask))
-            column = np.asarray(columns[query.column])
-            values = column[mask]
-            local_sum = float(values.sum()) if values.size else 0.0
-            column_sum = float(column.sum())
-            # Per-tuple contribution z_u (selection-gated), whose
-            # variance drives the sub-sampling noise of this peer.
-            if query.agg is AggregateOp.COUNT:
-                contributions = mask.astype(float)
-            else:
-                contributions = column * mask
-            contribution_variance = float(contributions.var())
+        # Single-segment call into the same kernel the batch path uses,
+        # so scalar and batched visits agree bit-for-bit.
+        counts, sums, column_sums, variances = segment_aggregate(
+            query,
+            columns,
+            starts=np.zeros(1, dtype=np.int64),
+            counts=np.asarray([processed], dtype=np.int64),
+        )
+        local_count = float(counts[0])
+        local_sum = float(sums[0])
+        column_sum = float(column_sums[0])
+        contribution_variance = float(variances[0])
 
         scale = (total / processed) if processed else 0.0
         scaled_count = local_count * scale
@@ -288,6 +322,293 @@ class NetworkSimulator:
         )
         ledger.record_reply(reply.size_bytes())
         return reply
+
+    # ------------------------------------------------------------------
+    # Vectorized batch visits (the fast path)
+    # ------------------------------------------------------------------
+
+    def _resolve_batch_rng(self, seed: SeedLike):
+        """Split ``seed`` into ``(shared_rng, per_visit_seed)``.
+
+        The per-peer loop calls ``visit_aggregate(..., seed=seed)`` once
+        per visit: a ``Generator`` (or ``None`` → the simulator stream)
+        is consumed sequentially across visits, while an *integer* seed
+        re-seeds a fresh generator at every visit.  The batch path must
+        reproduce exactly that consumption pattern to stay bit-for-bit
+        equivalent.
+        """
+        if seed is None:
+            return self._rng, None
+        if isinstance(seed, np.random.Generator):
+            return seed, None
+        return None, seed
+
+    def _validate_batch_peers(self, peer_ids) -> np.ndarray:
+        peers = np.asarray(peer_ids, dtype=np.int64).reshape(-1)
+        if peers.size and (
+            int(peers.min()) < 0 or int(peers.max()) >= self.num_peers
+        ):
+            for peer_id in peers:
+                if not 0 <= int(peer_id) < self.num_peers:
+                    raise ProtocolError(f"unknown peer {int(peer_id)}")
+        return peers
+
+    def _batch_sample_plan(
+        self,
+        peers: np.ndarray,
+        tuples_per_peer: int,
+        sampling_method: str,
+        shared_rng,
+        per_visit_seed,
+    ):
+        """Pick every visited peer's rows, in visit order.
+
+        Returns ``(columns, starts, processed, totals)``: the gathered
+        (sub-sampled) rows of all visits laid out contiguously, the
+        per-visit segment starts, the per-visit processed-row counts,
+        and each visited peer's partition size.  Draws from the same
+        generators in the same order as the scalar path, so the sampled
+        row indices are identical.
+        """
+        if sampling_method == "uniform":
+            uniform = True
+        elif sampling_method == "block":
+            uniform = False
+        else:
+            raise ConfigurationError(
+                f"unknown sampling method {sampling_method!r}; "
+                "expected 'uniform' or 'block'"
+            )
+        flat = self.flat_dataset
+        offsets = flat.offsets
+        totals = flat.peer_tuple_counts[peers]
+        processed = totals.copy()
+        index_parts = []
+        for position, peer_id in enumerate(peers):
+            peer_id = int(peer_id)
+            total = int(totals[position])
+            if tuples_per_peer and total > tuples_per_peer:
+                rng = (
+                    shared_rng
+                    if shared_rng is not None
+                    else ensure_rng(per_visit_seed)
+                )
+                database = self._nodes[peer_id].database
+                if uniform:
+                    local = database.uniform_sample_indices(
+                        tuples_per_peer, seed=rng
+                    )
+                else:
+                    local = database.block_sample_indices(
+                        tuples_per_peer, seed=rng
+                    )
+                processed[position] = local.size
+                index_parts.append(local + offsets[peer_id])
+            elif total:
+                index_parts.append(
+                    np.arange(
+                        offsets[peer_id], offsets[peer_id + 1], dtype=np.int64
+                    )
+                )
+        if index_parts:
+            indices = np.concatenate(index_parts)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        columns = flat.gather(indices)
+        starts = np.zeros(peers.size, dtype=np.int64)
+        if peers.size > 1:
+            np.cumsum(processed[:-1], out=starts[1:])
+        return columns, starts, processed, totals
+
+    def visit_aggregate_batch(
+        self,
+        peer_ids,
+        query: AggregationQuery,
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> List[AggregateReply]:
+        """Visit many peers in one vectorized pass.
+
+        Equivalent to calling :meth:`visit_aggregate` for each id in
+        ``peer_ids`` (in order, with the same ``seed``), skipping peers
+        that fail to reply — but sub-sampling, filtering, scaling, and
+        cost accounting run as single numpy passes over the flat
+        columnar view.  The replies and the ledger end up bit-for-bit
+        identical to the per-peer loop.
+
+        With ``reply_loss_rate > 0`` the method automatically falls
+        back to the per-peer path: loss draws interleave with the visit
+        stream, and keeping fault injection exact matters more than
+        speed there.
+        """
+        if not query.agg.supports_pushdown:
+            raise ConfigurationError(
+                f"{query.agg.value} cannot be pushed down; use visit_values"
+            )
+        if tuples_per_peer < 0:
+            raise ConfigurationError("tuples_per_peer must be >= 0")
+        peers = self._validate_batch_peers(peer_ids)
+        if peers.size == 0:
+            return []
+        if self._reply_loss_rate > 0.0:
+            replies = []
+            for peer_id in peers:
+                try:
+                    replies.append(
+                        self.visit_aggregate(
+                            int(peer_id),
+                            query,
+                            sink=sink,
+                            ledger=ledger,
+                            tuples_per_peer=tuples_per_peer,
+                            sampling_method=sampling_method,
+                            seed=seed,
+                        )
+                    )
+                except PeerUnavailableError:
+                    continue  # lost reply: the sample just shrinks
+            return replies
+
+        shared_rng, per_visit_seed = self._resolve_batch_rng(seed)
+        columns, starts, processed, totals = self._batch_sample_plan(
+            peers, tuples_per_peer, sampling_method, shared_rng, per_visit_seed
+        )
+        counts, sums, column_sums, variances = segment_aggregate(
+            query, columns, starts=starts, counts=processed
+        )
+        nonzero = processed > 0
+        scales = np.zeros(peers.size, dtype=np.float64)
+        np.divide(
+            totals.astype(np.float64), processed, out=scales, where=nonzero
+        )
+        primary = counts if query.agg is AggregateOp.COUNT else sums
+        values = primary * scales
+        scaled_counts = counts * scales
+        scaled_column_sums = column_sums * scales
+        degrees = self._topology.degrees[peers]
+        sampled = processed
+        if tuples_per_peer:
+            sampled = np.minimum(processed, tuples_per_peer)
+
+        replies: List[AggregateReply] = []
+        for position in range(peers.size):
+            replies.append(
+                AggregateReply(
+                    source=int(peers[position]),
+                    destination=sink,
+                    aggregate_value=float(values[position]),
+                    matching_count=float(scaled_counts[position]),
+                    column_total=float(scaled_column_sums[position]),
+                    contribution_variance=float(variances[position]),
+                    degree=int(degrees[position]),
+                    local_tuples=int(totals[position]),
+                    processed_tuples=int(processed[position]),
+                )
+            )
+        reply_bytes = replies[0].size_bytes()
+        ledger.record_visit_replies(
+            peers,
+            tuples_processed=processed,
+            tuples_sampled=sampled,
+            reply_bytes=np.full(peers.size, reply_bytes, dtype=np.int64),
+            cpu_speeds=self._cpu_speed_array()[peers],
+        )
+        return replies
+
+    def visit_values_batch(
+        self,
+        peer_ids,
+        query: AggregationQuery,
+        sink: int,
+        ledger: CostLedger,
+        tuples_per_peer: int = 0,
+        ship: str = "median",
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> List[TupleReply]:
+        """Batched :meth:`visit_values`: one vectorized pass for the
+        median/quantile visit, with the same equivalence and
+        fault-injection fallback contract as
+        :meth:`visit_aggregate_batch`.
+        """
+        if ship not in ("median", "sample"):
+            raise ConfigurationError(f"unknown ship mode {ship!r}")
+        peers = self._validate_batch_peers(peer_ids)
+        if peers.size == 0:
+            return []
+        if self._reply_loss_rate > 0.0:
+            replies = []
+            for peer_id in peers:
+                try:
+                    replies.append(
+                        self.visit_values(
+                            int(peer_id),
+                            query,
+                            sink=sink,
+                            ledger=ledger,
+                            tuples_per_peer=tuples_per_peer,
+                            ship=ship,
+                            sampling_method=sampling_method,
+                            seed=seed,
+                        )
+                    )
+                except PeerUnavailableError:
+                    continue  # lost reply: the sample just shrinks
+            return replies
+
+        shared_rng, per_visit_seed = self._resolve_batch_rng(seed)
+        columns, starts, processed, totals = self._batch_sample_plan(
+            peers, tuples_per_peer, sampling_method, shared_rng, per_visit_seed
+        )
+        column = np.asarray(columns[query.column])
+        if column.size:
+            mask = query.predicate.mask(columns)
+            matching = column[mask]
+            match_counts = segment_sums(
+                mask.astype(np.float64), starts, processed
+            ).astype(np.int64)
+        else:
+            matching = np.empty(0, dtype=column.dtype)
+            match_counts = np.zeros(peers.size, dtype=np.int64)
+        match_starts = np.zeros(peers.size, dtype=np.int64)
+        if peers.size > 1:
+            np.cumsum(match_counts[:-1], out=match_starts[1:])
+        degrees = self._topology.degrees[peers]
+
+        replies: List[TupleReply] = []
+        reply_bytes = np.empty(peers.size, dtype=np.int64)
+        for position in range(peers.size):
+            start = int(match_starts[position])
+            segment = matching[start:start + int(match_counts[position])]
+            if ship == "median" and segment.size:
+                # quantile_fraction raises for non-quantile aggregates,
+                # so consult it only where the scalar path does.
+                shipped: Tuple[float, ...] = (
+                    float(np.quantile(segment, query.quantile_fraction)),
+                )
+            else:
+                shipped = tuple(float(v) for v in segment)
+            reply = TupleReply(
+                source=int(peers[position]),
+                destination=sink,
+                values=shipped,
+                degree=int(degrees[position]),
+                local_tuples=int(totals[position]),
+                processed_tuples=int(processed[position]),
+            )
+            replies.append(reply)
+            reply_bytes[position] = reply.size_bytes()
+        ledger.record_visit_replies(
+            peers,
+            tuples_processed=processed,
+            tuples_sampled=processed,
+            reply_bytes=reply_bytes,
+            cpu_speeds=self._cpu_speed_array()[peers],
+        )
+        return replies
 
     def visit_multi_aggregate(
         self,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import weakref
 from typing import Optional, Sequence
 
 import numpy as np
@@ -112,13 +113,33 @@ def _normalized_adjacency(topology: Topology) -> sp.csr_matrix:
     return sp.csr_matrix((data, (rows, cols)), shape=(m, m))
 
 
+# Topologies are immutable, so a profile computed once is valid for the
+# object's lifetime; keying weakly lets discarded topologies free their
+# profile with them.  The Lanczos solve dominates harness start-up for
+# repeated trials, which is why this is memoized rather than recomputed.
+_PROFILE_CACHE: "weakref.WeakKeyDictionary[Topology, SpectralProfile]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def analyze_topology(topology: Topology) -> SpectralProfile:
     """Compute the spectral profile of ``topology``.
 
     Uses sparse Lanczos iteration on the symmetric normalized
     adjacency; falls back to dense eigendecomposition for tiny graphs
-    where Lanczos cannot run.
+    where Lanczos cannot run.  Profiles are memoized per topology
+    object (topologies are immutable), so repeated trials over one
+    network pay for the eigensolve once.
     """
+    cached = _PROFILE_CACHE.get(topology)
+    if cached is not None:
+        return cached
+    profile = _analyze_topology_uncached(topology)
+    _PROFILE_CACHE[topology] = profile
+    return profile
+
+
+def _analyze_topology_uncached(topology: Topology) -> SpectralProfile:
     if not topology.is_connected():
         raise TopologyError(
             "spectral analysis requires a connected topology; analyze the "

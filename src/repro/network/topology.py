@@ -19,7 +19,7 @@ the topology changes slowly relative to query execution.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -247,6 +247,38 @@ class Topology:
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
+
+    @property
+    def edge_array(self) -> np.ndarray:
+        """The normalized ``(E, 2)`` edge array in insertion order
+        (read-only view).  Round-trips through
+        :meth:`from_edge_array` to an identical topology — including
+        CSR neighbor order, which the walkers' rng draws depend on."""
+        view = self._edges.view()
+        view.flags.writeable = False
+        return view
+
+    @classmethod
+    def from_edge_array(cls, num_peers: int, edges: np.ndarray) -> "Topology":
+        """Rebuild a topology from a trusted normalized edge array.
+
+        ``edges`` must come from a prior topology's :attr:`edge_array`
+        (or equivalent: ``u < v`` pairs, no duplicates, in the original
+        insertion order); per-edge validation is skipped, so the CSR —
+        and every walk over it — is bit-identical to the source
+        topology.  Used by the experiment harness's on-disk topology
+        cache.
+        """
+        if num_peers <= 0:
+            raise TopologyError(f"num_peers must be positive, got {num_peers}")
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= num_peers):
+            raise TopologyError("edge array out of range")
+        topology = cls.__new__(cls)
+        topology._num_peers = int(num_peers)
+        topology._edges = edges.copy()
+        topology._build_csr()
+        return topology
 
     @classmethod
     def from_networkx(cls, graph: "nx.Graph") -> "Topology":

@@ -8,10 +8,11 @@ cost model can price it for comparison.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable
 
 import numpy as np
 
+from ..data.flat import FlatDataset
 from ..errors import QueryError
 from .model import AggregateOp, AggregationQuery, ColumnMap
 
@@ -50,9 +51,13 @@ def evaluate_exact(
     """Evaluate ``query`` exactly over every peer's local database.
 
     ``databases`` is an iterable of :class:`repro.data.LocalDatabase`
-    (or anything exposing ``scan()``).  COUNT/SUM distribute over
-    peers; AVG/MEDIAN/QUANTILE gather the selected values.
+    (or anything exposing ``scan()``), or a
+    :class:`~repro.data.flat.FlatDataset`, whose concatenated columns
+    make the whole evaluation one numpy pass.  COUNT/SUM distribute
+    over peers; AVG/MEDIAN/QUANTILE gather the selected values.
     """
+    if isinstance(databases, FlatDataset):
+        return evaluate_on_columns(query, databases.scan())
     if query.agg is AggregateOp.COUNT or query.agg is AggregateOp.SUM:
         total = 0.0
         for database in databases:
@@ -82,6 +87,11 @@ def evaluate_exact(
 
 def measured_selectivity(query: AggregationQuery, databases: Iterable) -> float:
     """Fraction of all tuples satisfying the query's predicate."""
+    if isinstance(databases, FlatDataset):
+        if databases.num_tuples == 0:
+            raise QueryError("selectivity over an empty network is undefined")
+        mask = query.predicate.mask(databases.scan())
+        return int(np.count_nonzero(mask)) / databases.num_tuples
     matching = 0
     total = 0
     for database in databases:
@@ -101,6 +111,8 @@ def rank_of_value(value: float, databases: Iterable, column: str) -> int:
     difference between the true rank of the median that the algorithm
     returns, and N/2".
     """
+    if isinstance(databases, FlatDataset):
+        return int(np.count_nonzero(databases.column(column) < value))
     below = 0
     for database in databases:
         data = np.asarray(database.column(column))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, Mapping, Optional, Tuple
 
 import numpy as np
 

@@ -21,7 +21,7 @@ supported — this is a convenience front-end over
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..errors import QueryParseError
 from .model import (

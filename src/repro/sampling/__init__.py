@@ -7,6 +7,7 @@ jump).  Both are implemented here behind the same estimator pipeline so
 the comparison isolates *how peers are selected*.
 """
 
+from ..data.segments import segment_aggregate, segment_sums
 from .baselines import (
     BaselineResult,
     BFSEngine,
@@ -22,4 +23,6 @@ __all__ = [
     "BaselineResult",
     "block_aggregate",
     "sampling_design_effect",
+    "segment_aggregate",
+    "segment_sums",
 ]

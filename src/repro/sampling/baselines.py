@@ -37,11 +37,7 @@ from ..core.estimators import (
 from ..core.planner import estimate_scale
 from ..core.result import PhaseReport
 from ..core.two_phase import TwoPhaseConfig, TwoPhaseEngine
-from ..errors import (
-    ConfigurationError,
-    PeerUnavailableError,
-    SamplingError,
-)
+from ..errors import ConfigurationError, SamplingError
 from ..metrics.cost import QueryCost
 from ..network.simulator import NetworkSimulator
 from ..query.model import AggregationQuery
@@ -146,22 +142,15 @@ class BFSEngine:
         sink: int,
         ledger,
     ) -> List[PeerObservation]:
-        replies = []
-        for peer in peers:
-            try:
-                replies.append(
-                    self._simulator.visit_aggregate(
-                        peer,
-                        query,
-                        sink=sink,
-                        ledger=ledger,
-                        tuples_per_peer=self._config.tuples_per_peer,
-                        sampling_method=self._config.sampling_method,
-                        seed=self._rng,
-                    )
-                )
-            except PeerUnavailableError:
-                continue  # lost reply: the sample just shrinks
+        replies = self._simulator.visit_aggregate_batch(
+            np.asarray(peers, dtype=np.int64),
+            query,
+            sink=sink,
+            ledger=ledger,
+            tuples_per_peer=self._config.tuples_per_peer,
+            sampling_method=self._config.sampling_method,
+            seed=self._rng,
+        )
         return observations_from_replies(
             replies,
             num_edges=self._simulator.topology.num_edges,

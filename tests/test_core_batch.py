@@ -1,6 +1,5 @@
 """Tests for multi-query batching."""
 
-import numpy as np
 import pytest
 
 from repro.core.batch import BatchEngine
@@ -92,7 +91,6 @@ class TestBatchExecution:
             )
 
     def test_group_by_rejected(self, engine, small_network):
-        from repro.data.generator import DatasetConfig, generate_dataset
 
         grouped = parse_query("SELECT COUNT(A) FROM T GROUP BY G")
         with pytest.raises(ConfigurationError):

@@ -9,7 +9,7 @@ from repro.core.biased import (
     biased_engine_for_query,
     probe_weights,
 )
-from repro.errors import ConfigurationError, SamplingError
+from repro.errors import ConfigurationError
 from repro.network.walker import WeightedMetropolisWalker
 from repro.query.exact import evaluate_exact
 from repro.query.parser import parse_query

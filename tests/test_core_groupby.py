@@ -9,7 +9,7 @@ from repro.data.generator import DatasetConfig, generate_dataset
 from repro.errors import ConfigurationError, QueryError, SamplingError
 from repro.network.simulator import NetworkSimulator
 from repro.query.exact import evaluate_exact_groups
-from repro.query.model import AggregateOp, AggregationQuery, Between
+from repro.query.model import AggregateOp, AggregationQuery
 from repro.query.parser import parse_query
 
 

@@ -1,6 +1,5 @@
 """Integration tests for the two-phase engine (the paper's algorithm)."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -8,7 +7,7 @@ import pytest
 from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
 from repro.errors import ConfigurationError
 from repro.query.exact import evaluate_exact
-from repro.query.model import AggregateOp, AggregationQuery, Between
+from repro.query.model import AggregateOp, AggregationQuery
 from repro.query.parser import parse_query
 
 COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")

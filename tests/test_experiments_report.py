@@ -1,6 +1,5 @@
 """Edge-case tests for the report renderer."""
 
-import pytest
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.report import render_figure, render_table

@@ -6,7 +6,6 @@ import pytest
 from repro.data.generator import DatasetConfig, generate_dataset
 from repro.errors import ConfigurationError
 from repro.io import load_dataset, load_topology, save_dataset, save_topology
-from repro.network.generators import power_law_topology
 from repro.query.exact import evaluate_exact
 from repro.query.parser import parse_query
 

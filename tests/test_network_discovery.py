@@ -7,7 +7,6 @@ import pytest
 
 from repro.errors import SamplingError
 from repro.network.discovery import (
-    NetworkEstimate,
     estimate_average_degree,
     estimate_network,
     samples_for_size_estimate,

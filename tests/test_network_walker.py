@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.network.topology import Topology
-from repro.network.walker import RandomWalkConfig, RandomWalker, WalkResult
+from repro.network.walker import RandomWalkConfig, RandomWalker
 
 
 class TestRandomWalkConfig:
