@@ -18,6 +18,18 @@ import numpy as np
 
 from .errors import ConfigurationError
 
+__all__ = [
+    "SeedLike",
+    "ensure_rng",
+    "spawn",
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_in",
+    "weighted_median",
+    "relative_error",
+]
+
 SeedLike = Union[None, int, np.random.Generator]
 
 
@@ -33,7 +45,7 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, n: int) -> list:
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``n`` statistically independent child streams."""
     if n < 0:
         raise ConfigurationError(f"cannot spawn {n} generators")
@@ -58,7 +70,7 @@ def check_fraction(name: str, value: float) -> None:
         raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
 
 
-def check_in(name: str, value: object, allowed: Sequence) -> None:
+def check_in(name: str, value: object, allowed: Sequence[object]) -> None:
     """Raise :class:`ConfigurationError` unless ``value`` is in ``allowed``."""
     if value not in allowed:
         raise ConfigurationError(

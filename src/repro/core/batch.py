@@ -33,15 +33,25 @@ from ..errors import (
     PeerUnavailableError,
     SamplingError,
 )
+from ..metrics.cost import CostLedger
 from ..network.protocol import AggregateReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalker
 from ..query.model import AggregateOp, AggregationQuery
 from .confidence import ConfidenceInterval, z_for_confidence
-from .estimators import make_estimator, observations_from_replies
+from .estimators import (
+    PeerObservation,
+    make_estimator,
+    observations_from_replies,
+)
 from .planner import analyze_phase_one
 from .result import ApproximateResult, PhaseReport
 from .two_phase import TwoPhaseConfig
+
+
+__all__ = [
+    "BatchEngine",
+]
 
 
 class BatchEngine:
@@ -78,7 +88,7 @@ class BatchEngine:
         sink: int,
         queries: Sequence[AggregationQuery],
         count: int,
-        ledger,
+        ledger: CostLedger,
     ) -> List[List[AggregateReply]]:
         """One walk; returns per-query reply lists."""
         walk = self._walker.sample_peers(sink, count)
@@ -106,7 +116,9 @@ class BatchEngine:
                 per_query[index].append(reply)
         return per_query
 
-    def _observations(self, replies):
+    def _observations(
+        self, replies: Sequence[AggregateReply]
+    ) -> "List[PeerObservation]":
         return observations_from_replies(
             replies,
             num_edges=self._simulator.topology.num_edges,

@@ -45,6 +45,14 @@ from .estimators import PeerObservation, hajek_estimate, hajek_variance
 from .result import ApproximateResult, PhaseReport
 
 
+__all__ = [
+    "BiasedConfig",
+    "probe_weights",
+    "BiasedSamplingEngine",
+    "biased_engine_for_query",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class BiasedConfig:
     """Tunables of the biased sampler.

@@ -16,6 +16,12 @@ from typing import Sequence
 from ..errors import SamplingError
 from .estimators import PeerObservation, ht_standard_error, horvitz_thompson
 
+__all__ = [
+    "z_for_confidence",
+    "ConfidenceInterval",
+    "normal_confidence_interval",
+]
+
 # Two-sided standard-normal quantiles for common confidence levels.
 _Z_TABLE = {
     0.80: 1.2815515655446004,

@@ -57,6 +57,14 @@ from ..metrics.cost import CostModel
 from .estimators import PeerObservation
 
 
+__all__ = [
+    "VarianceDecomposition",
+    "TupleBudgetPlan",
+    "decompose_variance",
+    "optimize_tuple_budget",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class VarianceDecomposition:
     """The two variance components estimated from phase I.

@@ -16,13 +16,19 @@ the random halving a few times and averaging makes the estimate robust
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from .._util import SeedLike, ensure_rng
 from ..errors import SamplingError
 from .estimators import PeerObservation
+
+
+__all__ = [
+    "CrossValidation",
+    "cross_validate",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,7 +73,9 @@ def cross_validate(
     observations: Sequence[PeerObservation],
     rounds: int = 5,
     seed: SeedLike = None,
-    estimator=None,
+    estimator: Optional[
+        Callable[[Sequence[PeerObservation]], float]
+    ] = None,
 ) -> CrossValidation:
     """Randomly halve the sample ``rounds`` times and measure CVError.
 

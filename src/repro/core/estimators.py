@@ -22,12 +22,29 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SamplingError
 from ..network.protocol import AggregateReply
+
+
+__all__ = [
+    "PeerObservation",
+    "observations_from_replies",
+    "horvitz_thompson",
+    "hajek_estimate",
+    "hajek_variance",
+    "make_estimator",
+    "ht_variance",
+    "ht_standard_error",
+    "clustering_badness_estimate",
+    "clustering_badness",
+    "theoretical_variance",
+    "estimate_total_tuples",
+    "estimate_total_column_sum",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -189,7 +206,12 @@ def hajek_variance(
     return float((m - 1) / m * np.sum((leave_one_out - mean_loo) ** 2))
 
 
-def make_estimator(name: str, num_peers: int = 0):
+def make_estimator(
+    name: str, num_peers: int = 0
+) -> Tuple[
+    Callable[[Sequence["PeerObservation"]], float],
+    Callable[[Sequence["PeerObservation"]], float],
+]:
     """Estimator factory: ``"ht"`` (the paper's Equation 1) or
     ``"hajek"`` (self-normalized; needs ``num_peers``).
 
@@ -202,10 +224,10 @@ def make_estimator(name: str, num_peers: int = 0):
         if num_peers <= 0:
             raise SamplingError("hajek estimator needs num_peers")
 
-        def point(observations):
+        def point(observations: Sequence[PeerObservation]) -> float:
             return hajek_estimate(observations, num_peers)
 
-        def variance(observations):
+        def variance(observations: Sequence[PeerObservation]) -> float:
             return hajek_variance(observations, num_peers)
 
         return point, variance

@@ -25,6 +25,12 @@ from .planner import PhaseOneAnalysis
 from .two_phase import TwoPhaseConfig, TwoPhaseEngine
 
 
+__all__ = [
+    "ExplainReport",
+    "explain",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class ExplainReport:
     """A previewed execution plan for an approximate query.

@@ -29,12 +29,19 @@ from ..errors import (
     PeerUnavailableError,
     SamplingError,
 )
-from ..metrics.cost import QueryCost
+from ..metrics.cost import CostLedger, QueryCost
 from ..network.protocol import GroupReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
 from ..query.model import AggregateOp, AggregationQuery
 from .result import PhaseReport
+
+
+__all__ = [
+    "GroupByConfig",
+    "GroupByResult",
+    "GroupByEngine",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,7 +134,13 @@ class _GroupObservation:
 
     __slots__ = ("peer_id", "counts", "sums", "weight")
 
-    def __init__(self, peer_id, counts, sums, weight):
+    def __init__(
+        self,
+        peer_id: int,
+        counts: Dict[float, float],
+        sums: Dict[float, float],
+        weight: float,
+    ):
         self.peer_id = peer_id
         self.counts = counts  # Dict[float, float], scaled
         self.sums = sums
@@ -165,7 +178,7 @@ class GroupByEngine:
         sink: int,
         query: AggregationQuery,
         count: int,
-        ledger,
+        ledger: CostLedger,
     ) -> Tuple[List[_GroupObservation], int]:
         walk = self._walker.sample_peers(sink, count)
         probe = WalkerProbe(

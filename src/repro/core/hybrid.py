@@ -43,6 +43,12 @@ from .result import ApproximateResult, PhaseReport
 from .two_phase import TwoPhaseConfig, TwoPhaseEngine
 
 
+__all__ = [
+    "CachedPlan",
+    "HybridEngine",
+]
+
+
 @dataclasses.dataclass
 class CachedPlan:
     """Cached phase-I statistics for one query signature.

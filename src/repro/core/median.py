@@ -32,11 +32,19 @@ import numpy as np
 
 from .._util import SeedLike, ensure_rng, weighted_median
 from ..errors import ConfigurationError, SamplingError
+from ..metrics.cost import CostLedger
 from ..network.protocol import TupleReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
 from ..query.model import AggregateOp, AggregationQuery
 from .result import MedianResult, PhaseReport
+
+
+__all__ = [
+    "MedianConfig",
+    "weighted_rank_fraction",
+    "MedianEngine",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,7 +155,7 @@ class MedianEngine:
         sink: int,
         query: AggregationQuery,
         count: int,
-        ledger,
+        ledger: CostLedger,
     ) -> Tuple[List[_MedianObservation], int, int]:
         """Walk and gather local medians; returns (observations, hops,
         tuples processed)."""

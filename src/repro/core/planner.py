@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .._util import SeedLike, check_positive, ensure_rng
 from ..errors import SamplingError
@@ -36,6 +36,14 @@ from .estimators import (
     estimate_total_tuples,
     make_estimator,
 )
+
+
+__all__ = [
+    "PhaseTwoPlan",
+    "PhaseOneAnalysis",
+    "estimate_scale",
+    "analyze_phase_one",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,7 +112,7 @@ class PhaseOneAnalysis:
 
 def _reproject(
     observations: Sequence[PeerObservation], field: str
-) -> list:
+) -> List[PeerObservation]:
     """Copies of the observations with ``value`` replaced by another
     per-peer quantity, so any estimator can be applied to it."""
     return [
@@ -116,7 +124,9 @@ def _reproject(
 def estimate_scale(
     query: AggregationQuery,
     observations: Sequence[PeerObservation],
-    point_estimator=None,
+    point_estimator: Optional[
+        Callable[[Sequence[PeerObservation]], float]
+    ] = None,
 ) -> float:
     """The normalization scale for ``Δreq`` under this query.
 

@@ -10,6 +10,13 @@ from ..query.model import AggregationQuery
 from .confidence import ConfidenceInterval
 
 
+__all__ = [
+    "PhaseReport",
+    "ApproximateResult",
+    "MedianResult",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class PhaseReport:
     """What one phase of the algorithm did.

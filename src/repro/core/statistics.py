@@ -39,7 +39,7 @@ from ..errors import (
     PeerUnavailableError,
     SamplingError,
 )
-from ..metrics.cost import QueryCost
+from ..metrics.cost import CostLedger, QueryCost
 from ..network.protocol import TupleReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
@@ -50,6 +50,14 @@ from ..query.model import (
     TruePredicate,
 )
 from .result import PhaseReport
+
+
+__all__ = [
+    "StatisticsConfig",
+    "HistogramResult",
+    "DistinctResult",
+    "StatisticsEngine",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -204,7 +212,7 @@ class StatisticsEngine:
         column: str,
         predicate: Predicate,
         count: int,
-        ledger,
+        ledger: CostLedger,
     ) -> Tuple[List[_PeerValueSample], int]:
         """Walk and gather raw value samples; returns (samples, hops)."""
         query = AggregationQuery(

@@ -26,10 +26,11 @@ estimate.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError, SamplingError
+from ..metrics.cost import CostLedger
 from ..network.protocol import AggregateReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
 from ..network.walker import RandomWalkConfig, RandomWalker
@@ -44,6 +45,12 @@ from .estimators import (
 )
 from .planner import PhaseOneAnalysis, analyze_phase_one
 from .result import ApproximateResult, PhaseReport
+
+
+__all__ = [
+    "TwoPhaseConfig",
+    "TwoPhaseEngine",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,7 +127,7 @@ class TwoPhaseConfig:
 
     @classmethod
     def from_initial_sample_size(
-        cls, initial_sample_size: int, tuples_per_peer: int = 25, **kwargs
+        cls, initial_sample_size: int, tuples_per_peer: int = 25, **kwargs: object
     ) -> "TwoPhaseConfig":
         """Build a config from the paper's ``r_orig`` parameter.
 
@@ -190,7 +197,7 @@ class TwoPhaseEngine:
         sink: int,
         query: AggregationQuery,
         count: int,
-        ledger,
+        ledger: CostLedger,
     ) -> List[AggregateReply]:
         """Walk, visit every selected peer, and gather replies."""
         walk = self._walker.sample_peers(sink, count)
@@ -267,8 +274,8 @@ class TwoPhaseEngine:
         sink: int,
         query: AggregationQuery,
         count: int,
-        ledger,
-    ):
+        ledger: CostLedger,
+    ) -> Tuple[List[PeerObservation], List[AggregateReply]]:
         """Walk, visit ``count`` peers, and return their observations.
 
         Public so composed engines (hybrid pre-computation, biased

@@ -34,6 +34,11 @@ from ..errors import ConfigurationError
 from .localdb import LocalDatabase
 
 
+__all__ = [
+    "FlatDataset",
+]
+
+
 class FlatDataset:
     """Read-only concatenated columns with per-peer offsets.
 

@@ -37,6 +37,15 @@ from .placement import PlacementConfig, peer_slices
 from .zipf import ZipfDistribution
 
 
+__all__ = [
+    "DatasetConfig",
+    "arrangement_permutation",
+    "arrange_cluster_level",
+    "GeneratedDataset",
+    "generate_dataset",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of a synthetic P2P dataset.
@@ -113,7 +122,7 @@ def arrangement_permutation(
     """
     check_fraction("cluster_level", cluster_level)
     order = np.argsort(values, kind="stable")
-    if cluster_level == 0.0 or order.size <= 1:
+    if cluster_level <= 0.0 or order.size <= 1:
         return order
     if cluster_level >= 1.0:
         rng.shuffle(order)

@@ -28,6 +28,12 @@ from .._util import SeedLike, check_positive, ensure_rng
 from ..errors import ConfigurationError, SamplingError
 
 
+__all__ = [
+    "Block",
+    "LocalDatabase",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class Block:
     """A contiguous block of rows: ``[start, stop)`` within the peer."""

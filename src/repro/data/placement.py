@@ -24,6 +24,13 @@ from ..errors import ConfigurationError
 from ..network.topology import Topology
 
 
+__all__ = [
+    "PlacementConfig",
+    "peer_slices",
+    "assign_tuples_to_peers",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class PlacementConfig:
     """How tuples are spread over peers.

@@ -28,6 +28,12 @@ import numpy as np
 from ..errors import ConfigurationError, QueryError
 from ..query.model import AggregateOp, AggregationQuery
 
+__all__ = [
+    "ColumnMap",
+    "segment_sums",
+    "segment_aggregate",
+]
+
 ColumnMap = Dict[str, np.ndarray]
 
 

@@ -13,11 +13,19 @@ literature, with exact probabilities and inverse-CDF sampling.
 from __future__ import annotations
 
 import dataclasses
+from typing import Tuple
 
 import numpy as np
 
 from .._util import SeedLike, check_nonnegative, check_positive, ensure_rng
 from ..errors import ConfigurationError
+
+
+__all__ = [
+    "zipf_probabilities",
+    "zipf_sample",
+    "ZipfDistribution",
+]
 
 
 def zipf_probabilities(num_values: int, skew: float) -> np.ndarray:
@@ -96,7 +104,7 @@ class ZipfDistribution:
             return 0.0
         return float(probabilities[lo_index:hi_index].sum()) * num_tuples
 
-    def range_for_selectivity(self, selectivity: float) -> tuple:
+    def range_for_selectivity(self, selectivity: float) -> Tuple[int, int]:
         """Smallest prefix range ``[1, hi]`` with mass >= ``selectivity``.
 
         The paper's experiments use range queries of controlled

@@ -7,6 +7,19 @@ can catch everything from this package with a single ``except`` clause.
 from __future__ import annotations
 
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "QueryError",
+    "QueryParseError",
+    "SamplingError",
+    "ProtocolError",
+    "PeerUnavailableError",
+    "ChurnError",
+]
+
+
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..data.flat import FlatDataset
 from ..data.generator import DatasetConfig, GeneratedDataset, generate_dataset
 from ..data.placement import PlacementConfig
 from ..errors import ConfigurationError
@@ -37,6 +38,18 @@ from ..network.generators import (
 )
 from ..network.simulator import NetworkSimulator
 from ..network.topology import Topology
+
+
+__all__ = [
+    "default_scale",
+    "default_trials",
+    "default_workers",
+    "NetworkBundle",
+    "clear_cache",
+    "topology_cache_dir",
+    "synthetic_bundle",
+    "gnutella_bundle",
+]
 
 
 def default_scale() -> float:
@@ -99,7 +112,7 @@ class NetworkBundle:
         return self.dataset.num_tuples
 
     @property
-    def flat_dataset(self):
+    def flat_dataset(self) -> FlatDataset:
         """The simulator's concatenated columnar view (lazy, cached)."""
         return self.simulator.flat_dataset
 

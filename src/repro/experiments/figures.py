@@ -29,6 +29,31 @@ from .configs import (
 )
 from .runner import mean_error, mean_sample_size, run_trials
 
+__all__ = [
+    "DELTA_SWEEP",
+    "DELTA_SWEEP_FINE",
+    "SELECTIVITY_SWEEP",
+    "CLUSTER_SWEEP",
+    "SKEW_SWEEP",
+    "FigureResult",
+    "figure02_required_accuracy",
+    "figure03_selectivity",
+    "figure04_sample_size_synthetic",
+    "figure05_sample_size_gnutella",
+    "figure06_samples_per_peer",
+    "figure07_baselines",
+    "figure08_clustering_error",
+    "figure09_clustering_sample_size",
+    "figure10_skew_error",
+    "figure11_skew_sample_size",
+    "figure12_cut_vs_jump",
+    "figure13_sum_clustering_error",
+    "figure14_sum_clustering_sample_size",
+    "figure15_median_clustering_error",
+    "figure16_median_clustering_sample_size",
+    "FIGURES",
+]
+
 DELTA_SWEEP = (0.25, 0.20, 0.15, 0.10)
 DELTA_SWEEP_FINE = (0.25, 0.20, 0.15, 0.10, 0.05)
 SELECTIVITY_SWEEP = (0.025, 0.05, 0.10, 0.20, 0.40)

@@ -11,6 +11,12 @@ from typing import List, Sequence
 from .figures import FigureResult
 
 
+__all__ = [
+    "render_table",
+    "render_figure",
+]
+
+
 def render_table(
     columns: Sequence[str],
     rows: Sequence[Sequence[float]],

@@ -19,6 +19,7 @@ serially to keep the injected losses exactly reproducible.
 from __future__ import annotations
 
 import dataclasses
+import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -34,6 +35,14 @@ from ..query.exact import evaluate_exact, rank_of_value
 from ..query.model import AggregateOp, AggregationQuery
 from ..sampling.baselines import BFSEngine, dfs_engine
 from .configs import NetworkBundle, default_workers
+
+__all__ = [
+    "TrialOutcome",
+    "run_trials",
+    "mean_error",
+    "mean_sample_size",
+    "mean_peers",
+]
 
 _ENGINES = ("two-phase", "bfs", "dfs", "median")
 
@@ -72,7 +81,9 @@ def _score(
         return abs(estimate - truth) / abs(truth)
     # MEDIAN / QUANTILE: rank distance from the target rank.
     rank = rank_of_value(estimate, bundle.flat_dataset, query.column)
-    if query.agg is AggregateOp.MEDIAN or query.quantile_fraction == 0.5:
+    if query.agg is AggregateOp.MEDIAN or math.isclose(
+        query.quantile_fraction, 0.5
+    ):
         return median_rank_error(rank, bundle.num_tuples)
     target = query.quantile_fraction * bundle.num_tuples
     return abs(rank - target) / bundle.num_tuples
@@ -214,7 +225,7 @@ def run_trials(
     effective_workers = min(workers, trials, os.cpu_count() or 1)
     parallel = (
         effective_workers > 1
-        and bundle.simulator.reply_loss_rate == 0.0
+        and bundle.simulator.reply_loss_rate <= 0.0
         and _fork_available()
     )
     if not parallel:

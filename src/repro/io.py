@@ -27,6 +27,14 @@ from .data.localdb import LocalDatabase
 from .errors import ConfigurationError
 from .network.topology import Topology
 
+__all__ = [
+    "PathLike",
+    "save_topology",
+    "load_topology",
+    "save_dataset",
+    "load_dataset",
+]
+
 _TOPOLOGY_SCHEMA = 1
 _DATASET_SCHEMA = 2
 
@@ -119,7 +127,9 @@ def load_dataset(path: PathLike) -> GeneratedDataset:
     )
 
 
-def _check_schema(archive, expected: int, kind: str, path: PathLike) -> None:
+def _check_schema(
+    archive: np.lib.npyio.NpzFile, expected: int, kind: str, path: PathLike
+) -> None:
     if "schema" not in archive:
         raise ConfigurationError(f"{path} is not a repro {kind} artifact")
     found = int(archive["schema"])

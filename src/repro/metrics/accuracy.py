@@ -23,6 +23,17 @@ from .._util import check_positive
 from ..errors import ConfigurationError
 
 
+__all__ = [
+    "normalized_error",
+    "count_error",
+    "sum_error",
+    "median_rank_error",
+    "TrialSummary",
+    "summarize_trials",
+    "fraction_within",
+]
+
+
 def normalized_error(estimate: float, truth: float, scale: float) -> float:
     """``|estimate - truth| / scale`` with a positive scale."""
     check_positive("scale", scale)

@@ -21,9 +21,17 @@ import dataclasses
 from typing import Optional, Set
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import check_nonnegative
 from ..errors import ConfigurationError
+
+
+__all__ = [
+    "CostModel",
+    "QueryCost",
+    "CostLedger",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,11 +154,11 @@ class CostLedger:
 
     def record_visit_replies(
         self,
-        peers,
-        tuples_processed,
-        tuples_sampled,
-        reply_bytes,
-        cpu_speeds=None,
+        peers: ArrayLike,
+        tuples_processed: ArrayLike,
+        tuples_sampled: ArrayLike,
+        reply_bytes: ArrayLike,
+        cpu_speeds: Optional[ArrayLike] = None,
     ) -> None:
         """Bulk-account a sequence of visit + reply pairs.
 

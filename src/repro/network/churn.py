@@ -29,6 +29,13 @@ from ..errors import ChurnError
 from .topology import Topology
 
 
+__all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "ChurnSnapshot",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class ChurnConfig:
     """Churn behaviour knobs.

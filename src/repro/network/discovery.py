@@ -46,6 +46,14 @@ from ..errors import SamplingError
 from .walker import RandomWalker
 
 
+__all__ = [
+    "NetworkEstimate",
+    "estimate_average_degree",
+    "estimate_network",
+    "samples_for_size_estimate",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class NetworkEstimate:
     """Estimated global parameters with sampling metadata.

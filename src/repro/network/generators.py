@@ -33,6 +33,18 @@ from ..errors import ConfigurationError, TopologyError
 from .topology import Topology
 
 
+__all__ = [
+    "TopologyConfig",
+    "power_law_topology",
+    "clustered_power_law",
+    "subgraph_groups",
+    "synthetic_paper_topology",
+    "gnutella_2001_like",
+    "gnutella_paper_topology",
+    "random_regular_topology",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class TopologyConfig:
     """Declarative description of a generated topology.
@@ -391,11 +403,11 @@ def random_regular_topology(
         raise TopologyError("degree must be < num_peers")
     if (num_peers * degree) % 2 != 0:
         raise TopologyError("num_peers * degree must be even")
+    # networkx consumes the Generator directly, so retries continue the
+    # stream instead of re-seeding a fresh PRNG per attempt.
     rng = ensure_rng(seed)
     for attempt in range(20):
-        graph = nx.random_regular_graph(
-            degree, num_peers, seed=int(rng.integers(2**31))
-        )
+        graph = nx.random_regular_graph(degree, num_peers, seed=rng)
         if nx.is_connected(graph):
             return Topology.from_networkx(graph)
     raise TopologyError(

@@ -24,7 +24,7 @@ the slow-changing parameters the paper allows.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,11 @@ from ..metrics.cost import CostModel
 from .churn import ChurnConfig, ChurnProcess
 from .simulator import NetworkSimulator
 from .topology import Topology
+
+
+__all__ = [
+    "LiveNetwork",
+]
 
 
 class LiveNetwork:
@@ -66,7 +71,7 @@ class LiveNetwork:
     def __init__(
         self,
         topology: Topology,
-        databases,
+        databases: Sequence[LocalDatabase],
         churn_config: Optional[ChurnConfig] = None,
         distribution: Optional[ZipfDistribution] = None,
         tuples_per_new_peer: int = 100,

@@ -18,6 +18,14 @@ from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError
 
 
+__all__ = [
+    "PeerCapabilities",
+    "random_capabilities",
+    "Peer",
+    "synthesize_peer",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class PeerCapabilities:
     """Resource capabilities of a peer.

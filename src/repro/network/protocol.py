@@ -27,6 +27,20 @@ from typing import ClassVar, Optional, Tuple
 
 from ..errors import ProtocolError
 
+__all__ = [
+    "GNUTELLA_HEADER_BYTES",
+    "MessageType",
+    "Message",
+    "Ping",
+    "Pong",
+    "Query",
+    "QueryHit",
+    "WalkerProbe",
+    "AggregateReply",
+    "GroupReply",
+    "TupleReply",
+]
+
 GNUTELLA_HEADER_BYTES = 23
 _message_counter = itertools.count(1)
 

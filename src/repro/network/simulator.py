@@ -24,6 +24,7 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import SeedLike, ensure_rng
 from ..data.flat import FlatDataset
@@ -42,6 +43,12 @@ from .protocol import (
     TupleReply,
 )
 from .topology import Topology
+
+
+__all__ = [
+    "PeerNode",
+    "NetworkSimulator",
+]
 
 
 @dataclasses.dataclass
@@ -327,7 +334,9 @@ class NetworkSimulator:
     # Vectorized batch visits (the fast path)
     # ------------------------------------------------------------------
 
-    def _resolve_batch_rng(self, seed: SeedLike):
+    def _resolve_batch_rng(
+        self, seed: SeedLike
+    ) -> Tuple[Optional[np.random.Generator], Optional[int]]:
         """Split ``seed`` into ``(shared_rng, per_visit_seed)``.
 
         The per-peer loop calls ``visit_aggregate(..., seed=seed)`` once
@@ -343,7 +352,7 @@ class NetworkSimulator:
             return seed, None
         return None, seed
 
-    def _validate_batch_peers(self, peer_ids) -> np.ndarray:
+    def _validate_batch_peers(self, peer_ids: ArrayLike) -> np.ndarray:
         peers = np.asarray(peer_ids, dtype=np.int64).reshape(-1)
         if peers.size and (
             int(peers.min()) < 0 or int(peers.max()) >= self.num_peers
@@ -358,9 +367,9 @@ class NetworkSimulator:
         peers: np.ndarray,
         tuples_per_peer: int,
         sampling_method: str,
-        shared_rng,
-        per_visit_seed,
-    ):
+        shared_rng: Optional[np.random.Generator],
+        per_visit_seed: Optional[int],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pick every visited peer's rows, in visit order.
 
         Returns ``(columns, starts, processed, totals)``: the gathered
@@ -422,7 +431,7 @@ class NetworkSimulator:
 
     def visit_aggregate_batch(
         self,
-        peer_ids,
+        peer_ids: ArrayLike,
         query: AggregationQuery,
         sink: int,
         ledger: CostLedger,
@@ -520,7 +529,7 @@ class NetworkSimulator:
 
     def visit_values_batch(
         self,
-        peer_ids,
+        peer_ids: ArrayLike,
         query: AggregationQuery,
         sink: int,
         ledger: CostLedger,

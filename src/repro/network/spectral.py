@@ -31,6 +31,14 @@ from ..errors import TopologyError
 from .topology import Topology
 
 
+__all__ = [
+    "SpectralProfile",
+    "analyze_topology",
+    "recommend_jump",
+    "conductance",
+]
+
+
 @dataclasses.dataclass(frozen=True)
 class SpectralProfile:
     """Spectral summary of a topology's random-walk behaviour.

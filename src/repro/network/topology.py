@@ -23,6 +23,10 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+__all__ = [
+    "Topology",
+]
+
 try:  # networkx is a hard dependency, but import lazily-friendly
     import networkx as nx
 except ImportError as exc:  # pragma: no cover - environment guard

@@ -39,10 +39,18 @@ import dataclasses
 from typing import List, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError, TopologyError
 from .topology import Topology
+
+__all__ = [
+    "RandomWalkConfig",
+    "WalkResult",
+    "RandomWalker",
+    "WeightedMetropolisWalker",
+]
 
 _VARIANTS = ("simple", "lazy", "self-inclusive", "metropolis-uniform")
 _RANDOM_BLOCK = 8192
@@ -354,7 +362,7 @@ class WeightedMetropolisWalker(RandomWalker):
     def __init__(
         self,
         topology: Topology,
-        weights,
+        weights: ArrayLike,
         config: Optional[RandomWalkConfig] = None,
         seed: SeedLike = None,
     ):

@@ -17,6 +17,15 @@ from ..errors import QueryError
 from .model import AggregateOp, AggregationQuery, ColumnMap
 
 
+__all__ = [
+    "evaluate_on_columns",
+    "evaluate_exact",
+    "measured_selectivity",
+    "rank_of_value",
+    "evaluate_exact_groups",
+]
+
+
 def evaluate_on_columns(query: AggregationQuery, columns: ColumnMap) -> float:
     """Evaluate ``query`` exactly over in-memory column arrays.
 

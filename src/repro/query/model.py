@@ -17,6 +17,20 @@ import numpy as np
 
 from ..errors import QueryError
 
+__all__ = [
+    "ColumnMap",
+    "Predicate",
+    "TruePredicate",
+    "Between",
+    "Comparison",
+    "InSet",
+    "And",
+    "Or",
+    "Not",
+    "AggregateOp",
+    "AggregationQuery",
+]
+
 ColumnMap = Mapping[str, np.ndarray]
 
 

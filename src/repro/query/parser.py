@@ -37,6 +37,11 @@ from .model import (
     TruePredicate,
 )
 
+__all__ = [
+    "parse_query",
+    "parse_predicate",
+]
+
 _TOKEN_RE = re.compile(
     r"\s*(?:"
     r"(?P<number>-?\d+\.?\d*(?:[eE][+-]?\d+)?)"

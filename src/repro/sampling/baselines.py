@@ -38,9 +38,17 @@ from ..core.planner import estimate_scale
 from ..core.result import PhaseReport
 from ..core.two_phase import TwoPhaseConfig, TwoPhaseEngine
 from ..errors import ConfigurationError, SamplingError
-from ..metrics.cost import QueryCost
+from ..metrics.cost import CostLedger, QueryCost
 from ..network.simulator import NetworkSimulator
 from ..query.model import AggregationQuery
+
+
+__all__ = [
+    "dfs_engine",
+    "BaselineResult",
+    "BFSEngine",
+    "UniformOracleEngine",
+]
 
 
 def dfs_engine(
@@ -119,7 +127,9 @@ class BFSEngine:
         """The engine configuration."""
         return self._config
 
-    def _bfs_peers(self, sink: int, count: int, ledger) -> List[int]:
+    def _bfs_peers(
+        self, sink: int, count: int, ledger: CostLedger
+    ) -> List[int]:
         """First ``count`` peers reached by flooding from the sink."""
         reached = self._simulator.flood(
             sink,
@@ -140,7 +150,7 @@ class BFSEngine:
         peers: Sequence[int],
         query: AggregationQuery,
         sink: int,
-        ledger,
+        ledger: CostLedger,
     ) -> List[PeerObservation]:
         replies = self._simulator.visit_aggregate_batch(
             np.asarray(peers, dtype=np.int64),
@@ -260,7 +270,7 @@ class UniformOracleEngine:
         query: AggregationQuery,
         count: int,
         sink: int = 0,
-        ledger=None,
+        ledger: Optional[CostLedger] = None,
     ) -> List[PeerObservation]:
         """``count`` uniform-peer observations with prob = 1/M."""
         if count <= 0:

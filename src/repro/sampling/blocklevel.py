@@ -26,6 +26,12 @@ from ..errors import SamplingError
 from ..query.model import AggregateOp, AggregationQuery
 
 
+__all__ = [
+    "block_aggregate",
+    "sampling_design_effect",
+]
+
+
 def block_aggregate(
     database: LocalDatabase,
     query: AggregationQuery,

@@ -1,0 +1,11 @@
+"""Developer tooling that ships with the package.
+
+:mod:`repro.tools.lint` — *reprolint* — is an AST-based static-analysis
+pass enforcing the project's reproducibility invariants (seed
+discipline, cost accounting, protocol immutability, float-equality
+hygiene, batch/scalar parity).  It has no dependencies beyond the
+standard library, so it can run in CI and pre-commit hooks without the
+simulation stack installed.
+"""
+
+__all__ = ["lint"]

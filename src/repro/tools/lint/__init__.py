@@ -1,0 +1,34 @@
+"""reprolint — AST-based invariant linter for the sampling engine.
+
+The paper's accuracy and cost claims rest on three mechanical
+conventions: all randomness flows through seeded numpy ``Generator``
+streams, every peer visit and message is charged to a ``CostLedger``,
+and protocol messages are immutable value objects.  reprolint encodes
+those conventions (plus float-equality hygiene and batch/scalar parity)
+as AST rules so they are enforced, not remembered.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.lint src tests benchmarks
+    PYTHONPATH=src python -m repro.tools.lint --format json src
+    PYTHONPATH=src python -m repro.tools.lint --list-rules
+
+Suppression (explicit codes and a reason are mandatory)::
+
+    value = compute()  # reprolint: disable=RL004 -- exact by construction
+
+See ``docs/static-analysis.md`` for the full rule catalogue.
+"""
+
+from .diagnostics import TOOL_ERROR_CODE, Diagnostic
+from .engine import LintEngine, LintReport, collect_files
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintEngine",
+    "LintReport",
+    "TOOL_ERROR_CODE",
+    "collect_files",
+]

@@ -1,0 +1,51 @@
+"""Diagnostic records emitted by reprolint rules.
+
+A :class:`Diagnostic` is an immutable "this file, this line, this rule,
+this message" record.  Rules yield them; the engine collects, filters
+(suppressions, ``--select``/``--ignore``) and sorts them; the CLI
+renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple, Union
+
+__all__ = [
+    "TOOL_ERROR_CODE",
+    "Diagnostic",
+]
+
+#: Code reserved for tool-level problems: unparsable files and
+#: malformed suppression directives.  RL000 can never be suppressed —
+#: otherwise a bad directive could hide itself.
+TOOL_ERROR_CODE = "RL000"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: a rule violation (or tool error) at a location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then code."""
+        return (self.path, self.line, self.column, self.code)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }

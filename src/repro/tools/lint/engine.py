@@ -1,0 +1,185 @@
+"""File collection, rule dispatch and suppression filtering.
+
+The engine is deliberately dependency-free (stdlib only): it must run
+in CI images and pre-commit environments that do not have numpy/scipy
+installed, and it must never import the code it analyses.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .diagnostics import TOOL_ERROR_CODE, Diagnostic
+from .rules import ALL_RULES, ModuleInfo, ProjectRule, Rule
+from .suppress import Suppressions, scan_suppressions
+
+__all__ = [
+    "EXCLUDED_DIRECTORY_NAMES",
+    "EXCLUDED_SUBPATHS",
+    "LintReport",
+    "collect_files",
+    "load_module",
+    "LintEngine",
+]
+
+#: Directory names never descended into when walking input paths.
+EXCLUDED_DIRECTORY_NAMES = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", ".mypy_cache"}
+)
+
+#: Relative sub-paths skipped during directory walks.  The reprolint
+#: self-test corpus intentionally contains violations; explicitly
+#: listed files are still linted (tests pass fixtures directly).
+EXCLUDED_SUBPATHS = ("tests/fixtures/reprolint",)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any diagnostic survived filtering."""
+        return 1 if self.diagnostics else 0
+
+
+def _is_excluded(relative: PurePosixPath, *, names_only: bool = False) -> bool:
+    if any(part in EXCLUDED_DIRECTORY_NAMES for part in relative.parts):
+        return True
+    if names_only:
+        return False
+    rendered = relative.as_posix()
+    return any(
+        rendered == subpath or f"/{subpath}/" in f"/{rendered}/"
+        for subpath in EXCLUDED_SUBPATHS
+    )
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand ``paths`` into the python files to lint.
+
+    Directories are walked recursively with the default exclusions.
+    Explicitly naming an excluded file or directory opts it back in
+    (only the directory-name exclusions still apply underneath), so
+    the self-test suite can point the engine at its fixture corpus.
+    """
+    collected: List[Path] = []
+    seen: Set[Path] = set()
+
+    def add(path: Path) -> None:
+        if path not in seen:
+            seen.add(path)
+            collected.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            add(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        root_excluded = _is_excluded(PurePosixPath(path.as_posix()))
+        for candidate in sorted(path.rglob("*.py")):
+            relative = PurePosixPath(candidate.as_posix())
+            if _is_excluded(relative, names_only=root_excluded):
+                continue
+            add(candidate)
+    return collected
+
+
+def load_module(path: Path) -> "tuple[Optional[ModuleInfo], Optional[Diagnostic]]":
+    """Parse ``path``; returns ``(module, None)`` or ``(None, error)``."""
+    relpath = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Diagnostic(
+            relpath, 1, 0, TOOL_ERROR_CODE, f"cannot read file: {exc}"
+        )
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            relpath, exc.lineno or 1, (exc.offset or 1) - 1,
+            TOOL_ERROR_CODE, f"syntax error: {exc.msg}",
+        )
+    return ModuleInfo(relpath=relpath, source=source, tree=tree), None
+
+
+class LintEngine:
+    """Runs a rule set over a set of files and filters the findings."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        self._rules: List[Rule] = (
+            list(rules) if rules is not None else [rule() for rule in ALL_RULES]
+        )
+        self._select = frozenset(select) if select else None
+        self._ignore = frozenset(ignore) if ignore else frozenset()
+
+    @property
+    def rules(self) -> Sequence[Rule]:
+        """The instantiated rule set, in registry order."""
+        return tuple(self._rules)
+
+    def _wanted(self, code: str) -> bool:
+        if code == TOOL_ERROR_CODE:
+            return True  # tool errors are never filtered
+        if code in self._ignore:
+            return False
+        return self._select is None or code in self._select
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        """Lint ``paths`` and return the filtered, sorted report."""
+        files = collect_files(paths)
+        modules: List[ModuleInfo] = []
+        raw: List[Diagnostic] = []
+        suppressions: Dict[str, Suppressions] = {}
+
+        for path in files:
+            module, error = load_module(path)
+            if error is not None:
+                raw.append(error)
+                continue
+            assert module is not None
+            modules.append(module)
+            file_suppressions, problems = scan_suppressions(
+                module.relpath, module.source
+            )
+            suppressions[module.relpath] = file_suppressions
+            raw.extend(problems)
+
+        for rule in self._rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(modules))
+            else:
+                for module in modules:
+                    raw.extend(rule.check_module(module))
+
+        kept = [
+            diagnostic
+            for diagnostic in raw
+            if self._wanted(diagnostic.code)
+            and not self._suppressed(diagnostic, suppressions)
+        ]
+        kept.sort(key=Diagnostic.sort_key)
+        return LintReport(diagnostics=kept, files_checked=len(files))
+
+    @staticmethod
+    def _suppressed(
+        diagnostic: Diagnostic, suppressions: Dict[str, Suppressions]
+    ) -> bool:
+        file_suppressions = suppressions.get(diagnostic.path)
+        if file_suppressions is None:
+            return False
+        return file_suppressions.is_suppressed(diagnostic.code, diagnostic.line)

@@ -1,0 +1,44 @@
+"""reprolint rule registry.
+
+| code  | name                  | invariant                                    |
+|-------|-----------------------|----------------------------------------------|
+| RL001 | seed-discipline       | all randomness via seeded numpy Generators   |
+| RL002 | cost-accounting       | every visit charged to a CostLedger          |
+| RL003 | protocol-immutability | frozen/slots messages, never mutated         |
+| RL004 | float-equality        | no == / != between floats in src/            |
+| RL005 | batch-parity          | *_batch ↔ scalar twin + equivalence coverage |
+
+(RL000 is reserved for tool errors: parse failures and malformed
+suppression directives; see :mod:`repro.tools.lint.suppress`.)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+from .base import ModuleInfo, ProjectRule, Rule
+from .rl001_seed import SeedDisciplineRule
+from .rl002_cost import CostAccountingRule
+from .rl003_protocol import ProtocolImmutabilityRule
+from .rl004_floateq import FloatEqualityRule
+from .rl005_parity import BatchParityRule
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    SeedDisciplineRule,
+    CostAccountingRule,
+    ProtocolImmutabilityRule,
+    FloatEqualityRule,
+    BatchParityRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleInfo",
+    "ProjectRule",
+    "Rule",
+    "SeedDisciplineRule",
+    "CostAccountingRule",
+    "ProtocolImmutabilityRule",
+    "FloatEqualityRule",
+    "BatchParityRule",
+]

@@ -1,0 +1,146 @@
+"""RL001 — seed discipline.
+
+Every stochastic code path must be reproducible from an explicit seed:
+
+* the stdlib :mod:`random` module is banned (process-global state the
+  trial harness cannot control);
+* legacy module-level numpy RNG calls (``np.random.rand``,
+  ``np.random.seed``, ...) are banned for the same reason;
+* ``default_rng()`` *without arguments* creates an OS-entropy generator
+  and is only allowed inside ``repro._util`` (``ensure_rng(None)`` is
+  the single sanctioned door to nondeterminism);
+* a public function that consumes randomness (calls ``ensure_rng``)
+  must let its caller control the stream: it needs a ``seed``/``rng``
+  parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from .base import ModuleInfo, Rule, dotted_name, function_parameters, walk_function_body
+
+__all__ = [
+    "SeedDisciplineRule",
+]
+
+#: numpy.random attributes that are seed-disciplined constructors or
+#: types rather than legacy global-state sampling functions.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Parameter names that mark a function as caller-seedable.
+_SEED_PARAMETERS = ("seed", "rng")
+
+#: The one module allowed to call ``default_rng()`` with no arguments.
+_RNG_FACTORY_MODULE = "_util.py"
+
+
+class SeedDisciplineRule(Rule):
+    code = "RL001"
+    name = "seed-discipline"
+    description = (
+        "randomness must flow through seeded numpy Generators "
+        "(no stdlib random, no legacy np.random.*, no argless default_rng)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        yield from self._check_imports(module)
+        yield from self._check_calls(module)
+        yield from self._check_public_functions(module)
+
+    # ------------------------------------------------------------------
+
+    def _check_imports(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.diagnostic(
+                            module, node,
+                            "stdlib 'random' is banned; use "
+                            "repro._util.ensure_rng / numpy Generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.diagnostic(
+                        module, node,
+                        "stdlib 'random' is banned; use "
+                        "repro._util.ensure_rng / numpy Generators",
+                    )
+
+    def _check_calls(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        allow_argless_factory = module.filename == _RNG_FACTORY_MODULE
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, attribute = dotted.rpartition(".")
+            if head in ("np.random", "numpy.random"):
+                if attribute not in _ALLOWED_NP_RANDOM:
+                    yield self.diagnostic(
+                        module, node,
+                        f"legacy global-state RNG call '{dotted}'; draw from "
+                        "an explicit numpy Generator instead",
+                    )
+                    continue
+            if attribute == "default_rng" or dotted == "default_rng":
+                if not node.args and not node.keywords and not allow_argless_factory:
+                    yield self.diagnostic(
+                        module, node,
+                        "argless default_rng() is nondeterministic; pass a "
+                        "seed, or route through repro._util.ensure_rng",
+                    )
+
+    def _check_public_functions(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if "src" not in module.parts[:-1]:
+            return  # the seedable-API contract binds library code only
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not self._consumes_randomness(node):
+                continue
+            parameters = function_parameters(node)
+            if any(
+                parameter in _SEED_PARAMETERS
+                or parameter.endswith("_seed")
+                or parameter.endswith("_rng")
+                for parameter in parameters
+            ):
+                continue
+            yield self.diagnostic(
+                module, node,
+                f"public function '{node.name}' consumes randomness but "
+                "accepts no 'seed'/'rng' parameter",
+            )
+
+    @staticmethod
+    def _consumes_randomness(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> bool:
+        for child in walk_function_body(node):
+            if not isinstance(child, ast.Call):
+                continue
+            dotted = dotted_name(child.func)
+            if dotted is None:
+                continue
+            if dotted == "ensure_rng" or dotted.endswith(".ensure_rng"):
+                return True
+        return False

@@ -1,0 +1,80 @@
+"""RL004 — float-equality hazards.
+
+``==`` / ``!=`` between float expressions inside the library is almost
+always a latent bug: estimates, scales and latencies are accumulated
+floats, and "equal" silently becomes "equal on this machine, this
+numpy, this reduction order".  Library code must compare through
+``math.isclose`` / ``np.isclose`` (or restructure the comparison so it
+is integral or ordering-based).
+
+Scope: modules under ``src/`` only.  Test assertions routinely pin
+exact constants (``assert cost.hops == 3``) and stay out of scope,
+with one family called out explicitly: the bit-identical batch/scalar
+equivalence suite *depends* on exact float equality — it is listed in
+:data:`EQUIVALENCE_ALLOWLIST` so the rule never constrains it, even if
+the lint scope is widened to ``tests/`` later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from .base import ModuleInfo, Rule, dotted_name
+
+__all__ = [
+    "EQUIVALENCE_ALLOWLIST",
+    "FloatEqualityRule",
+]
+
+#: Files whose whole point is exact float agreement; always exempt.
+EQUIVALENCE_ALLOWLIST = (
+    "tests/test_batch_equivalence.py",
+)
+
+_FLOAT_CASTS = frozenset({"float", "np.float64", "np.float32", "numpy.float64", "numpy.float32"})
+
+
+def _is_float_expression(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_float_expression(node.operand)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        return dotted in _FLOAT_CASTS
+    return False
+
+
+class FloatEqualityRule(Rule):
+    code = "RL004"
+    name = "float-equality"
+    description = (
+        "float expressions in src/ must not be compared with == / != ; "
+        "use math.isclose / np.isclose"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        relpath = module.relpath
+        if any(relpath.endswith(suffix) for suffix in EQUIVALENCE_ALLOWLIST):
+            return
+        if "src" not in module.parts[:-1]:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, operator in enumerate(node.ops):
+                if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_float_expression(left) or _is_float_expression(right):
+                    yield self.diagnostic(
+                        module, node,
+                        "float equality comparison; use math.isclose / "
+                        "np.isclose (or restructure to an exact predicate)",
+                    )
+                    break  # one finding per comparison chain

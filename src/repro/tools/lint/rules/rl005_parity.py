@@ -1,0 +1,108 @@
+"""RL005 — batch/scalar parity.
+
+The vectorized fast paths promise *bit-for-bit* agreement with their
+per-peer loops.  That promise only means something while (a) the scalar
+counterpart still exists to compare against and (b) the equivalence
+suite actually exercises the batch entry point.  This project-wide rule
+checks, for every ``*_batch`` function defined under ``src/``:
+
+* a sibling of the same name minus the ``_batch`` suffix is defined in
+  the same class (for methods) or module (for free functions);
+* the ``*_batch`` name is referenced from
+  ``tests/test_batch_equivalence.py`` (skipped when the equivalence
+  suite is not part of the lint run, e.g. ``lint src`` alone).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..diagnostics import Diagnostic
+from .base import ModuleInfo, ProjectRule
+
+__all__ = [
+    "BatchParityRule",
+]
+
+_BATCH_SUFFIX = "_batch"
+_EQUIVALENCE_SUITE_SUFFIX = "tests/test_batch_equivalence.py"
+
+
+def _defined_functions(
+    module: ModuleInfo,
+) -> Iterator[Tuple[str, str, ast.AST]]:
+    """Yield ``(scope, name, node)`` for every function definition.
+
+    ``scope`` is ``""`` for module level or the class name for methods
+    (nested classes use a dotted path).
+    """
+    stack: List[Tuple[str, ast.AST]] = [("", module.tree)]
+    while stack:
+        scope, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield scope, child.name, child
+                stack.append((scope, child))  # nested defs share the scope
+            elif isinstance(child, ast.ClassDef):
+                inner = f"{scope}.{child.name}" if scope else child.name
+                stack.append((inner, child))
+
+
+def _referenced_names(module: ModuleInfo) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class BatchParityRule(ProjectRule):
+    code = "RL005"
+    name = "batch-parity"
+    description = (
+        "every *_batch function needs a scalar counterpart and coverage "
+        "in tests/test_batch_equivalence.py"
+    )
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterator[Diagnostic]:
+        equivalence_modules = [
+            module
+            for module in modules
+            if module.relpath.endswith(_EQUIVALENCE_SUITE_SUFFIX)
+        ]
+        covered: Set[str] = set()
+        for module in equivalence_modules:
+            covered |= _referenced_names(module)
+
+        for module in modules:
+            if "src" not in module.parts[:-1]:
+                continue
+            definitions: Dict[Tuple[str, str], ast.AST] = {}
+            for scope, name, node in _defined_functions(module):
+                definitions.setdefault((scope, name), node)
+            for (scope, name), node in sorted(
+                definitions.items(),
+                key=lambda item: getattr(item[1], "lineno", 0),
+            ):
+                if not name.endswith(_BATCH_SUFFIX):
+                    continue
+                scalar = name[: -len(_BATCH_SUFFIX)]
+                if not scalar or (scope, scalar) not in definitions:
+                    where = f"class '{scope}'" if scope else "this module"
+                    yield self.diagnostic(
+                        module, node,
+                        f"batch function '{name}' has no scalar counterpart "
+                        f"'{scalar}' in {where}; the bit-identical contract "
+                        "has nothing to compare against",
+                    )
+                if equivalence_modules and name not in covered:
+                    yield self.diagnostic(
+                        module, node,
+                        f"batch function '{name}' is not exercised by "
+                        f"{_EQUIVALENCE_SUITE_SUFFIX}",
+                    )

@@ -1,0 +1,116 @@
+"""Inline suppression directives.
+
+A violation can be waived on its own line (or the dedicated comment
+line directly above it) with::
+
+    risky_call()  # reprolint: disable=RL004 -- sentinel compare, exact by construction
+
+The directive **must** name explicit rule codes and **must** carry a
+reason after ``--``.  Blanket directives (``disable=all``, no codes) and
+reason-less directives do not suppress anything; they are themselves
+reported as :data:`~repro.tools.lint.diagnostics.TOOL_ERROR_CODE`
+findings, which keeps the "zero blanket suppressions" invariant
+machine-checked.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .diagnostics import TOOL_ERROR_CODE, Diagnostic
+
+__all__ = [
+    "Suppressions",
+    "scan_suppressions",
+]
+
+_DIRECTIVE = re.compile(
+    r"reprolint:\s*disable\s*=\s*(?P<codes>[A-Za-z0-9_,\s]*?)"
+    r"\s*(?:--\s*(?P<reason>.*\S)?\s*)?$"
+)
+_CODE_FORMAT = re.compile(r"^RL\d{3}$")
+
+
+class Suppressions:
+    """Per-file map of ``line -> suppressed rule codes``."""
+
+    def __init__(self, by_line: Dict[int, Set[str]], comment_only: Set[int]):
+        self._by_line = by_line
+        self._comment_only = comment_only
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True if ``code`` is waived at ``line``.
+
+        A directive applies to its own line, and — when it sits on a
+        comment-only line — to the first code line below it.
+        """
+        if code == TOOL_ERROR_CODE:
+            return False
+        if code in self._by_line.get(line, ()):
+            return True
+        previous = line - 1
+        return (
+            previous in self._comment_only
+            and code in self._by_line.get(previous, ())
+        )
+
+
+def _comment_tokens(source: str) -> Iterable[Tuple[int, int, str]]:
+    """Yield ``(line, column, text)`` for every comment in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return  # the engine reports the parse failure separately
+
+
+def scan_suppressions(
+    path: str, source: str
+) -> Tuple[Suppressions, List[Diagnostic]]:
+    """Collect directives and diagnose malformed ones."""
+    by_line: Dict[int, Set[str]] = {}
+    comment_only: Set[int] = set()
+    problems: List[Diagnostic] = []
+    lines = source.splitlines()
+    for line, column, text in _comment_tokens(source):
+        if "reprolint:" not in text:
+            continue
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            problems.append(
+                Diagnostic(
+                    path, line, column, TOOL_ERROR_CODE,
+                    "unrecognized reprolint directive; expected "
+                    "'# reprolint: disable=RLxxx -- reason'",
+                )
+            )
+            continue
+        codes = [c.strip() for c in match.group("codes").split(",") if c.strip()]
+        reason = match.group("reason")
+        if not codes or any(not _CODE_FORMAT.match(code) for code in codes):
+            problems.append(
+                Diagnostic(
+                    path, line, column, TOOL_ERROR_CODE,
+                    "suppression must name explicit RLxxx codes "
+                    "(blanket disables are not allowed)",
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    path, line, column, TOOL_ERROR_CODE,
+                    f"suppression of {', '.join(codes)} is missing a reason "
+                    "('-- why this is safe')",
+                )
+            )
+            continue
+        by_line.setdefault(line, set()).update(codes)
+        if 0 < line <= len(lines) and lines[line - 1].lstrip().startswith("#"):
+            comment_only.add(line)
+    return Suppressions(by_line, comment_only), problems

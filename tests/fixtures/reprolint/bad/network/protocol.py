@@ -1,0 +1,17 @@
+"""RL003 bad fixture: mutable message declarations."""
+
+import dataclasses
+
+
+@dataclasses.dataclass  # not frozen, not slotted
+class Probe:
+    source: int
+    destination: int
+    ttl: int = 7
+
+
+@dataclasses.dataclass(frozen=True)  # missing slots=True
+class Reply:
+    source: int
+    destination: int
+    aggregate_value: float = 0.0

@@ -1,0 +1,8 @@
+"""RL003 bad fixture: mutating message instances in flight."""
+
+
+def tamper(reply, probe):
+    reply.aggregate_value = 0.0  # mutating a reply another ledger holds
+    probe.ttl -= 1  # augmented assignment is mutation too
+    object.__setattr__(reply, "degree", 99)  # piercing the freeze
+    return reply

@@ -1,0 +1,26 @@
+"""RL001 bad fixture: every stanza violates seed discipline."""
+
+import random  # stdlib random: banned
+
+import numpy as np
+
+from repro._util import ensure_rng
+
+
+def legacy_numpy(count: int) -> "np.ndarray":
+    np.random.seed(7)  # legacy global-state RNG
+    return np.random.rand(count)  # legacy global-state RNG
+
+
+def entropy_generator() -> "np.random.Generator":
+    return np.random.default_rng()  # argless: nondeterministic
+
+
+def unseedable_api(count: int) -> "np.ndarray":
+    # public + consumes randomness, but the caller cannot seed it
+    rng = ensure_rng(0)
+    return rng.random(count)
+
+
+def shuffle_inplace(items: list) -> None:
+    random.shuffle(items)

@@ -1,0 +1,17 @@
+"""RL004 bad fixture: float equality comparisons."""
+
+
+def literal_compare(fraction):
+    return fraction == 0.5  # float literal on the right
+
+
+def negated_literal(rate):
+    return 1.0 != rate  # float literal on the left
+
+
+def cast_compare(a, b):
+    return float(a) == b  # float() cast forces float semantics
+
+
+def chained(x):
+    return 0.0 == x == 1.0  # both links of the chain are hazards

@@ -1,0 +1,12 @@
+"""Suppression fixture: malformed directives suppress nothing."""
+
+import random  # reprolint: disable=all -- blanket disables are rejected
+
+import random as reasonless  # reprolint: disable=RL001
+
+# reprolint: enable-the-things
+import random as mangled
+
+
+def use_them():
+    return random, reasonless, mangled

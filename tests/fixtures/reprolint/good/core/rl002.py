@@ -1,0 +1,23 @@
+"""RL002 good fixture: every visit path is charged to a ledger."""
+
+
+def collect_replies(simulator, query, sink, ledger, peers):
+    """Visits carry the ledger keyword."""
+    return simulator.visit_aggregate_batch(
+        peers, query, sink=sink, ledger=ledger
+    )
+
+
+def flood_baseline(simulator, start):
+    """A fresh ledger is created before any traversal happens."""
+    ledger = simulator.new_ledger()
+    reached = simulator.flood(start, 5, ledger)
+    for peer, _depth in reached:
+        for neighbor in simulator.topology.neighbors(peer):
+            ledger.record_flood_message(23)
+    return ledger.snapshot()
+
+
+def walk_visit(simulator, query, sink, ledger, peer):
+    """Positional ledger is recognized too."""
+    return simulator.visit_aggregate(peer, query, sink, ledger)

@@ -1,0 +1,28 @@
+"""RL003 good fixture: frozen, slotted protocol dataclasses."""
+
+import dataclasses
+import enum
+
+
+class Kind(enum.Enum):
+    PROBE = 0
+    REPLY = 1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Probe:
+    source: int
+    destination: int
+    ttl: int = 7
+
+    def forwarded(self, destination: int) -> "Probe":
+        return dataclasses.replace(
+            self, destination=destination, ttl=self.ttl - 1
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Reply:
+    source: int
+    destination: int
+    aggregate_value: float = 0.0

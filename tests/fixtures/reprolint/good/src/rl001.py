@@ -1,0 +1,27 @@
+"""RL001 good fixture: disciplined randomness."""
+
+import numpy as np
+
+from repro._util import SeedLike, ensure_rng
+
+
+def draw_values(count: int, seed: SeedLike = None) -> "np.ndarray":
+    """Public API: caller controls the stream via ``seed``."""
+    rng = ensure_rng(seed)
+    return rng.random(count)
+
+
+def threaded(rng: "np.random.Generator", count: int) -> "np.ndarray":
+    """Threading an existing Generator is the preferred style."""
+    return rng.integers(0, 10, size=count)
+
+
+def _private_helper() -> "np.ndarray":
+    # Private helpers may consume the ambient stream they were handed.
+    rng = ensure_rng(1234)
+    return rng.random(3)
+
+
+def seeded_factory() -> "np.random.Generator":
+    """default_rng with an explicit argument is fine anywhere."""
+    return np.random.default_rng(42)

@@ -1,0 +1,21 @@
+"""RL004 good fixture: tolerance-based float comparisons."""
+
+import math
+
+import numpy as np
+
+
+def same_estimate(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+def all_close(xs: "np.ndarray", ys: "np.ndarray") -> bool:
+    return bool(np.isclose(xs, ys).all())
+
+
+def integral_compare(count: int) -> bool:
+    return count == 0  # integer equality is fine
+
+
+def ordering(x: float) -> bool:
+    return x <= 0.0  # ordering comparisons are fine

@@ -1,0 +1,12 @@
+"""Suppression fixture: valid directives silence the named rule."""
+
+import random  # reprolint: disable=RL001 -- fixture exercising the directive syntax
+
+# reprolint: disable=RL001 -- comment-line directive covers the line below
+import random as stdlib_random
+
+
+def shuffled(items):
+    ordering = list(items)
+    stdlib_random.shuffle(ordering)
+    return ordering, random

@@ -1,0 +1,13 @@
+"""Equivalence-suite fixture referencing every batch entry point."""
+
+from batching import Engine, visit, visit_batch
+
+
+def test_visit_batch_matches_scalar():
+    ledger = object()
+    assert visit_batch([1, 2], ledger) == [visit(1, ledger), visit(2, ledger)]
+
+
+def test_engine_estimate_batch_matches_scalar():
+    engine = Engine()
+    assert engine.estimate_batch([3]) == [engine.estimate(3)]

@@ -115,4 +115,5 @@ class TestSamplingMessages:
     def test_messages_are_immutable(self):
         reply = AggregateReply(source=3, destination=0)
         with pytest.raises(AttributeError):
+            # reprolint: disable=RL003 -- asserts frozen messages reject mutation
             reply.aggregate_value = 1.0

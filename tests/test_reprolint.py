@@ -1,0 +1,235 @@
+"""Self-tests for the reprolint static-analysis pass.
+
+The fixture corpus under ``tests/fixtures/reprolint`` mirrors the real
+source layout (``src/``, ``core/``, ``network/protocol.py``, ...):
+the ``good/`` tree must lint clean, the ``bad/`` tree must trip every
+rule.  The corpus is excluded from normal directory walks, so these
+tests opt back in by naming it explicitly.
+"""
+
+import json
+
+import pytest
+
+from pathlib import Path
+
+from repro.tools.lint import (
+    ALL_RULES,
+    LintEngine,
+    TOOL_ERROR_CODE,
+    collect_files,
+)
+from repro.tools.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
+GOOD = FIXTURES / "good"
+BAD = FIXTURES / "bad"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+RULE_CODES = tuple(rule.code for rule in ALL_RULES)
+
+
+def run_lint(*paths, **engine_kwargs):
+    return LintEngine(**engine_kwargs).run([str(path) for path in paths])
+
+
+def codes_by_file(report):
+    mapping = {}
+    for diagnostic in report.diagnostics:
+        name = Path(diagnostic.path).as_posix()
+        key = name[name.index("reprolint/") + len("reprolint/"):]
+        mapping.setdefault(key, []).append(diagnostic.code)
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# corpus-level guarantees
+
+
+def test_good_tree_is_clean():
+    report = run_lint(GOOD)
+    assert report.diagnostics == []
+    assert report.files_checked > 0
+    assert report.exit_code == 0
+
+
+def test_bad_tree_is_dirty():
+    report = run_lint(BAD)
+    assert report.exit_code == 1
+    assert len(report.diagnostics) >= len(RULE_CODES)
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_every_rule_has_failing_and_passing_fixture(code):
+    bad_codes = {d.code for d in run_lint(BAD).diagnostics}
+    good_codes = {d.code for d in run_lint(GOOD).diagnostics}
+    assert code in bad_codes
+    assert code not in good_codes
+
+
+def test_diagnostics_are_sorted_and_renderable():
+    report = run_lint(BAD)
+    keys = [d.sort_key() for d in report.diagnostics]
+    assert keys == sorted(keys)
+    for diagnostic in report.diagnostics:
+        rendered = diagnostic.render()
+        assert f":{diagnostic.line}:" in rendered
+        assert diagnostic.code in rendered
+
+
+# ----------------------------------------------------------------------
+# per-rule expectations
+
+
+def test_rl001_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    codes = mapping["bad/src/rl001.py"]
+    assert codes.count("RL001") >= 4  # import, legacy calls, argless, unseedable
+
+
+def test_rl002_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    assert mapping["bad/core/rl002.py"].count("RL002") == 3
+
+
+def test_rl003_declaration_and_mutation_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    assert mapping["bad/network/protocol.py"].count("RL003") == 2
+    assert mapping["bad/rl003_mutation.py"].count("RL003") == 3
+
+
+def test_rl004_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    assert mapping["bad/src/rl004.py"].count("RL004") == 4
+
+
+def test_rl005_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    codes = mapping["bad/src/batching.py"]
+    assert codes.count("RL005") == 3  # no scalar twin + two unreferenced
+
+
+def test_rl005_reference_check_needs_equivalence_suite_in_run():
+    # Linting the module alone: the missing-scalar finding stays, the
+    # "not exercised" findings are only meaningful when the equivalence
+    # suite is part of the same run.
+    report = run_lint(BAD / "src" / "batching.py")
+    messages = [d.message for d in report.diagnostics]
+    assert any("no scalar counterpart" in m for m in messages)
+    assert not any("not exercised" in m for m in messages)
+
+
+# ----------------------------------------------------------------------
+# suppression semantics
+
+
+def test_valid_suppressions_silence_the_named_rule():
+    report = run_lint(GOOD / "suppressed.py")
+    assert report.diagnostics == []
+
+
+def test_blanket_and_reasonless_suppressions_are_rejected():
+    report = run_lint(BAD / "suppressed.py")
+    codes = [d.code for d in report.diagnostics]
+    # malformed directives report RL000 *and* fail to suppress RL001
+    assert codes.count(TOOL_ERROR_CODE) == 3
+    assert codes.count("RL001") == 3
+
+
+def test_tool_errors_cannot_be_filtered_out():
+    report = run_lint(BAD / "suppressed.py", select=["RL004"])
+    codes = {d.code for d in report.diagnostics}
+    assert codes == {TOOL_ERROR_CODE}
+
+
+def test_select_and_ignore():
+    only_rl004 = run_lint(BAD / "src", select=["RL004"])
+    assert {d.code for d in only_rl004.diagnostics} == {"RL004"}
+    without_rl004 = run_lint(BAD / "src", ignore=["RL004"])
+    assert "RL004" not in {d.code for d in without_rl004.diagnostics}
+
+
+def test_syntax_errors_surface_as_tool_errors(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    report = run_lint(broken)
+    assert [d.code for d in report.diagnostics] == [TOOL_ERROR_CODE]
+    assert "syntax error" in report.diagnostics[0].message
+
+
+# ----------------------------------------------------------------------
+# file collection
+
+
+def test_fixture_corpus_is_excluded_from_normal_walks():
+    collected = collect_files([str(REPO_ROOT / "tests")])
+    assert not any("fixtures/reprolint" in p.as_posix() for p in collected)
+
+
+def test_explicitly_named_excluded_paths_opt_back_in():
+    assert collect_files([str(GOOD)])  # directory opt-in
+    target = GOOD / "src" / "rl001.py"
+    assert collect_files([str(target)]) == [target]
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        collect_files([str(FIXTURES / "does-not-exist")])
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_text_output(capsys):
+    status = lint_main([str(BAD / "src" / "rl004.py")])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "RL004" in out
+    assert "finding(s)" in out
+
+
+def test_cli_json_output(capsys):
+    status = lint_main(["--format", "json", str(GOOD)])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 0
+    assert payload["version"] == 1
+    assert payload["findings"] == 0
+    assert payload["diagnostics"] == []
+    assert payload["files_checked"] > 0
+
+
+def test_cli_json_output_reports_findings(capsys):
+    status = lint_main(["--format", "json", str(BAD / "src" / "rl004.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 1
+    assert payload["findings"] == len(payload["diagnostics"]) == 4
+    entry = payload["diagnostics"][0]
+    assert set(entry) == {"path", "line", "column", "code", "message"}
+
+
+def test_cli_list_rules(capsys):
+    status = lint_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert status == 0
+    for code in RULE_CODES:
+        assert code in out
+
+
+def test_cli_missing_path_exits_2(capsys):
+    status = lint_main([str(FIXTURES / "does-not-exist")])
+    assert status == 2
+    assert "reprolint:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the real tree must satisfy its own invariants
+
+
+def test_repository_lints_clean():
+    report = run_lint(
+        REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"
+    )
+    assert report.diagnostics == [], "\n".join(
+        d.render() for d in report.diagnostics
+    )
