@@ -37,12 +37,20 @@ from .errors import (
 from .network import (
     ChurnConfig,
     ChurnProcess,
+    CollectionStats,
+    CrashWindow,
+    FaultPlan,
+    FaultState,
+    LatencySpike,
     NetworkEstimate,
     NetworkSimulator,
     Peer,
     PeerCapabilities,
     RandomWalkConfig,
     RandomWalker,
+    RegionalOutage,
+    ResilientCollector,
+    RetryPolicy,
     SpectralProfile,
     Topology,
     TopologyConfig,
@@ -151,6 +159,15 @@ __all__ = [
     "power_law_topology",
     "random_regular_topology",
     "subgraph_groups",
+    # fault injection & resilience
+    "FaultPlan",
+    "FaultState",
+    "CrashWindow",
+    "RegionalOutage",
+    "LatencySpike",
+    "RetryPolicy",
+    "ResilientCollector",
+    "CollectionStats",
     # data
     "DatasetConfig",
     "GeneratedDataset",

@@ -35,7 +35,12 @@ from ..errors import ConfigurationError, SamplingError
 from ..metrics.cost import CostLedger
 from ..network.protocol import TupleReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
-from ..network.walker import RandomWalkConfig, RandomWalker
+from ..network.walker import (
+    RandomWalkConfig,
+    RandomWalker,
+    ResilientCollector,
+    RetryPolicy,
+)
 from ..query.model import AggregateOp, AggregationQuery
 from .result import MedianResult, PhaseReport
 
@@ -67,6 +72,11 @@ class MedianConfig:
         Return the weighted median over *all* collected medians
         (default) instead of only the phase-II ones (the paper's
         literal step 7).
+    retry_policy:
+        When set, visits run through a
+        :class:`~repro.network.walker.ResilientCollector` (bounded
+        retry with backoff on loss/timeout, restart-from-last-good
+        on crash); when ``None``, failed probes are dropped.
     """
 
     phase_one_peers: int = 40
@@ -77,6 +87,7 @@ class MedianConfig:
     cross_validation_rounds: int = 5
     max_phase_two_peers: Optional[int] = None
     pool_phases: bool = True
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.phase_one_peers < 4:
@@ -142,6 +153,11 @@ class MedianEngine:
             seed=self._rng.spawn(1)[0],
         )
         self._visit_rng = self._rng.spawn(1)[0]
+        self._collector: Optional[ResilientCollector] = None
+        if self._config.retry_policy is not None:
+            self._collector = ResilientCollector(
+                self._walker, simulator, policy=self._config.retry_policy
+            )
 
     @property
     def config(self) -> MedianConfig:
@@ -156,10 +172,9 @@ class MedianEngine:
         query: AggregationQuery,
         count: int,
         ledger: CostLedger,
-    ) -> Tuple[List[_MedianObservation], int, int]:
+    ) -> Tuple[List[_MedianObservation], int, int, int]:
         """Walk and gather local medians; returns (observations, hops,
-        tuples processed)."""
-        walk = self._walker.sample_peers(sink, count)
+        tuples processed, replies received)."""
         probe = WalkerProbe(
             source=sink,
             destination=sink,
@@ -167,17 +182,33 @@ class MedianEngine:
             query_text=query.to_sql(),
             tuples_per_peer=self._config.tuples_per_peer,
         )
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
         probabilities = self._walker.stationary_probabilities()
-        replies: List[TupleReply] = self._simulator.visit_values_batch(
-            walk.peers,
-            query,
-            sink=sink,
-            ledger=ledger,
-            tuples_per_peer=self._config.tuples_per_peer,
-            ship="median",
-            seed=self._visit_rng,
-        )
+        replies: List[TupleReply]
+        if self._collector is not None:
+            replies, stats = self._collector.collect_values(
+                sink,
+                query,
+                count,
+                ledger,
+                probe_bytes=probe.size_bytes(),
+                tuples_per_peer=self._config.tuples_per_peer,
+                ship="median",
+                seed=self._visit_rng,
+            )
+            hops = stats.walk_hops
+        else:
+            walk = self._walker.sample_peers(sink, count)
+            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            hops = walk.hops
+            replies = self._simulator.visit_values_batch(
+                walk.peers,
+                query,
+                sink=sink,
+                ledger=ledger,
+                tuples_per_peer=self._config.tuples_per_peer,
+                ship="median",
+                seed=self._visit_rng,
+            )
         observations: List[_MedianObservation] = []
         tuples_processed = 0
         for reply in replies:
@@ -196,7 +227,7 @@ class MedianEngine:
                     tuples_processed=reply.local_tuples,
                 )
             )
-        return observations, walk.hops, tuples_processed
+        return observations, hops, tuples_processed, len(replies)
 
     @staticmethod
     def _weighted_median_of(
@@ -267,7 +298,7 @@ class MedianEngine:
         ledger = self._simulator.new_ledger()
 
         # Phase I ---------------------------------------------------------
-        observations_one, hops_one, tuples_one = self._collect(
+        observations_one, hops_one, tuples_one, received_one = self._collect(
             sink, query, self._config.phase_one_peers, ledger
         )
         if len(observations_one) < 4:
@@ -298,10 +329,14 @@ class MedianEngine:
 
         phase_two: Optional[PhaseReport] = None
         observations_two: List[_MedianObservation] = []
+        requested = self._config.phase_one_peers
+        received = received_one
         if additional > 0:
-            observations_two, hops_two, tuples_two = self._collect(
-                sink, query, additional, ledger
+            requested += additional
+            observations_two, hops_two, tuples_two, received_two = (
+                self._collect(sink, query, additional, ledger)
             )
+            received += received_two
             estimate_two = (
                 self._weighted_median_of(observations_two, fraction)
                 if observations_two
@@ -328,4 +363,7 @@ class MedianEngine:
             phase_one=phase_one,
             phase_two=phase_two,
             cost=ledger.snapshot(),
+            requested_sample_size=requested,
+            effective_sample_size=received,
+            degraded=received < requested,
         )

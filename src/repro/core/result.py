@@ -61,6 +61,16 @@ class ApproximateResult:
         I already met the requirement).
     cost:
         Full cost snapshot of the execution.
+    requested_sample_size, effective_sample_size:
+        How many peer observations the engine planned for versus how
+        many actually arrived.  Under fault injection (crashes, lost
+        replies, probe timeouts) the effective size can fall short,
+        widening the real uncertainty beyond what the plan assumed.
+    degraded:
+        True when ``effective_sample_size < requested_sample_size`` —
+        the estimate is still unbiased but the confidence interval
+        was built from fewer observations than requested.  Zero for
+        both sizes (legacy constructors) leaves this False.
     """
 
     query: AggregationQuery
@@ -72,6 +82,9 @@ class ApproximateResult:
     phase_two: Optional[PhaseReport]
     cost: QueryCost
     analysis: Optional[object] = None  # PhaseOneAnalysis when available
+    requested_sample_size: int = 0
+    effective_sample_size: int = 0
+    degraded: bool = False
 
     @property
     def total_peers_visited(self) -> int:
@@ -121,6 +134,11 @@ class MedianResult:
     rank_error_estimate:
         The cross-validated rank-error coefficient ``c`` measured in
         phase I (drives the phase-II size).
+    requested_sample_size, effective_sample_size:
+        Planned versus received peer observations (see
+        :class:`ApproximateResult`).
+    degraded:
+        True when faults shrank the sample below what was requested.
     """
 
     query: AggregationQuery
@@ -130,6 +148,9 @@ class MedianResult:
     phase_one: PhaseReport
     phase_two: Optional[PhaseReport]
     cost: QueryCost
+    requested_sample_size: int = 0
+    effective_sample_size: int = 0
+    degraded: bool = False
 
     @property
     def total_peers_visited(self) -> int:

@@ -33,7 +33,12 @@ from ..errors import ConfigurationError, SamplingError
 from ..metrics.cost import CostLedger
 from ..network.protocol import AggregateReply, WalkerProbe
 from ..network.simulator import NetworkSimulator
-from ..network.walker import RandomWalkConfig, RandomWalker
+from ..network.walker import (
+    RandomWalkConfig,
+    RandomWalker,
+    ResilientCollector,
+    RetryPolicy,
+)
 from ..query.model import AggregateOp, AggregationQuery
 import math
 
@@ -90,6 +95,13 @@ class TwoPhaseConfig:
         Equation 1, which uses the network size ``M`` (known from
         pre-processing per §1/§3.3) to cancel degree noise; or
         ``"ht"`` — the paper's literal Equation 1.
+    retry_policy:
+        When set, probes run through a
+        :class:`~repro.network.walker.ResilientCollector`: lost
+        replies and probe timeouts are retried with deterministic
+        exponential backoff, and crashed peers are replaced by
+        restarting the walk from the last good peer.  When ``None``
+        (default) failed probes are simply dropped, as before.
     """
 
     phase_one_peers: int = 40
@@ -104,6 +116,7 @@ class TwoPhaseConfig:
     confidence: float = 0.95
     estimator: str = "hajek"
     distinct_peers: bool = False
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.phase_one_peers < 4:
@@ -177,6 +190,11 @@ class TwoPhaseEngine:
         self._point, self._variance = make_estimator(
             self._config.estimator, simulator.topology.num_peers
         )
+        self._collector: Optional[ResilientCollector] = None
+        if self._config.retry_policy is not None:
+            self._collector = ResilientCollector(
+                self._walker, simulator, policy=self._config.retry_policy
+            )
 
     @property
     def config(self) -> TwoPhaseConfig:
@@ -200,7 +218,6 @@ class TwoPhaseEngine:
         ledger: CostLedger,
     ) -> List[AggregateReply]:
         """Walk, visit every selected peer, and gather replies."""
-        walk = self._walker.sample_peers(sink, count)
         probe = WalkerProbe(
             source=sink,
             destination=sink,
@@ -208,6 +225,19 @@ class TwoPhaseEngine:
             query_text=query.to_sql(),
             tuples_per_peer=self._config.tuples_per_peer,
         )
+        if self._collector is not None:
+            replies, _stats = self._collector.collect_aggregate(
+                sink,
+                query,
+                count,
+                ledger,
+                probe_bytes=probe.size_bytes(),
+                tuples_per_peer=self._config.tuples_per_peer,
+                sampling_method=self._config.sampling_method,
+                seed=self._visit_rng,
+            )
+            return replies
+        walk = self._walker.sample_peers(sink, count)
         ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
         # The batch fast path visits all selected peers in one
         # vectorized pass; under fault injection it degrades to the
@@ -338,9 +368,12 @@ class TwoPhaseEngine:
         )
 
         # Phase II -------------------------------------------------------
+        requested = self._config.phase_one_peers
         phase_two: Optional[PhaseReport] = None
         observations_two: List[PeerObservation] = []
+        replies_two: List[AggregateReply] = []
         if analysis.plan.phase_two_needed:
+            requested += analysis.plan.additional_peers
             hops_before = ledger.snapshot().hops
             replies_two = self._collect(
                 sink, query, analysis.plan.additional_peers, ledger
@@ -377,6 +410,7 @@ class TwoPhaseEngine:
             confidence=self._config.confidence,
         )
 
+        effective = len(replies_one) + len(replies_two)
         return ApproximateResult(
             query=query,
             estimate=estimate,
@@ -387,6 +421,9 @@ class TwoPhaseEngine:
             phase_two=phase_two,
             cost=ledger.snapshot(),
             analysis=analysis,
+            requested_sample_size=requested,
+            effective_sample_size=effective,
+            degraded=effective < requested,
         )
 
     def analyze_only(

@@ -16,6 +16,8 @@ __all__ = [
     "SamplingError",
     "ProtocolError",
     "PeerUnavailableError",
+    "PeerCrashedError",
+    "ProbeTimeoutError",
     "ChurnError",
 ]
 
@@ -63,6 +65,23 @@ class PeerUnavailableError(ProtocolError):
 
     P2P peers "depart without a priori notification"; engines treat
     this as a lost observation, not a fatal error.
+    """
+
+
+class PeerCrashedError(PeerUnavailableError):
+    """The contacted peer is inside a scheduled crash/outage window.
+
+    Unlike a one-off lost reply, the peer stays unreachable for the
+    whole window, so retrying the same peer is futile — resilient
+    walkers restart from the last good peer instead.
+    """
+
+
+class ProbeTimeoutError(PeerUnavailableError):
+    """A probe's reply latency exceeded the configured probe timeout.
+
+    The peer is alive but slow (latency spike); a bounded retry with
+    backoff is the appropriate recovery.
     """
 
 

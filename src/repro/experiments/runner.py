@@ -11,9 +11,10 @@ Trials are statistically independent (trial ``i`` always derives its
 engine from ``seed + i``, never from shared mutable state), so with
 ``workers > 1`` they execute on a fork-based process pool — results
 are identical to the serial loop, element for element, regardless of
-worker count.  Fault-injected networks (``reply_loss_rate > 0``) share
-the simulator's failure stream across trials, so those always run
-serially to keep the injected losses exactly reproducible.
+worker count.  Fault-injected networks (``reply_loss_rate > 0`` or a
+bound :class:`~repro.network.faults.FaultPlan`) share the simulator's
+failure stream / fault clock across trials, so those always run
+serially to keep the injected failures exactly reproducible.
 """
 
 from __future__ import annotations
@@ -187,9 +188,9 @@ def run_trials(
         Per-trial seed derivation is unchanged, so any worker count
         returns exactly the serial results.  The pool is capped at the
         machine's core count (extra forks only add overhead);
-        fault-injected bundles (``reply_loss_rate > 0``) always run
-        serially, and platforms without ``fork`` fall back to the
-        serial loop.
+        fault-injected bundles (``reply_loss_rate > 0`` or a bound
+        fault plan) always run serially, and platforms without
+        ``fork`` fall back to the serial loop.
     """
     if engine not in _ENGINES:
         raise ConfigurationError(
@@ -226,6 +227,7 @@ def run_trials(
     parallel = (
         effective_workers > 1
         and bundle.simulator.reply_loss_rate <= 0.0
+        and bundle.simulator.fault_plan is None
         and _fork_available()
     )
     if not parallel:

@@ -79,6 +79,7 @@ class QueryCost:
     tuples_sampled: int = 0
     bytes_sent: int = 0
     latency_ms: float = 0.0
+    timeouts: int = 0
 
     def __add__(self, other: "QueryCost") -> "QueryCost":
         if not isinstance(other, QueryCost):
@@ -92,6 +93,7 @@ class QueryCost:
             tuples_sampled=self.tuples_sampled + other.tuples_sampled,
             bytes_sent=self.bytes_sent + other.bytes_sent,
             latency_ms=self.latency_ms + other.latency_ms,
+            timeouts=self.timeouts + other.timeouts,
         )
 
 
@@ -113,6 +115,7 @@ class CostLedger:
         self._tuples_sampled = 0
         self._bytes = 0
         self._latency_ms = 0.0
+        self._timeouts = 0
 
     @property
     def model(self) -> CostModel:
@@ -221,6 +224,30 @@ class CostLedger:
             latency += int(reply_bytes[position]) * per_byte
         self._latency_ms = latency
 
+    def record_timeout(self, peer: int, waited_ms: float) -> None:
+        """Account for a probe that never completed (crash or timeout).
+
+        The contact attempt counts as a visit (the peer was reached and
+        the overheads of contacting it were paid) but no tuples were
+        processed and no reply arrived; the sink idled for
+        ``waited_ms`` before giving up.
+        """
+        if waited_ms < 0:
+            raise ConfigurationError("waited_ms must be non-negative")
+        self._visits += 1
+        self._distinct.add(int(peer))
+        self._timeouts += 1
+        self._latency_ms += waited_ms
+
+    def record_wait(self, wait_ms: float) -> None:
+        """Account for sink-side idle time (backoff, latency spikes).
+
+        Pure latency: no messages, visits or bytes are charged.
+        """
+        if wait_ms < 0:
+            raise ConfigurationError("wait_ms must be non-negative")
+        self._latency_ms += wait_ms
+
     def record_reply(self, payload_bytes: int) -> None:
         """Account for a direct reply message back to the sink."""
         if payload_bytes < 0:
@@ -258,4 +285,5 @@ class CostLedger:
             tuples_sampled=self._tuples_sampled,
             bytes_sent=self._bytes,
             latency_ms=self._latency_ms,
+            timeouts=self._timeouts,
         )

@@ -16,7 +16,9 @@ network side of the system:
 * :mod:`repro.network.protocol` — Gnutella-style typed messages (§3.1);
 * :mod:`repro.network.simulator` — the in-process message bus with
   latency/bandwidth accounting, tying peers + topology + data together;
-* :mod:`repro.network.churn` — peer join/leave dynamics.
+* :mod:`repro.network.churn` — peer join/leave dynamics;
+* :mod:`repro.network.faults` — deterministic fault injection (crash
+  windows, regional outages, reply loss, latency spikes/timeouts).
 """
 
 from .peer import Peer, PeerCapabilities
@@ -30,10 +32,21 @@ from .generators import (
     synthetic_paper_topology,
 )
 from .walker import (
+    CollectionStats,
     RandomWalkConfig,
     RandomWalker,
+    ResilientCollector,
+    RetryPolicy,
     WalkResult,
     WeightedMetropolisWalker,
+)
+from .faults import (
+    CrashWindow,
+    FaultDecision,
+    FaultPlan,
+    FaultState,
+    LatencySpike,
+    RegionalOutage,
 )
 from .discovery import (
     NetworkEstimate,
@@ -71,6 +84,15 @@ __all__ = [
     "RandomWalker",
     "WalkResult",
     "WeightedMetropolisWalker",
+    "RetryPolicy",
+    "CollectionStats",
+    "ResilientCollector",
+    "FaultPlan",
+    "FaultState",
+    "FaultDecision",
+    "CrashWindow",
+    "RegionalOutage",
+    "LatencySpike",
     "NetworkEstimate",
     "estimate_network",
     "estimate_average_degree",

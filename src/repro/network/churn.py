@@ -89,6 +89,7 @@ class ChurnProcess:
         self._next_label = topology.num_peers
         self._joined: List[int] = []
         self._departed: List[int] = []
+        self._epoch = 0
 
     @property
     def config(self) -> ChurnConfig:
@@ -109,6 +110,16 @@ class ChurnProcess:
     def departed_peers(self) -> List[int]:
         """Labels of peers that departed since construction."""
         return list(self._departed)
+
+    @property
+    def epoch(self) -> int:
+        """Number of snapshots taken so far.
+
+        Fault plans composed with churn use the epoch to tell
+        consecutive network generations apart while the fault *clock*
+        keeps running across them (a crash window can span epochs).
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Events
@@ -194,15 +205,23 @@ class ChurnProcess:
     # Snapshots
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> "ChurnSnapshot":
-        """Freeze the current graph into a topology + label mapping."""
+    def snapshot(self, advance_epoch: bool = True) -> "ChurnSnapshot":
+        """Freeze the current graph into a topology + label mapping.
+
+        ``advance_epoch=False`` takes an internal peek (e.g. the
+        neighbor lookup during a handoff departure) without counting a
+        new network generation.
+        """
         labels = sorted(self._graph.nodes())
         compact = {label: index for index, label in enumerate(labels)}
         edges = [
             (compact[u], compact[v]) for u, v in self._graph.edges()
         ]
         topology = Topology(num_peers=len(labels), edges=edges)
-        return ChurnSnapshot(topology=topology, labels=labels)
+        epoch = self._epoch
+        if advance_epoch:
+            self._epoch += 1
+        return ChurnSnapshot(topology=topology, labels=labels, epoch=epoch)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -211,10 +230,13 @@ class ChurnSnapshot:
 
     ``labels[i]`` is the stable churn-process label of topology vertex
     ``i``; callers use it to carry per-peer state across snapshots.
+    ``epoch`` is the 0-based snapshot generation (order taken from the
+    owning :class:`ChurnProcess`).
     """
 
     topology: Topology
     labels: List[int]
+    epoch: int = 0
 
     def vertex_of(self, label: int) -> int:
         """Topology vertex id for a stable label."""

@@ -34,6 +34,7 @@ from ..data.zipf import ZipfDistribution
 from ..errors import ChurnError, ConfigurationError
 from ..metrics.cost import CostModel
 from .churn import ChurnConfig, ChurnProcess
+from .faults import FaultPlan
 from .simulator import NetworkSimulator
 from .topology import Topology
 
@@ -66,6 +67,12 @@ class LiveNetwork:
         instead of taking it away.
     block_size:
         Block size of newly created partitions.
+    fault_plan:
+        Optional :class:`~repro.network.faults.FaultPlan` composed
+        with churn: every snapshot's simulator runs the plan, and the
+        fault *clock* persists across snapshots — a crash window that
+        opens in one epoch is still in force in the next.  Schedule
+        entries naming departed peers are skipped (non-strict bind).
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class LiveNetwork:
         column: str = "A",
         handoff: bool = False,
         block_size: int = 25,
+        fault_plan: Optional[FaultPlan] = None,
         seed: SeedLike = None,
     ):
         if len(databases) != topology.num_peers:
@@ -96,6 +104,8 @@ class LiveNetwork:
         self._column = column
         self._handoff = handoff
         self._block_size = block_size
+        self._fault_plan = fault_plan
+        self._last_faulty_simulator: Optional[NetworkSimulator] = None
         # Databases keyed by the churn process's stable labels.
         self._databases: Dict[int, LocalDatabase] = {
             label: database for label, database in enumerate(databases)
@@ -112,6 +122,25 @@ class LiveNetwork:
     def num_peers(self) -> int:
         """Current number of live peers."""
         return self._process.num_peers
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The fault schedule composed with this network, if any."""
+        return self._fault_plan
+
+    @property
+    def fault_clock(self) -> int:
+        """The step the next snapshot's fault state will start from.
+
+        Reads the clock of the most recent snapshot's fault state, so
+        probes run against one epoch advance the schedule seen by the
+        next.
+        """
+        if self._last_faulty_simulator is not None:
+            state = self._last_faulty_simulator.fault_state
+            if state is not None:
+                return state.clock
+        return 0
 
     def total_tuples(self) -> int:
         """Tuples currently stored across live peers (cached; updated
@@ -140,7 +169,7 @@ class LiveNetwork:
 
     def leave(self, label: Optional[int] = None) -> int:
         """A peer departs; its data leaves or is handed off."""
-        snapshot_before = self._process.snapshot()
+        snapshot_before = self._process.snapshot(advance_epoch=False)
         departed = self._process.leave(label)
         departing_db = self._databases.pop(departed, None)
         if departing_db is not None:
@@ -203,6 +232,10 @@ class LiveNetwork:
         per-peer databases (data mutates only via this LiveNetwork, so
         a snapshot stays consistent for the duration of a query, the
         paper's operating assumption).
+
+        With a ``fault_plan`` configured, the snapshot's simulator
+        starts its fault clock where the previous snapshot's left off,
+        so crash windows and loss schedules span epochs.
         """
         churn_snapshot = self._process.snapshot()
         databases = []
@@ -213,9 +246,15 @@ class LiveNetwork:
                 # (can only happen via direct process manipulation).
                 raise ChurnError(f"peer {label} has no database")
             databases.append(database)
-        return NetworkSimulator(
+        simulator = NetworkSimulator(
             churn_snapshot.topology,
             databases,
             cost_model=cost_model,
             seed=seed if seed is not None else self._rng.spawn(1)[0],
+            fault_plan=self._fault_plan,
+            fault_clock=self.fault_clock,
+            fault_strict_peers=False,
         )
+        if self._fault_plan is not None:
+            self._last_faulty_simulator = simulator
+        return simulator

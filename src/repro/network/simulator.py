@@ -21,7 +21,7 @@ accounted exactly where the paper's cost model says they arise:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -30,9 +30,16 @@ from .._util import SeedLike, ensure_rng
 from ..data.flat import FlatDataset
 from ..data.localdb import LocalDatabase
 from ..data.segments import segment_aggregate, segment_sums
-from ..errors import ConfigurationError, PeerUnavailableError, ProtocolError
+from ..errors import (
+    ConfigurationError,
+    PeerCrashedError,
+    PeerUnavailableError,
+    ProbeTimeoutError,
+    ProtocolError,
+)
 from ..metrics.cost import CostLedger, CostModel
 from ..query.model import AggregateOp, AggregationQuery
+from .faults import FaultPlan, FaultState
 from .peer import Peer, synthesize_peer
 from .protocol import (
     AggregateReply,
@@ -82,10 +89,25 @@ class NetworkSimulator:
         Seed for the simulator's own randomness (local sub-sampling,
         failure injection).
     reply_loss_rate:
-        Probability that a visited peer fails to reply (departed
-        mid-query, or its reply was lost).  Visits that fail raise
-        :class:`~repro.errors.PeerUnavailableError`; the walk hop cost
-        has already been paid, and engines skip the observation.
+        Probability, in ``[0, 1)``, that a visited peer fails to reply
+        (departed mid-query, or its reply was lost).  Visits that fail
+        raise :class:`~repro.errors.PeerUnavailableError`; the walk hop
+        cost has already been paid, and engines skip the observation.
+        A rate of exactly 1 is rejected — a total blackout is a
+        :class:`~repro.network.faults.CrashWindow`, not a loss rate.
+    fault_plan:
+        Optional :class:`~repro.network.faults.FaultPlan` — the
+        richer, fully deterministic failure schedule (crash windows,
+        correlated outages, per-message-type loss, latency spikes and
+        probe timeouts).  Composes with ``reply_loss_rate``.
+    fault_clock:
+        Step offset at which the bound fault plan's clock starts;
+        :class:`~repro.network.live.LiveNetwork` uses it to let fault
+        schedules span churn epochs.
+    fault_strict_peers:
+        Whether the fault plan's peer ids must all exist in this
+        topology (default).  Live networks pass ``False`` so schedules
+        survive peers departing between epochs.
     """
 
     def __init__(
@@ -96,6 +118,9 @@ class NetworkSimulator:
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         reply_loss_rate: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_clock: int = 0,
+        fault_strict_peers: bool = True,
     ):
         if len(databases) != topology.num_peers:
             raise ConfigurationError(
@@ -124,6 +149,15 @@ class NetworkSimulator:
             )
         self._reply_loss_rate = reply_loss_rate
         self._failure_rng = ensure_rng(self._rng.spawn(1)[0])
+        self._fault_state: Optional[FaultState] = (
+            fault_plan.bind(
+                topology,
+                clock_start=fault_clock,
+                strict_peers=fault_strict_peers,
+            )
+            if fault_plan is not None
+            else None
+        )
         # Lazy caches.  A simulator's databases are immutable for its
         # lifetime (churn produces *new* simulators via
         # LiveNetwork.snapshot), so both stay valid once built.
@@ -146,6 +180,50 @@ class NetworkSimulator:
                 f"peer {peer_id} failed to reply"
             )
 
+    def _fault_wait_ms(self) -> float:
+        """How long the sink idles before declaring a probe dead."""
+        state = self._fault_state
+        assert state is not None
+        timeout = state.plan.probe_timeout_ms
+        if timeout is not None:
+            return timeout
+        return self._cost_model.visit_overhead_ms
+
+    def _apply_faults(
+        self, peer_id: int, kind: str, ledger: CostLedger
+    ) -> None:
+        """Consult the fault plan for one probe; charge and raise.
+
+        Consumes exactly one fault-clock step per call (the batch
+        paths fall back to the per-peer loop whenever a plan is
+        active, so both paths advance the clock identically).
+        """
+        state = self._fault_state
+        if state is None:
+            return
+        decision = state.probe(peer_id, kind)
+        if decision.crashed:
+            ledger.record_timeout(peer_id, waited_ms=self._fault_wait_ms())
+            raise PeerCrashedError(
+                f"peer {peer_id} is down (crash window at fault step "
+                f"{decision.step})"
+            )
+        if decision.lost:
+            ledger.record_visit(peer_id, 0, 0)
+            raise PeerUnavailableError(
+                f"peer {peer_id} failed to reply (scheduled {kind} loss "
+                f"at fault step {decision.step})"
+            )
+        if decision.timed_out:
+            ledger.record_timeout(peer_id, waited_ms=self._fault_wait_ms())
+            raise ProbeTimeoutError(
+                f"probe to peer {peer_id} exceeded the "
+                f"{state.plan.probe_timeout_ms} ms timeout (latency spike "
+                f"at fault step {decision.step})"
+            )
+        if decision.extra_latency_ms > 0.0:
+            ledger.record_wait(decision.extra_latency_ms)
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -167,8 +245,25 @@ class NetworkSimulator:
 
     @property
     def reply_loss_rate(self) -> float:
-        """Probability that a visited peer fails to reply."""
+        """Probability in ``[0, 1)`` that a visited peer fails to
+        reply."""
         return self._reply_loss_rate
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The bound fault schedule, if any."""
+        state = self._fault_state
+        return state.plan if state is not None else None
+
+    @property
+    def fault_state(self) -> Optional[FaultState]:
+        """The clocked fault state (exposes the replay clock)."""
+        return self._fault_state
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether any failure source (legacy rate or plan) is armed."""
+        return self._reply_loss_rate > 0.0 or self._fault_state is not None
 
     @property
     def flat_dataset(self) -> FlatDataset:
@@ -234,6 +329,7 @@ class NetworkSimulator:
             )
         ping = Ping(source=source, destination=destination)
         ledger.record_hops(1, message_bytes=ping.size_bytes())
+        self._apply_faults(destination, "ping", ledger)
         node = self.node(destination)
         pong = Pong(
             source=destination,
@@ -274,6 +370,7 @@ class NetworkSimulator:
                 f"{query.agg.value} cannot be pushed down; use visit_values"
             )
         node = self.node(peer_id)
+        self._apply_faults(peer_id, "aggregate", ledger)
         self._maybe_drop_reply(peer_id, ledger)
         database = node.database
         total = database.num_tuples
@@ -448,10 +545,11 @@ class NetworkSimulator:
         columnar view.  The replies and the ledger end up bit-for-bit
         identical to the per-peer loop.
 
-        With ``reply_loss_rate > 0`` the method automatically falls
-        back to the per-peer path: loss draws interleave with the visit
-        stream, and keeping fault injection exact matters more than
-        speed there.
+        With any failure source armed (``reply_loss_rate > 0`` or a
+        bound :class:`~repro.network.faults.FaultPlan`) the method
+        automatically falls back to the per-peer path: loss draws and
+        fault-clock steps interleave with the visit stream, and
+        keeping fault injection exact matters more than speed there.
         """
         if not query.agg.supports_pushdown:
             raise ConfigurationError(
@@ -462,7 +560,7 @@ class NetworkSimulator:
         peers = self._validate_batch_peers(peer_ids)
         if peers.size == 0:
             return []
-        if self._reply_loss_rate > 0.0:
+        if self.faults_active:
             replies = []
             for peer_id in peers:
                 try:
@@ -548,7 +646,7 @@ class NetworkSimulator:
         peers = self._validate_batch_peers(peer_ids)
         if peers.size == 0:
             return []
-        if self._reply_loss_rate > 0.0:
+        if self.faults_active:
             replies = []
             for peer_id in peers:
                 try:
@@ -645,6 +743,7 @@ class NetworkSimulator:
                     f"{query.agg.value} cannot be pushed down"
                 )
         node = self.node(peer_id)
+        self._apply_faults(peer_id, "multi", ledger)
         self._maybe_drop_reply(peer_id, ledger)
         database = node.database
         total = database.num_tuples
@@ -729,6 +828,7 @@ class NetworkSimulator:
                 f"GROUP BY is not supported for {query.agg.value}"
             )
         node = self.node(peer_id)
+        self._apply_faults(peer_id, "group", ledger)
         self._maybe_drop_reply(peer_id, ledger)
         database = node.database
         total = database.num_tuples
@@ -802,6 +902,7 @@ class NetworkSimulator:
         if ship not in ("median", "sample"):
             raise ConfigurationError(f"unknown ship mode {ship!r}")
         node = self.node(peer_id)
+        self._apply_faults(peer_id, "values", ledger)
         self._maybe_drop_reply(peer_id, ledger)
         database = node.database
         total = database.num_tuples
@@ -863,10 +964,21 @@ class NetworkSimulator:
         start peer at depth 0.  Every edge traversal is charged as a
         message, which is exactly why the paper calls flooding
         resource-hungry.
+
+        Under a bound :class:`~repro.network.faults.FaultPlan` the
+        whole flood consumes one fault-clock step; peers inside a
+        crash/outage window at that step neither respond nor forward
+        (messages sent to them are still charged), so a correlated
+        outage is observed as a partition.
         """
         self.node(start)  # validates the id
         if ttl < 0:
             raise ConfigurationError("ttl must be >= 0")
+        down: FrozenSet[int] = frozenset()
+        if self._fault_state is not None:
+            down = self._fault_state.crashed_peers(
+                self._fault_state.next_step()
+            )
         probe = Query(source=start, destination=start, ttl=ttl, text="agg")
         message_bytes = probe.size_bytes()
         visited = {start}
@@ -881,6 +993,8 @@ class NetworkSimulator:
                 for neighbor in self._topology.neighbors(peer):
                     neighbor = int(neighbor)
                     ledger.record_flood_message(message_bytes)
+                    if neighbor in down:
+                        continue  # down: the message lands on silence
                     if neighbor not in visited:
                         visited.add(neighbor)
                         next_frontier.append(neighbor)

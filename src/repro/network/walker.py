@@ -36,20 +36,44 @@ variant so estimation stays unbiased regardless.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import enum
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 from numpy.typing import ArrayLike
 
 from .._util import SeedLike, ensure_rng
-from ..errors import ConfigurationError, TopologyError
+from ..errors import (
+    ConfigurationError,
+    PeerCrashedError,
+    PeerUnavailableError,
+    ProbeTimeoutError,
+    TopologyError,
+)
+from ..metrics.cost import CostLedger
+from ..query.model import AggregationQuery
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .protocol import AggregateReply, TupleReply
+    from .simulator import NetworkSimulator
 
 __all__ = [
     "RandomWalkConfig",
     "WalkResult",
     "RandomWalker",
     "WeightedMetropolisWalker",
+    "RetryPolicy",
+    "CollectionStats",
+    "ResilientCollector",
 ]
 
 _VARIANTS = ("simple", "lazy", "self-inclusive", "metropolis-uniform")
@@ -421,3 +445,273 @@ class WeightedMetropolisWalker(RandomWalker):
             ):
                 current = proposal
         return current
+
+
+# ---------------------------------------------------------------------------
+# Fault-resilient collection (walk + visit with retry/restart)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How a resilient walker reacts when a probe fails.
+
+    Attributes
+    ----------
+    max_attempts:
+        Probes per target peer, including the first (>= 1).  Lost
+        replies and timeouts are retried up to this bound; a crashed
+        peer is never retried (it stays down for its whole window).
+    backoff_base_ms:
+        Wait before the first retry.  Each wait is charged to the
+        ledger as sink-side latency.
+    backoff_factor:
+        Multiplier between consecutive waits (deterministic
+        exponential backoff: ``base * factor**retry_index``).
+    max_substitutions:
+        Cap on restart-from-last-good-peer substitutions per
+        collection; ``None`` allows one per requested peer.  The cap is
+        what guarantees a collection terminates under a blanket
+        outage.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_factor: float = 2.0
+    max_substitutions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_ms < 0:
+            raise ConfigurationError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.max_substitutions is not None and self.max_substitutions < 0:
+            raise ConfigurationError("max_substitutions must be >= 0")
+
+    def backoff_ms(self, retry_index: int) -> float:
+        """Wait before retry ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError("retry_index must be >= 0")
+        return self.backoff_base_ms * self.backoff_factor**retry_index
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectionStats:
+    """What a resilient collection went through.
+
+    ``received < requested`` means observations were lost despite
+    retries and substitutions — the engine's sample has silently
+    shrunk, and results built from it must carry a ``degraded`` flag.
+    """
+
+    requested: int
+    received: int
+    attempts: int
+    retries: int
+    losses: int
+    timeouts: int
+    crashes: int
+    substitutions: int
+    backoff_wait_ms: float
+    walk_hops: int
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sample is smaller than requested."""
+        return self.received < self.requested
+
+
+class _ProbeOutcome(enum.Enum):
+    OK = "ok"
+    CRASHED = "crashed"
+    EXHAUSTED = "exhausted"
+
+
+_R = TypeVar("_R", "AggregateReply", "TupleReply")
+
+
+class ResilientCollector:
+    """Walk-and-visit with per-probe retry, backoff and restart.
+
+    Wraps a :class:`RandomWalker` and a
+    :class:`~repro.network.simulator.NetworkSimulator` and implements
+    the recovery discipline the fault subsystem calls for:
+
+    * a lost reply or probe timeout is retried in place, up to
+      ``max_attempts`` probes with deterministic exponential backoff
+      (each wait charged to the ledger);
+    * a *crashed* peer is not retried — the walk restarts from the
+      last peer that answered (falling back to the sink before any
+      success) and selects a substitute, up to ``max_substitutions``;
+    * every failure mode is bounded, so a collection always
+      terminates: worst case it returns fewer replies than requested,
+      and the caller flags the result as degraded.
+    """
+
+    def __init__(
+        self,
+        walker: RandomWalker,
+        simulator: "NetworkSimulator",
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self._walker = walker
+        self._simulator = simulator
+        self._policy = policy or RetryPolicy()
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The retry policy in effect."""
+        return self._policy
+
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self,
+        peer: int,
+        ledger: CostLedger,
+        visit: Callable[[int], _R],
+        counters: Dict[str, float],
+    ) -> Tuple[_ProbeOutcome, Optional[_R]]:
+        """Probe one peer up to ``max_attempts`` times."""
+        policy = self._policy
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                wait = policy.backoff_ms(attempt - 1)
+                ledger.record_wait(wait)
+                counters["backoff_wait_ms"] += wait
+                counters["retries"] += 1
+            counters["attempts"] += 1
+            try:
+                return _ProbeOutcome.OK, visit(peer)
+            except PeerCrashedError:
+                counters["crashes"] += 1
+                return _ProbeOutcome.CRASHED, None
+            except ProbeTimeoutError:
+                counters["timeouts"] += 1
+            except PeerUnavailableError:
+                counters["losses"] += 1
+        return _ProbeOutcome.EXHAUSTED, None
+
+    def _collect(
+        self,
+        sink: int,
+        count: int,
+        ledger: CostLedger,
+        probe_bytes: int,
+        visit: Callable[[int], _R],
+    ) -> Tuple[List[_R], CollectionStats]:
+        walk = self._walker.sample_peers(sink, count)
+        ledger.record_hops(walk.hops, message_bytes=probe_bytes)
+        policy = self._policy
+        jump = self._walker.config.effective_jump
+        substitutions_left = (
+            count if policy.max_substitutions is None
+            else policy.max_substitutions
+        )
+        counters: Dict[str, float] = {
+            "attempts": 0,
+            "retries": 0,
+            "losses": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "substitutions": 0,
+            "backoff_wait_ms": 0.0,
+        }
+        walk_hops = walk.hops
+        last_good = sink
+        replies: List[_R] = []
+        for target in walk.peers:
+            peer = int(target)
+            while True:
+                outcome, reply = self._attempt(peer, ledger, visit, counters)
+                if outcome is _ProbeOutcome.OK and reply is not None:
+                    replies.append(reply)
+                    last_good = peer
+                    break
+                if (
+                    outcome is _ProbeOutcome.CRASHED
+                    and substitutions_left > 0
+                ):
+                    # The paper's walk only ever needs a live neighbor
+                    # chain: restart from the last peer that answered
+                    # and walk one jump to a substitute selection.
+                    substitutions_left -= 1
+                    counters["substitutions"] += 1
+                    peer = self._walker.endpoint_after(last_good, jump)
+                    ledger.record_hops(jump, message_bytes=probe_bytes)
+                    walk_hops += jump
+                    continue
+                break  # exhausted retries or substitution budget: drop
+        stats = CollectionStats(
+            requested=count,
+            received=len(replies),
+            attempts=int(counters["attempts"]),
+            retries=int(counters["retries"]),
+            losses=int(counters["losses"]),
+            timeouts=int(counters["timeouts"]),
+            crashes=int(counters["crashes"]),
+            substitutions=int(counters["substitutions"]),
+            backoff_wait_ms=counters["backoff_wait_ms"],
+            walk_hops=walk_hops,
+        )
+        return replies, stats
+
+    # ------------------------------------------------------------------
+
+    def collect_aggregate(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger: CostLedger,
+        probe_bytes: int,
+        tuples_per_peer: int = 0,
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> Tuple[List["AggregateReply"], CollectionStats]:
+        """Collect up to ``count`` aggregate replies, resiliently."""
+
+        def visit(peer: int) -> "AggregateReply":
+            return self._simulator.visit_aggregate(
+                peer,
+                query,
+                sink=sink,
+                ledger=ledger,
+                tuples_per_peer=tuples_per_peer,
+                sampling_method=sampling_method,
+                seed=seed,
+            )
+
+        return self._collect(sink, count, ledger, probe_bytes, visit)
+
+    def collect_values(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger: CostLedger,
+        probe_bytes: int,
+        tuples_per_peer: int = 0,
+        ship: str = "median",
+        sampling_method: str = "uniform",
+        seed: SeedLike = None,
+    ) -> Tuple[List["TupleReply"], CollectionStats]:
+        """Collect up to ``count`` value/median replies, resiliently."""
+
+        def visit(peer: int) -> "TupleReply":
+            return self._simulator.visit_values(
+                peer,
+                query,
+                sink=sink,
+                ledger=ledger,
+                tuples_per_peer=tuples_per_peer,
+                ship=ship,
+                sampling_method=sampling_method,
+                seed=seed,
+            )
+
+        return self._collect(sink, count, ledger, probe_bytes, visit)

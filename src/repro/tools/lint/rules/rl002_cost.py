@@ -13,6 +13,11 @@ accounting layer:
 * private simulator/topology internals (``other._attr``) are off
   limits: they are exactly the handles that skip ``record_visit*`` /
   ``record_hops``.
+
+``network/walker.py`` and ``network/faults.py`` are individually
+guarded too: the resilient collector and the fault subsystem sit
+directly on the cost path (retries, backoff waits and timeouts must
+all be charged).
 """
 
 from __future__ import annotations
@@ -43,9 +48,23 @@ _LEDGER_CALLS: Dict[str, int] = {
 #: Directories whose modules this rule constrains.
 _GUARDED_DIRECTORIES = ("core", "sampling")
 
+#: Individual modules outside those directories that sit on the cost
+#: path and are held to the same standard: the resilient collector
+#: charges retries/backoff itself, and the fault subsystem decides
+#: which probes get charged as timeouts.
+_GUARDED_MODULES = (
+    ("network", "walker.py"),
+    ("network", "faults.py"),
+)
+
 
 def _applies(module: ModuleInfo) -> bool:
-    return any(module.in_directory(name) for name in _GUARDED_DIRECTORIES)
+    if any(module.in_directory(name) for name in _GUARDED_DIRECTORIES):
+        return True
+    return any(
+        module.in_directory(directory) and module.filename == filename
+        for directory, filename in _GUARDED_MODULES
+    )
 
 
 def _has_ledger_in_scope(

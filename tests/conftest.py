@@ -1,7 +1,10 @@
 """Shared fixtures: small deterministic networks and datasets."""
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.data.generator import DatasetConfig, generate_dataset
 from repro.network.generators import (
@@ -10,6 +13,13 @@ from repro.network.generators import (
 )
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
+
+# CI runs hypothesis derandomized (fixed seeds) so chaos/property
+# failures reproduce exactly; select with REPRO_HYPOTHESIS_PROFILE=ci.
+hypothesis_settings.register_profile("ci", derandomize=True)
+_profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE")
+if _profile:
+    hypothesis_settings.load_profile(_profile)
 
 
 @pytest.fixture(scope="session")

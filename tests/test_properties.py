@@ -8,6 +8,17 @@ from hypothesis import strategies as st
 
 from repro._util import weighted_median
 from repro.core.crossval import cross_validate
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.errors import PeerUnavailableError
+from repro.metrics.cost import CostLedger
+from repro.network.faults import (
+    CrashWindow,
+    FaultPlan,
+    LatencySpike,
+    RegionalOutage,
+)
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
 from repro.core.estimators import (
     PeerObservation,
     clustering_badness,
@@ -456,3 +467,221 @@ def test_hajek_scale_invariant_in_weights(population, seed):
     assert hajek_estimate(base, m) == pytest.approx(
         hajek_estimate(scaled, m)
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan invariants
+# ---------------------------------------------------------------------------
+
+#: Small shared network for the fault properties: hypothesis cannot use
+#: pytest fixtures, so this is built once at import time (deterministic).
+_FAULT_PEERS = 40
+_FAULT_TOPOLOGY = power_law_topology(_FAULT_PEERS, 120, seed=3)
+_FAULT_DATASET = generate_dataset(
+    _FAULT_TOPOLOGY,
+    DatasetConfig(num_tuples=1_000, cluster_level=0.25, skew=0.2),
+    seed=3,
+)
+_FAULT_QUERY = parse_query("SELECT COUNT(A) FROM T")
+
+#: QueryCost fields that must never decrease across probes.
+_MONOTONE_FIELDS = (
+    "messages",
+    "hops",
+    "peers_visited",
+    "distinct_peers",
+    "tuples_processed",
+    "tuples_sampled",
+    "bytes_sent",
+    "latency_ms",
+    "timeouts",
+)
+
+
+@st.composite
+def fault_plans(draw):
+    """Arbitrary (but always valid) fault plans over the shared net."""
+    crashes = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        start = draw(st.integers(min_value=0, max_value=40))
+        crashes.append(
+            CrashWindow(
+                peer_id=draw(
+                    st.integers(min_value=0, max_value=_FAULT_PEERS - 1)
+                ),
+                start=start,
+                stop=start + draw(st.integers(min_value=1, max_value=80)),
+            )
+        )
+    outages = []
+    if draw(st.booleans()):
+        start = draw(st.integers(min_value=0, max_value=40))
+        outages.append(
+            RegionalOutage(
+                center=draw(
+                    st.integers(min_value=0, max_value=_FAULT_PEERS - 1)
+                ),
+                radius=draw(st.integers(min_value=0, max_value=2)),
+                start=start,
+                stop=start + draw(st.integers(min_value=1, max_value=80)),
+            )
+        )
+    spike = None
+    if draw(st.booleans()):
+        spike = LatencySpike(
+            rate=draw(
+                st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+            ),
+            extra_ms=draw(st.sampled_from([50.0, 400.0, 5_000.0])),
+        )
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        crashes=tuple(crashes),
+        outages=tuple(outages),
+        reply_loss=draw(
+            st.floats(min_value=0.0, max_value=0.6, allow_nan=False)
+        ),
+        latency_spike=spike,
+        probe_timeout_ms=draw(
+            st.one_of(st.none(), st.sampled_from([100.0, 1_000.0]))
+        ),
+    )
+
+
+def _fault_simulator(plan):
+    return NetworkSimulator(
+        _FAULT_TOPOLOGY, _FAULT_DATASET.databases, seed=5, fault_plan=plan
+    )
+
+
+_probe_sequences = st.lists(
+    st.integers(min_value=0, max_value=_FAULT_PEERS - 1),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _reply_payload(reply):
+    """Payload fields of an AggregateReply (``message_id`` comes from a
+    global counter, so equivalent runs legitimately differ there)."""
+    return (
+        reply.source,
+        reply.aggregate_value,
+        reply.matching_count,
+        reply.column_total,
+        reply.contribution_variance,
+        reply.degree,
+        reply.local_tuples,
+        reply.processed_tuples,
+    )
+
+
+@given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_fault_ledger_nonnegative_and_monotone(plan, peers, seed):
+    """No fault outcome may ever decrease a ledger total or drive one
+    negative — timed-out probes are *charged*, not refunded."""
+    simulator = _fault_simulator(plan)
+    ledger = CostLedger()
+    previous = ledger.snapshot()
+    for peer in peers:
+        try:
+            simulator.visit_aggregate(
+                peer, _FAULT_QUERY, sink=0, ledger=ledger, seed=seed
+            )
+        except PeerUnavailableError:
+            pass  # the failure itself must still have been charged
+        current = ledger.snapshot()
+        for field in _MONOTONE_FIELDS:
+            assert getattr(current, field) >= getattr(previous, field)
+            assert getattr(current, field) >= 0
+        previous = current
+
+
+@given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_batch_scalar_bit_parity_under_any_fault_plan(plan, peers, seed):
+    """The RL005 contract extended to faults: the batch visit path and
+    the scalar loop yield bit-identical replies *and* ledgers for any
+    plan (including the null plan, which takes the vectorized path)."""
+    batch_simulator = _fault_simulator(plan)
+    batch_ledger = CostLedger()
+    batch_replies = batch_simulator.visit_aggregate_batch(
+        peers,
+        _FAULT_QUERY,
+        sink=0,
+        ledger=batch_ledger,
+        tuples_per_peer=8,
+        seed=seed,
+    )
+
+    scalar_simulator = _fault_simulator(plan)
+    scalar_ledger = CostLedger()
+    scalar_replies = []
+    for peer in peers:
+        try:
+            scalar_replies.append(
+                scalar_simulator.visit_aggregate(
+                    peer,
+                    _FAULT_QUERY,
+                    sink=0,
+                    ledger=scalar_ledger,
+                    tuples_per_peer=8,
+                    seed=seed,
+                )
+            )
+        except PeerUnavailableError:
+            continue
+
+    assert list(map(_reply_payload, batch_replies)) == list(
+        map(_reply_payload, scalar_replies)
+    )
+    assert batch_ledger.snapshot() == scalar_ledger.snapshot()
+
+
+@given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_fault_replay_is_bit_identical(plan, peers, seed):
+    """Two fresh simulators over the same plan and seeds replay the
+    exact same failures: same replies, same ledger, same decisions."""
+
+    def run():
+        simulator = _fault_simulator(plan)
+        ledger = CostLedger()
+        replies = []
+        errors = []
+        for peer in peers:
+            try:
+                replies.append(
+                    _reply_payload(
+                        simulator.visit_aggregate(
+                            peer,
+                            _FAULT_QUERY,
+                            sink=0,
+                            ledger=ledger,
+                            seed=seed,
+                        )
+                    )
+                )
+            except PeerUnavailableError as exc:
+                errors.append(type(exc).__name__)
+        return replies, errors, ledger.snapshot()
+
+    assert run() == run()
+
+
+@given(fault_plans(), st.integers(min_value=0, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_fault_decisions_are_pure_functions_of_coordinates(plan, step):
+    """A probe decision depends only on (plan, step, peer, kind) —
+    querying it through two independent states, in different orders,
+    gives identical decisions (the no-shared-RNG-stream contract)."""
+    first = plan.bind(_FAULT_TOPOLOGY, clock_start=step)
+    second = plan.bind(_FAULT_TOPOLOGY, clock_start=step)
+    forward = [
+        first.probe(peer, "aggregate") for peer in range(_FAULT_PEERS)
+    ]
+    second_forward = [
+        second.probe(peer, "aggregate") for peer in range(_FAULT_PEERS)
+    ]
+    assert forward == second_forward
