@@ -6,6 +6,7 @@ rendered table to ``benchmarks/results/figure_NN.txt``, echoes it to
 stdout, and asserts the figure's qualitative expectation.
 """
 
+import os
 import pathlib
 
 import pytest
@@ -19,6 +20,25 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def manifest_dir():
+    """Write run manifests next to the figure outputs.
+
+    Every ``run_trials`` call in the benchmark suite drops its
+    ``run_<engine>_<confighash>_s<seed>.json`` manifest into
+    ``benchmarks/results/``, so each regenerated figure is traceable
+    to the exact config, seed and git revision that produced it.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    previous = os.environ.get("REPRO_MANIFEST_DIR")
+    os.environ["REPRO_MANIFEST_DIR"] = str(RESULTS_DIR)
+    yield RESULTS_DIR
+    if previous is None:
+        os.environ.pop("REPRO_MANIFEST_DIR", None)
+    else:
+        os.environ["REPRO_MANIFEST_DIR"] = previous
 
 
 @pytest.fixture()

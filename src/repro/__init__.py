@@ -118,6 +118,15 @@ from .core import (
 )
 from .sampling import BFSEngine, UniformOracleEngine, dfs_engine
 from .metrics import CostModel, QueryCost
+from .obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    active_tracer,
+    read_trace,
+    tracing,
+    write_manifest,
+)
 from .io import load_dataset, load_topology, save_dataset, save_topology
 
 __version__ = "1.0.0"
@@ -220,6 +229,14 @@ __all__ = [
     # metrics
     "CostModel",
     "QueryCost",
+    # observability
+    "Tracer",
+    "tracing",
+    "active_tracer",
+    "MetricsRegistry",
+    "read_trace",
+    "RunManifest",
+    "write_manifest",
     # persistence
     "save_topology",
     "load_topology",

@@ -41,6 +41,8 @@ from ..network.walker import (
     ResilientCollector,
     RetryPolicy,
 )
+from ..obs.events import EstimateEvent, PhaseEvent, TraceEvent
+from ..obs.tracer import active_tracer
 from ..query.model import AggregateOp, AggregationQuery
 from .result import MedianResult, PhaseReport
 
@@ -50,6 +52,13 @@ __all__ = [
     "weighted_rank_fraction",
     "MedianEngine",
 ]
+
+
+def _emit(event: TraceEvent) -> None:
+    """Forward ``event`` to the active tracer, if any."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(event)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -298,6 +307,14 @@ class MedianEngine:
         ledger = self._simulator.new_ledger()
 
         # Phase I ---------------------------------------------------------
+        _emit(
+            PhaseEvent(
+                engine="median",
+                phase="one",
+                status="start",
+                requested=self._config.phase_one_peers,
+            )
+        )
         observations_one, hops_one, tuples_one, received_one = self._collect(
             sink, query, self._config.phase_one_peers, ledger
         )
@@ -308,6 +325,16 @@ class MedianEngine:
             )
         phase_one_estimate = self._weighted_median_of(
             observations_one, fraction
+        )
+        _emit(
+            PhaseEvent(
+                engine="median",
+                phase="one",
+                status="end",
+                requested=self._config.phase_one_peers,
+                received=received_one,
+                estimate=phase_one_estimate,
+            )
         )
         rank_error = self._cross_validated_rank_error(
             observations_one, fraction
@@ -326,6 +353,15 @@ class MedianEngine:
         additional = int(math.ceil(half * (rank_error / delta_req) ** 2))
         if self._config.max_phase_two_peers is not None:
             additional = min(additional, self._config.max_phase_two_peers)
+        _emit(
+            PhaseEvent(
+                engine="median",
+                phase="analysis",
+                status="end",
+                requested=additional,
+                error=rank_error,
+            )
+        )
 
         phase_two: Optional[PhaseReport] = None
         observations_two: List[_MedianObservation] = []
@@ -333,6 +369,14 @@ class MedianEngine:
         received = received_one
         if additional > 0:
             requested += additional
+            _emit(
+                PhaseEvent(
+                    engine="median",
+                    phase="two",
+                    status="start",
+                    requested=additional,
+                )
+            )
             observations_two, hops_two, tuples_two, received_two = (
                 self._collect(sink, query, additional, ledger)
             )
@@ -341,6 +385,16 @@ class MedianEngine:
                 self._weighted_median_of(observations_two, fraction)
                 if observations_two
                 else None
+            )
+            _emit(
+                PhaseEvent(
+                    engine="median",
+                    phase="two",
+                    status="end",
+                    requested=additional,
+                    received=received_two,
+                    estimate=estimate_two,
+                )
             )
             phase_two = PhaseReport(
                 peers_visited=additional,
@@ -354,7 +408,16 @@ class MedianEngine:
         else:
             pool = list(observations_two)
         estimate = self._weighted_median_of(pool, fraction)
-
+        _emit(
+            EstimateEvent(
+                engine="median",
+                agg=query.agg.value,
+                estimate=estimate,
+                requested=requested,
+                received=received,
+                degraded=received < requested,
+            )
+        )
         return MedianResult(
             query=query,
             estimate=estimate,

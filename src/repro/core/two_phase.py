@@ -39,6 +39,8 @@ from ..network.walker import (
     ResilientCollector,
     RetryPolicy,
 )
+from ..obs.events import EstimateEvent, PhaseEvent, TraceEvent
+from ..obs.tracer import active_tracer
 from ..query.model import AggregateOp, AggregationQuery
 import math
 
@@ -56,6 +58,13 @@ __all__ = [
     "TwoPhaseConfig",
     "TwoPhaseEngine",
 ]
+
+
+def _emit(event: TraceEvent) -> None:
+    """Forward ``event`` to the active tracer, if any."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(event)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -347,11 +356,30 @@ class TwoPhaseEngine:
 
         # Phase I --------------------------------------------------------
         phase_one_hops_before = 0
+        _emit(
+            PhaseEvent(
+                engine="two-phase",
+                phase="one",
+                status="start",
+                requested=self._config.phase_one_peers,
+            )
+        )
         replies_one = self._collect(
             sink, query, self._config.phase_one_peers, ledger
         )
         hops_one = ledger.snapshot().hops - phase_one_hops_before
         observations_one = self._observations(replies_one)
+        estimate_one = self._final_estimate(query, observations_one)
+        _emit(
+            PhaseEvent(
+                engine="two-phase",
+                phase="one",
+                status="end",
+                requested=self._config.phase_one_peers,
+                received=len(replies_one),
+                estimate=estimate_one,
+            )
+        )
         analysis = analyze_phase_one(
             query,
             observations_one,
@@ -363,9 +391,20 @@ class TwoPhaseEngine:
             estimator=self._config.estimator,
             num_peers=self._simulator.topology.num_peers,
         )
-        phase_one = self._phase_report(
-            replies_one, hops_one, self._final_estimate(query, observations_one)
+        _emit(
+            PhaseEvent(
+                engine="two-phase",
+                phase="analysis",
+                status="end",
+                requested=(
+                    analysis.plan.additional_peers
+                    if analysis.plan.phase_two_needed
+                    else 0
+                ),
+                error=analysis.cross_validation.rms_error,
+            )
         )
+        phase_one = self._phase_report(replies_one, hops_one, estimate_one)
 
         # Phase II -------------------------------------------------------
         requested = self._config.phase_one_peers
@@ -375,16 +414,31 @@ class TwoPhaseEngine:
         if analysis.plan.phase_two_needed:
             requested += analysis.plan.additional_peers
             hops_before = ledger.snapshot().hops
+            _emit(
+                PhaseEvent(
+                    engine="two-phase",
+                    phase="two",
+                    status="start",
+                    requested=analysis.plan.additional_peers,
+                )
+            )
             replies_two = self._collect(
                 sink, query, analysis.plan.additional_peers, ledger
             )
             hops_two = ledger.snapshot().hops - hops_before
             observations_two = self._observations(replies_two)
-            phase_two = self._phase_report(
-                replies_two,
-                hops_two,
-                self._final_estimate(query, observations_two),
+            estimate_two = self._final_estimate(query, observations_two)
+            _emit(
+                PhaseEvent(
+                    engine="two-phase",
+                    phase="two",
+                    status="end",
+                    requested=analysis.plan.additional_peers,
+                    received=len(replies_two),
+                    estimate=estimate_two,
+                )
             )
+            phase_two = self._phase_report(replies_two, hops_two, estimate_two)
 
         # Final estimate ---------------------------------------------------
         if self._config.pool_phases:
@@ -411,6 +465,16 @@ class TwoPhaseEngine:
         )
 
         effective = len(replies_one) + len(replies_two)
+        _emit(
+            EstimateEvent(
+                engine="two-phase",
+                agg=query.agg.value,
+                estimate=estimate,
+                requested=requested,
+                received=effective,
+                degraded=effective < requested,
+            )
+        )
         return ApproximateResult(
             query=query,
             estimate=estimate,

@@ -24,7 +24,8 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +33,15 @@ from ..core.median import MedianConfig, MedianEngine
 from ..core.two_phase import TwoPhaseConfig, TwoPhaseEngine
 from ..errors import ConfigurationError
 from ..metrics.accuracy import median_rank_error
+from ..obs.manifest import (
+    RunManifest,
+    canonical_config,
+    config_digest,
+    git_revision,
+    manifest_filename,
+    write_manifest,
+)
+from ..obs.tracer import active_tracer
 from ..query.exact import evaluate_exact, rank_of_value
 from ..query.model import AggregateOp, AggregationQuery
 from ..sampling.baselines import BFSEngine, dfs_engine
@@ -40,6 +50,7 @@ from .configs import NetworkBundle, default_workers
 __all__ = [
     "TrialOutcome",
     "run_trials",
+    "build_manifest",
     "mean_error",
     "mean_sample_size",
     "mean_peers",
@@ -152,6 +163,72 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def build_manifest(
+    query: AggregationQuery,
+    delta_req: float,
+    engine: str,
+    config: Union[TwoPhaseConfig, MedianConfig],
+    seed: int,
+    trials: int,
+    outcomes: Sequence[TrialOutcome],
+) -> RunManifest:
+    """The run manifest for one completed :func:`run_trials` call.
+
+    Captures everything needed to re-run or audit the run — engine,
+    query SQL, canonical config plus its hash, base seed, git revision,
+    per-trial outcomes, summary aggregates, and the metrics snapshot of
+    the active tracer (empty when tracing is off).
+    """
+    config_data = canonical_config(config)
+    assert isinstance(config_data, dict)
+    tracer = active_tracer()
+    metrics: Dict[str, object] = (
+        tracer.registry.snapshot() if tracer is not None else {}
+    )
+    summary: Dict[str, object] = {
+        "mean_error": mean_error(outcomes),
+        "mean_sample_size": mean_sample_size(outcomes),
+        "mean_peers": mean_peers(outcomes),
+    }
+    return RunManifest(
+        engine=engine,
+        query=query.to_sql(),
+        delta_req=delta_req,
+        seed=seed,
+        trials=trials,
+        config=config_data,
+        config_digest=config_digest(config),
+        git_revision=git_revision(),
+        outcomes=[dataclasses.asdict(outcome) for outcome in outcomes],
+        summary=summary,
+        metrics=metrics,
+    )
+
+
+def _manifest_target(
+    manifest_path: Optional[Union[str, Path]],
+    engine: str,
+    config: Union[TwoPhaseConfig, MedianConfig],
+    seed: int,
+) -> Optional[Path]:
+    """Where this run's manifest goes, or ``None`` for no manifest.
+
+    An explicit ``manifest_path`` wins; pointing it at a directory (or
+    setting ``REPRO_MANIFEST_DIR``) selects the conventional
+    ``run_<engine>_<confighash>_s<seed>.json`` name inside it.
+    """
+    if manifest_path is not None:
+        target = Path(manifest_path)
+        if not target.is_dir():
+            return target
+    else:
+        directory = os.environ.get("REPRO_MANIFEST_DIR")
+        if not directory:
+            return None
+        target = Path(directory)
+    return target / manifest_filename(engine, config_digest(config), seed)
+
+
 def run_trials(
     bundle: NetworkBundle,
     query: AggregationQuery,
@@ -161,6 +238,7 @@ def run_trials(
     config: Optional[Union[TwoPhaseConfig, MedianConfig]] = None,
     seed: int = 1000,
     workers: Optional[int] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
 ) -> List[TrialOutcome]:
     """Run ``trials`` independent executions and score each.
 
@@ -191,6 +269,13 @@ def run_trials(
         fault-injected bundles (``reply_loss_rate > 0`` or a bound
         fault plan) always run serially, and platforms without
         ``fork`` fall back to the serial loop.
+    manifest_path:
+        Where to write the run manifest (config hash, seed, git
+        revision, per-trial outcomes, metrics snapshot).  A directory
+        selects the conventional per-run filename inside it.  When
+        omitted, the ``REPRO_MANIFEST_DIR`` environment variable (set
+        by the benchmark harness next to figure outputs) is consulted;
+        with neither, no manifest is written.
     """
     if engine not in _ENGINES:
         raise ConfigurationError(
@@ -231,23 +316,36 @@ def run_trials(
         and _fork_available()
     )
     if not parallel:
-        return [
+        outcomes = [
             _run_single_trial(
                 bundle, query, delta_req, engine, engine_config, truth, s
             )
             for s in seeds
         ]
+    else:
+        global _TRIAL_CONTEXT
+        _TRIAL_CONTEXT = (
+            bundle, query, delta_req, engine, engine_config, truth
+        )
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=effective_workers, mp_context=context
+            ) as pool:
+                outcomes = list(pool.map(_run_trial_from_context, seeds))
+        finally:
+            _TRIAL_CONTEXT = None
 
-    global _TRIAL_CONTEXT
-    _TRIAL_CONTEXT = (bundle, query, delta_req, engine, engine_config, truth)
-    try:
-        context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=effective_workers, mp_context=context
-        ) as pool:
-            return list(pool.map(_run_trial_from_context, seeds))
-    finally:
-        _TRIAL_CONTEXT = None
+    target = _manifest_target(manifest_path, engine, engine_config, seed)
+    if target is not None:
+        write_manifest(
+            target,
+            build_manifest(
+                query, delta_req, engine, engine_config, seed, trials,
+                outcomes,
+            ),
+        )
+    return outcomes
 
 
 def mean_error(outcomes: Sequence[TrialOutcome]) -> float:

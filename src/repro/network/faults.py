@@ -46,6 +46,8 @@ import dataclasses
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union, cast
 
 from ..errors import ConfigurationError
+from ..obs.events import FaultEvent
+from ..obs.tracer import active_tracer
 from .topology import Topology
 
 __all__ = [
@@ -414,6 +416,30 @@ class FaultState:
         exceeds the plan's probe timeout).
         """
         step = self.next_step()
+        decision = self._decide(peer, kind, step)
+        if decision.failed or decision.extra_latency_ms > 0.0:
+            tracer = active_tracer()
+            if tracer is not None:
+                if decision.crashed:
+                    outcome = "crashed"
+                elif decision.lost:
+                    outcome = "lost"
+                elif decision.timed_out:
+                    outcome = "timeout"
+                else:
+                    outcome = "spike"
+                tracer.emit(
+                    FaultEvent(
+                        step=step,
+                        peer=int(peer),
+                        probe_kind=kind,
+                        outcome=outcome,
+                        extra_latency_ms=decision.extra_latency_ms,
+                    )
+                )
+        return decision
+
+    def _decide(self, peer: int, kind: str, step: int) -> FaultDecision:
         if self.is_crashed(peer, step):
             return FaultDecision(step=step, crashed=True)
         code = _KIND_CODES.get(kind)

@@ -33,6 +33,8 @@ from ..data.localdb import LocalDatabase
 from ..data.zipf import ZipfDistribution
 from ..errors import ChurnError, ConfigurationError
 from ..metrics.cost import CostModel
+from ..obs.events import ChurnEpochEvent
+from ..obs.tracer import active_tracer
 from .churn import ChurnConfig, ChurnProcess
 from .faults import FaultPlan
 from .simulator import NetworkSimulator
@@ -238,6 +240,15 @@ class LiveNetwork:
         so crash windows and loss schedules span epochs.
         """
         churn_snapshot = self._process.snapshot()
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.emit(
+                ChurnEpochEvent(
+                    epoch=churn_snapshot.epoch,
+                    peers=churn_snapshot.topology.num_peers,
+                    fault_clock=self.fault_clock,
+                )
+            )
         databases = []
         for label in churn_snapshot.labels:
             database = self._databases.get(label)

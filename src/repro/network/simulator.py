@@ -38,6 +38,14 @@ from ..errors import (
     ProtocolError,
 )
 from ..metrics.cost import CostLedger, CostModel
+from ..obs.events import (
+    BatchFallbackEvent,
+    BatchVisitEvent,
+    FloodEvent,
+    ProbeEvent,
+    TraceCost,
+)
+from ..obs.tracer import active_tracer
 from ..query.model import AggregateOp, AggregationQuery
 from .faults import FaultPlan, FaultState
 from .peer import Peer, synthesize_peer
@@ -56,6 +64,57 @@ __all__ = [
     "PeerNode",
     "NetworkSimulator",
 ]
+
+
+def _emit_probe(
+    peer: int,
+    kind: str,
+    outcome: str,
+    replies: int = 0,
+    messages: int = 0,
+    hops: int = 0,
+    visits: int = 0,
+    timeouts: int = 0,
+) -> None:
+    """Trace one resolved probe (no-op when tracing is off).
+
+    The keyword charge fields mirror exactly what the emission site
+    just recorded on the ledger, which is what lets trace cost totals
+    reconcile with :class:`~repro.metrics.cost.CostLedger` snapshots.
+    """
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(
+            ProbeEvent(
+                peer=peer,
+                probe_kind=kind,
+                outcome=outcome,
+                replies=replies,
+                charge=TraceCost(
+                    messages=messages,
+                    hops=hops,
+                    visits=visits,
+                    timeouts=timeouts,
+                ),
+            )
+        )
+
+
+def _emit_flood(
+    start: int, ttl: int, reached: int, depth: int, messages: int
+) -> None:
+    """Trace one completed flood (no-op when tracing is off)."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(
+            FloodEvent(
+                start=start,
+                ttl=ttl,
+                reached=reached,
+                depth=depth,
+                messages=messages,
+            )
+        )
 
 
 @dataclasses.dataclass
@@ -224,6 +283,59 @@ class NetworkSimulator:
         if decision.extra_latency_ms > 0.0:
             ledger.record_wait(decision.extra_latency_ms)
 
+    def _probe_checks(
+        self,
+        peer_id: int,
+        kind: str,
+        ledger: CostLedger,
+        drop_reply: bool = True,
+        request_messages: int = 0,
+        request_hops: int = 0,
+    ) -> None:
+        """Run one probe's failure gauntlet, tracing the outcome.
+
+        ``request_messages``/``request_hops`` fold a request charge the
+        caller already paid (ping's forward hop) into the failure
+        event, so trace cost totals reconcile with the ledger even for
+        probes that die before replying.
+        """
+        try:
+            self._apply_faults(peer_id, kind, ledger)
+            if drop_reply:
+                self._maybe_drop_reply(peer_id, ledger)
+        except PeerCrashedError:
+            _emit_probe(
+                peer_id,
+                kind,
+                "crashed",
+                messages=request_messages,
+                hops=request_hops,
+                visits=1,
+                timeouts=1,
+            )
+            raise
+        except ProbeTimeoutError:
+            _emit_probe(
+                peer_id,
+                kind,
+                "timeout",
+                messages=request_messages,
+                hops=request_hops,
+                visits=1,
+                timeouts=1,
+            )
+            raise
+        except PeerUnavailableError:
+            _emit_probe(
+                peer_id,
+                kind,
+                "lost",
+                messages=request_messages,
+                hops=request_hops,
+                visits=1,
+            )
+            raise
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -329,7 +441,14 @@ class NetworkSimulator:
             )
         ping = Ping(source=source, destination=destination)
         ledger.record_hops(1, message_bytes=ping.size_bytes())
-        self._apply_faults(destination, "ping", ledger)
+        self._probe_checks(
+            destination,
+            "ping",
+            ledger,
+            drop_reply=False,
+            request_messages=1,
+            request_hops=1,
+        )
         node = self.node(destination)
         pong = Pong(
             source=destination,
@@ -339,6 +458,7 @@ class NetworkSimulator:
             shared_tuples=node.database.num_tuples,
         )
         ledger.record_reply(pong.size_bytes())
+        _emit_probe(destination, "ping", "ok", replies=1, messages=2, hops=1)
         return pong
 
     # ------------------------------------------------------------------
@@ -370,8 +490,7 @@ class NetworkSimulator:
                 f"{query.agg.value} cannot be pushed down; use visit_values"
             )
         node = self.node(peer_id)
-        self._apply_faults(peer_id, "aggregate", ledger)
-        self._maybe_drop_reply(peer_id, ledger)
+        self._probe_checks(peer_id, "aggregate", ledger)
         database = node.database
         total = database.num_tuples
         if tuples_per_peer < 0:
@@ -425,6 +544,9 @@ class NetworkSimulator:
             cpu_speed=node.peer.capabilities.cpu_speed,
         )
         ledger.record_reply(reply.size_bytes())
+        _emit_probe(
+            peer_id, "aggregate", "ok", replies=1, messages=1, visits=1
+        )
         return reply
 
     # ------------------------------------------------------------------
@@ -561,6 +683,13 @@ class NetworkSimulator:
         if peers.size == 0:
             return []
         if self.faults_active:
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    BatchFallbackEvent(
+                        probe_kind="aggregate", requested=int(peers.size)
+                    )
+                )
             replies = []
             for peer_id in peers:
                 try:
@@ -623,6 +752,15 @@ class NetworkSimulator:
             reply_bytes=np.full(peers.size, reply_bytes, dtype=np.int64),
             cpu_speeds=self._cpu_speed_array()[peers],
         )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.emit(
+                BatchVisitEvent(
+                    probe_kind="aggregate",
+                    requested=int(peers.size),
+                    replies=len(replies),
+                )
+            )
         return replies
 
     def visit_values_batch(
@@ -647,6 +785,13 @@ class NetworkSimulator:
         if peers.size == 0:
             return []
         if self.faults_active:
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    BatchFallbackEvent(
+                        probe_kind="values", requested=int(peers.size)
+                    )
+                )
             replies = []
             for peer_id in peers:
                 try:
@@ -715,6 +860,15 @@ class NetworkSimulator:
             reply_bytes=reply_bytes,
             cpu_speeds=self._cpu_speed_array()[peers],
         )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.emit(
+                BatchVisitEvent(
+                    probe_kind="values",
+                    requested=int(peers.size),
+                    replies=len(replies),
+                )
+            )
         return replies
 
     def visit_multi_aggregate(
@@ -743,8 +897,7 @@ class NetworkSimulator:
                     f"{query.agg.value} cannot be pushed down"
                 )
         node = self.node(peer_id)
-        self._apply_faults(peer_id, "multi", ledger)
-        self._maybe_drop_reply(peer_id, ledger)
+        self._probe_checks(peer_id, "multi", ledger)
         database = node.database
         total = database.num_tuples
         if tuples_per_peer < 0:
@@ -803,6 +956,14 @@ class NetworkSimulator:
             tuples_sampled=min(processed, tuples_per_peer or processed),
             cpu_speed=node.peer.capabilities.cpu_speed,
         )
+        _emit_probe(
+            peer_id,
+            "multi",
+            "ok",
+            replies=len(replies),
+            messages=len(replies),
+            visits=1,
+        )
         return replies
 
     def visit_group_aggregate(
@@ -828,8 +989,7 @@ class NetworkSimulator:
                 f"GROUP BY is not supported for {query.agg.value}"
             )
         node = self.node(peer_id)
-        self._apply_faults(peer_id, "group", ledger)
-        self._maybe_drop_reply(peer_id, ledger)
+        self._probe_checks(peer_id, "group", ledger)
         database = node.database
         total = database.num_tuples
         if tuples_per_peer < 0:
@@ -875,6 +1035,7 @@ class NetworkSimulator:
             cpu_speed=node.peer.capabilities.cpu_speed,
         )
         ledger.record_reply(reply.size_bytes())
+        _emit_probe(peer_id, "group", "ok", replies=1, messages=1, visits=1)
         return reply
 
     # ------------------------------------------------------------------
@@ -902,8 +1063,7 @@ class NetworkSimulator:
         if ship not in ("median", "sample"):
             raise ConfigurationError(f"unknown ship mode {ship!r}")
         node = self.node(peer_id)
-        self._apply_faults(peer_id, "values", ledger)
-        self._maybe_drop_reply(peer_id, ledger)
+        self._probe_checks(peer_id, "values", ledger)
         database = node.database
         total = database.num_tuples
         rng = self._rng if seed is None else ensure_rng(seed)
@@ -945,6 +1105,7 @@ class NetworkSimulator:
             cpu_speed=node.peer.capabilities.cpu_speed,
         )
         ledger.record_reply(reply.size_bytes())
+        _emit_probe(peer_id, "values", "ok", replies=1, messages=1, visits=1)
         return reply
 
     # ------------------------------------------------------------------
@@ -986,6 +1147,7 @@ class NetworkSimulator:
         frontier = [start]
         depth = 0
         max_depth = 0
+        messages = 0
         while frontier and depth < ttl:
             depth += 1
             next_frontier: List[int] = []
@@ -993,6 +1155,7 @@ class NetworkSimulator:
                 for neighbor in self._topology.neighbors(peer):
                     neighbor = int(neighbor)
                     ledger.record_flood_message(message_bytes)
+                    messages += 1
                     if neighbor in down:
                         continue  # down: the message lands on silence
                     if neighbor not in visited:
@@ -1002,7 +1165,11 @@ class NetworkSimulator:
                         max_depth = depth
                         if max_peers is not None and len(reached) >= max_peers:
                             ledger.record_flood_depth(max_depth)
+                            _emit_flood(
+                                start, ttl, len(reached), max_depth, messages
+                            )
                             return reached
             frontier = next_frontier
         ledger.record_flood_depth(max_depth)
+        _emit_flood(start, ttl, len(reached), max_depth, messages)
         return reached

@@ -59,6 +59,8 @@ from ..errors import (
     TopologyError,
 )
 from ..metrics.cost import CostLedger
+from ..obs.events import RetryEvent, SubstituteEvent, WalkEvent
+from ..obs.tracer import active_tracer
 from ..query.model import AggregationQuery
 from .topology import Topology
 
@@ -78,6 +80,21 @@ __all__ = [
 
 _VARIANTS = ("simple", "lazy", "self-inclusive", "metropolis-uniform")
 _RANDOM_BLOCK = 8192
+
+
+def _emit_walk(result: WalkResult) -> WalkResult:
+    """Trace a completed sampling walk (no-op when tracing is off)."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(
+            WalkEvent(
+                start=result.start,
+                hops=result.hops,
+                selected=len(result),
+                distinct=result.distinct_peers,
+            )
+        )
+    return result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -309,8 +326,10 @@ class RandomWalker:
         jump = self._config.effective_jump
         burn_in = self._config.effective_burn_in
         if count == 0:
-            return WalkResult(
-                peers=np.empty(0, dtype=np.int64), hops=0, start=start
+            return _emit_walk(
+                WalkResult(
+                    peers=np.empty(0, dtype=np.int64), hops=0, start=start
+                )
             )
 
         current = self._walk_segment(start, burn_in) if burn_in else start
@@ -332,10 +351,12 @@ class RandomWalker:
                     f"walk could not find {count} distinct peers within "
                     f"{hop_budget} hops (graph too small?)"
                 )
-        return WalkResult(
-            peers=np.asarray(selected, dtype=np.int64),
-            hops=hops,
-            start=start,
+        return _emit_walk(
+            WalkResult(
+                peers=np.asarray(selected, dtype=np.int64),
+                hops=hops,
+                start=start,
+            )
         )
 
     def endpoint_after(self, start: int, hops: int) -> int:
@@ -584,6 +605,13 @@ class ResilientCollector:
                 ledger.record_wait(wait)
                 counters["backoff_wait_ms"] += wait
                 counters["retries"] += 1
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.emit(
+                        RetryEvent(
+                            peer=peer, attempt=attempt, backoff_ms=wait
+                        )
+                    )
             counters["attempts"] += 1
             try:
                 return _ProbeOutcome.OK, visit(peer)
@@ -641,9 +669,19 @@ class ResilientCollector:
                     # and walk one jump to a substitute selection.
                     substitutions_left -= 1
                     counters["substitutions"] += 1
+                    failed = peer
                     peer = self._walker.endpoint_after(last_good, jump)
                     ledger.record_hops(jump, message_bytes=probe_bytes)
                     walk_hops += jump
+                    tracer = active_tracer()
+                    if tracer is not None:
+                        tracer.emit(
+                            SubstituteEvent(
+                                failed=failed,
+                                replacement=peer,
+                                hops=jump,
+                            )
+                        )
                     continue
                 break  # exhausted retries or substitution budget: drop
         stats = CollectionStats(

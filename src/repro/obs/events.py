@@ -1,0 +1,366 @@
+"""Typed trace events emitted by the instrumented engine paths.
+
+Every event is a frozen dataclass whose fields are plain, seeded-run
+deterministic values — peer ids, hop counts, outcome strings, float
+estimates.  No event carries a wall-clock timestamp or consumes
+randomness, which is what makes the trace of a seeded run a stable,
+byte-for-byte test artifact (see ``tests/test_trace_golden.py``).
+
+Cost reconciliation contract
+----------------------------
+
+Each event knows the exact :class:`~repro.metrics.cost.CostLedger`
+charge recorded at its emission site (:meth:`TraceEvent.cost`), so the
+per-field sum of event costs over a trace reconciles *exactly* with
+the run's final ledger snapshot:
+
+===================  ==========  =====  ======  ========
+event                messages    hops   visits  timeouts
+===================  ==========  =====  ======  ========
+walk                 hops        hops   0       0
+probe ok             replies     0/1*   1/0*    0
+probe lost           request     req.   1       0
+probe crashed        request     req.   1       1
+probe timeout        request     req.   1       1
+batch-visit          replies     0      replies 0
+batch-fallback       0           0      0       0
+retry                0           0      0       0
+substitute           jump        jump   0       0
+fault                0           0      0       0
+flood                messages    0      0       0
+phase/estimate/...   0           0      0       0
+===================  ==========  =====  ======  ========
+
+(*) A ``ping`` probe charges its request hop itself (1 message +
+1 hop, no visit); the pushdown visits charge one visit and one reply
+message.  Walk hops are charged by the walk's *caller* via
+``record_hops`` — every engine collection path does so immediately
+after the walk, which is why the walk event owns that charge.
+
+Latency-only charges (backoff waits, latency spikes, flood depth) are
+traced as events with zero countable cost: the reconciliation contract
+covers the integer fields ``messages``/``hops``/``peers_visited``/
+``timeouts``, which is what the paper's evaluation counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar, Dict, NamedTuple, Optional
+
+__all__ = [
+    "TraceCost",
+    "TraceEvent",
+    "WalkEvent",
+    "ProbeEvent",
+    "BatchVisitEvent",
+    "BatchFallbackEvent",
+    "RetryEvent",
+    "SubstituteEvent",
+    "FaultEvent",
+    "FloodEvent",
+    "PhaseEvent",
+    "EstimateEvent",
+    "ChurnEpochEvent",
+]
+
+
+class TraceCost(NamedTuple):
+    """The exact ledger charge recorded at one event's emission site."""
+
+    messages: int = 0
+    hops: int = 0
+    visits: int = 0
+    timeouts: int = 0
+
+    def __add__(self, other: object) -> "TraceCost":  # type: ignore[override]
+        if not isinstance(other, TraceCost):
+            return NotImplemented  # type: ignore[return-value]
+        return TraceCost(
+            messages=self.messages + other.messages,
+            hops=self.hops + other.hops,
+            visits=self.visits + other.visits,
+            timeouts=self.timeouts + other.timeouts,
+        )
+
+    def nonzero(self) -> Dict[str, int]:
+        """The non-zero fields, for compact serialization."""
+        return {
+            name: value
+            for name, value in zip(self._fields, self)
+            if value != 0
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """Base class: an event kind plus its payload and ledger charge."""
+
+    kind: ClassVar[str] = "event"
+
+    def cost(self) -> TraceCost:
+        """The ledger charge recorded where this event was emitted."""
+        return TraceCost()
+
+    def payload(self) -> Dict[str, object]:
+        """The event's serializable fields (cost is carried separately)."""
+        return {}
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkEvent(TraceEvent):
+    """One sampling walk completed (``RandomWalker.sample_peers``).
+
+    The walk's hops are charged by the caller via ``record_hops``
+    immediately after the walk returns; this event owns that charge.
+    """
+
+    kind: ClassVar[str] = "walk"
+
+    start: int = 0
+    hops: int = 0
+    selected: int = 0
+    distinct: int = 0
+
+    def cost(self) -> TraceCost:
+        return TraceCost(messages=self.hops, hops=self.hops)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "hops": self.hops,
+            "selected": self.selected,
+            "distinct": self.distinct,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeEvent(TraceEvent):
+    """One peer probe resolved (reply received, lost, crash, timeout).
+
+    ``charge`` is the exact ledger delta of the probe, computed at the
+    emission site in the simulator — success charges the visit and its
+    reply message(s); failures charge what the failure path charged.
+    """
+
+    kind: ClassVar[str] = "probe"
+
+    peer: int = 0
+    probe_kind: str = ""
+    outcome: str = "ok"  # ok | lost | crashed | timeout
+    replies: int = 0
+    charge: TraceCost = TraceCost()
+
+    def cost(self) -> TraceCost:
+        return self.charge
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "peer": self.peer,
+            "probe_kind": self.probe_kind,
+            "outcome": self.outcome,
+            "replies": self.replies,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchVisitEvent(TraceEvent):
+    """A vectorized batch visit served all its peers in one pass."""
+
+    kind: ClassVar[str] = "batch-visit"
+
+    probe_kind: str = ""
+    requested: int = 0
+    replies: int = 0
+
+    def cost(self) -> TraceCost:
+        return TraceCost(messages=self.replies, visits=self.replies)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "probe_kind": self.probe_kind,
+            "requested": self.requested,
+            "replies": self.replies,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchFallbackEvent(TraceEvent):
+    """A batch visit degraded to the per-peer loop (faults active)."""
+
+    kind: ClassVar[str] = "batch-fallback"
+
+    probe_kind: str = ""
+    requested: int = 0
+    reason: str = "faults-active"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "probe_kind": self.probe_kind,
+            "requested": self.requested,
+            "reason": self.reason,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryEvent(TraceEvent):
+    """The resilient collector is about to re-probe after a failure.
+
+    Emitted *between* the failed probe event and the retried probe
+    event for the same peer (the bracketing invariant the property
+    suite asserts).  Backoff waits are latency-only, so the countable
+    cost is zero.
+    """
+
+    kind: ClassVar[str] = "retry"
+
+    peer: int = 0
+    attempt: int = 0
+    backoff_ms: float = 0.0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "peer": self.peer,
+            "attempt": self.attempt,
+            "backoff_ms": self.backoff_ms,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SubstituteEvent(TraceEvent):
+    """A crashed peer was replaced by walking from the last good peer."""
+
+    kind: ClassVar[str] = "substitute"
+
+    failed: int = 0
+    replacement: int = 0
+    hops: int = 0
+
+    def cost(self) -> TraceCost:
+        return TraceCost(messages=self.hops, hops=self.hops)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "failed": self.failed,
+            "replacement": self.replacement,
+            "hops": self.hops,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent(TraceEvent):
+    """The fault plan decided a probe's fate (non-clean decisions only).
+
+    Purely informational: the resulting ledger charge is carried by
+    the probe event the simulator emits for the same probe.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    step: int = 0
+    peer: int = 0
+    probe_kind: str = ""
+    outcome: str = ""  # crashed | lost | timeout | spike
+    extra_latency_ms: float = 0.0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "peer": self.peer,
+            "probe_kind": self.probe_kind,
+            "outcome": self.outcome,
+            "extra_latency_ms": self.extra_latency_ms,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class FloodEvent(TraceEvent):
+    """One BFS flood completed; ``messages`` edges were traversed."""
+
+    kind: ClassVar[str] = "flood"
+
+    start: int = 0
+    ttl: int = 0
+    reached: int = 0
+    depth: int = 0
+    messages: int = 0
+
+    def cost(self) -> TraceCost:
+        return TraceCost(messages=self.messages)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "ttl": self.ttl,
+            "reached": self.reached,
+            "depth": self.depth,
+            "messages": self.messages,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseEvent(TraceEvent):
+    """An engine phase transition (start/end of phase I, analysis, II)."""
+
+    kind: ClassVar[str] = "phase"
+
+    engine: str = ""
+    phase: str = ""  # one | analysis | two
+    status: str = ""  # start | end
+    requested: int = 0
+    received: int = 0
+    estimate: Optional[float] = None
+    error: Optional[float] = None  # cross-validation / rank error
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "phase": self.phase,
+            "status": self.status,
+            "requested": self.requested,
+            "received": self.received,
+            "estimate": self.estimate,
+            "error": self.error,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimateEvent(TraceEvent):
+    """An engine finalized its estimate."""
+
+    kind: ClassVar[str] = "estimate"
+
+    engine: str = ""
+    agg: str = ""
+    estimate: float = 0.0
+    requested: int = 0
+    received: int = 0
+    degraded: bool = False
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "agg": self.agg,
+            "estimate": self.estimate,
+            "requested": self.requested,
+            "received": self.received,
+            "degraded": self.degraded,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnEpochEvent(TraceEvent):
+    """A live network froze a new snapshot (one churn epoch)."""
+
+    kind: ClassVar[str] = "churn-epoch"
+
+    epoch: int = 0
+    peers: int = 0
+    fault_clock: int = 0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "peers": self.peers,
+            "fault_clock": self.fault_clock,
+        }

@@ -1,0 +1,90 @@
+"""Canonical JSONL serialization of trace events.
+
+One event, one line.  Lines are canonical JSON — sorted keys, compact
+separators, no floats formatted loosely (``json`` uses ``repr``-exact
+float text) — so the byte content of a seeded run's trace is a pure
+function of the run, and a sha256 over the lines pins engine behaviour
+for the golden-trace regression tests.
+
+Line shape::
+
+    {"cost": {"messages": 2, ...}, "kind": "probe", "seq": 7, ...payload}
+
+``cost`` carries only the non-zero charge fields and is omitted for
+free events, so cost totals reconcile from the file alone (the trace
+CLI's ``summarize`` relies on this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..errors import ConfigurationError
+from .events import TraceCost, TraceEvent
+
+__all__ = [
+    "event_line",
+    "digest_of_lines",
+    "read_trace",
+    "line_cost",
+]
+
+
+def event_line(seq: int, event: TraceEvent) -> str:
+    """The canonical JSONL line for ``event`` at sequence ``seq``."""
+    record: Dict[str, object] = {"seq": seq, "kind": event.kind}
+    cost = event.cost().nonzero()
+    if cost:
+        record["cost"] = cost
+    record.update(event.payload())
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of_lines(lines: Iterable[str]) -> str:
+    """sha256 over the newline-joined canonical lines."""
+    hasher = hashlib.sha256()
+    for line in lines:
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into one dict per event line."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for number, raw in enumerate(stream, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{path}:{number}: not a JSON trace line ({error})"
+                ) from error
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ConfigurationError(
+                    f"{path}:{number}: trace lines are objects with a "
+                    "'kind' field"
+                )
+            records.append(record)
+    return records
+
+
+def line_cost(record: Dict[str, object]) -> TraceCost:
+    """The ledger charge a parsed trace line carries."""
+    cost = record.get("cost")
+    if cost is None:
+        return TraceCost()
+    if not isinstance(cost, dict):
+        raise ConfigurationError("trace 'cost' must be an object")
+    return TraceCost(
+        messages=int(cost.get("messages", 0)),  # type: ignore[call-overload]
+        hops=int(cost.get("hops", 0)),  # type: ignore[call-overload]
+        visits=int(cost.get("visits", 0)),  # type: ignore[call-overload]
+        timeouts=int(cost.get("timeouts", 0)),  # type: ignore[call-overload]
+    )

@@ -1,0 +1,133 @@
+"""Per-run manifests: what produced this figure/number, exactly.
+
+A :class:`RunManifest` records everything needed to re-run (or audit)
+one multi-trial experiment: the engine flavour, the query, a canonical
+dump of the engine configuration plus its hash, the base seed, the git
+revision of the tree, per-trial outcomes, and the metrics snapshot of
+whatever tracer was active.  :func:`repro.experiments.runner.run_trials`
+writes one next to the figure outputs when asked (``manifest_path=``
+or the ``REPRO_MANIFEST_DIR`` environment variable).
+
+Manifests deliberately carry no wall-clock timestamp: two runs of the
+same configuration at the same revision produce byte-identical files,
+which makes manifest diffs meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "RunManifest",
+    "canonical_config",
+    "config_digest",
+    "git_revision",
+    "manifest_filename",
+    "write_manifest",
+]
+
+
+def canonical_config(config: object) -> object:
+    """``config`` as plain JSON-ready data, recursively.
+
+    Dataclasses become sorted mappings, tuples become lists, numpy
+    scalars collapse to their python values; anything else must
+    already be JSON-representable.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return {
+            field.name: canonical_config(getattr(config, field.name))
+            for field in dataclasses.fields(config)
+        }
+    if isinstance(config, Mapping):
+        return {
+            str(key): canonical_config(value)
+            for key, value in config.items()
+        }
+    if isinstance(config, (list, tuple)):
+        return [canonical_config(value) for value in config]
+    item = getattr(config, "item", None)
+    if callable(item) and type(config).__module__.startswith("numpy"):
+        return item()
+    return config
+
+
+def config_digest(config: object) -> str:
+    """sha256 of the canonical JSON encoding of ``config``."""
+    canonical = json.dumps(
+        canonical_config(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_GIT_REVISION: Optional[str] = None
+
+
+def git_revision() -> str:
+    """The tree's HEAD commit, or ``"unknown"`` outside a checkout.
+
+    Cached for the process lifetime — manifests for all trials of one
+    session share the revision.
+    """
+    global _GIT_REVISION
+    if _GIT_REVISION is None:
+        try:
+            completed = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=False,
+            )
+            revision = completed.stdout.strip()
+            _GIT_REVISION = (
+                revision if completed.returncode == 0 and revision
+                else "unknown"
+            )
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REVISION = "unknown"
+    return _GIT_REVISION
+
+
+@dataclasses.dataclass(frozen=True)
+class RunManifest:
+    """Everything that identifies one multi-trial run."""
+
+    engine: str
+    query: str
+    delta_req: float
+    seed: int
+    trials: int
+    config: Dict[str, object]
+    config_digest: str
+    git_revision: str
+    outcomes: List[Dict[str, object]]
+    summary: Dict[str, object]
+    metrics: Dict[str, object]
+
+    def to_json(self) -> str:
+        """Canonical (sorted, indented) JSON for this manifest."""
+        return json.dumps(
+            dataclasses.asdict(self), sort_keys=True, indent=2
+        )
+
+
+def manifest_filename(engine: str, digest: str, seed: int) -> str:
+    """The conventional manifest name: engine, config hash, seed."""
+    return f"run_{engine}_{digest[:8]}_s{seed}.json"
+
+
+def write_manifest(
+    path: Union[str, Path], manifest: RunManifest
+) -> Path:
+    """Write ``manifest`` to ``path`` (parents created); returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    return target

@@ -1,0 +1,210 @@
+"""Counters, gauges and histograms aggregated alongside the ledger.
+
+A :class:`MetricsRegistry` is the queryable, in-memory complement to
+the event stream: the tracer feeds every emitted event into it, so a
+run's metrics snapshot answers "how many retries / how many messages /
+what was the walk-hop distribution" without replaying the trace.
+
+The registry is observation-only by design: it never visits peers and
+never mutates a :class:`~repro.metrics.cost.CostLedger` (reprolint's
+RL002 enforces this for the whole ``obs/`` package).  All values are
+plain numbers, so snapshots serialize deterministically into run
+manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the implicit +inf bucket).  Geometric, covering hop counts
+#: and millisecond waits alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+def _as_number(value: float) -> Union[int, float]:
+    """Integral floats snapshot as ints for stable, readable JSON."""
+    return int(value) if float(value).is_integer() else float(value)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can move both ways (e.g. current churn epoch)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The last value set."""
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "_bounds", "_bucket_counts", "_count", "_total",
+                 "_min", "_max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                "histogram bounds must be non-empty and ascending"
+            )
+        self.name = name
+        self._bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._bucket_counts: List[int] = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        for index, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return self._total
+
+    def snapshot(self) -> Dict[str, object]:
+        """A serializable summary of the distribution."""
+        buckets = {
+            f"le_{_as_number(bound)}": count
+            for bound, count in zip(self._bounds, self._bucket_counts)
+            if count
+        }
+        if self._bucket_counts[-1]:
+            buckets["le_inf"] = self._bucket_counts[-1]
+        return {
+            "count": self._count,
+            "sum": _as_number(self._total),
+            "min": None if self._min is None else _as_number(self._min),
+            "max": None if self._max is None else _as_number(self._max),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        self._check_free(name, self._counters)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        self._check_free(name, self._gauges)
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        self._check_free(name, self._histograms)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_BUCKETS
+            )
+        return histogram
+
+    def _check_free(
+        self, name: str, own: Dict[str, object]
+    ) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with a "
+                    "different type"
+                )
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as one deterministic, JSON-ready mapping."""
+        return {
+            "counters": {
+                name: _as_number(counter.value)
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: _as_number(gauge.value)
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,187 @@
+"""The tracer and its zero-overhead activation switch.
+
+Tracing is off by default: :func:`active_tracer` returns ``None`` and
+every instrumented site guards its emission with a single ``is not
+None`` check, so an untraced run executes the exact same instruction
+stream it did before the observability layer existed (no RNG draws, no
+allocation, no I/O).  The bit-identity property tests pin this.
+
+Activation is scoped with a :class:`contextvars.ContextVar` rather
+than module state, so traced and untraced code can nest and the fork-
+based parallel trial runner inherits a clean default in its workers::
+
+    with tracing(Tracer()) as tracer:
+        engine.execute(query, 0.1, sink=0)
+    print(tracer.digest())
+
+A tracer assigns each event a monotone sequence number, keeps the
+canonical JSONL line (and, optionally, streams it), and feeds every
+event into its :class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import IO, Iterator, List, Optional, Tuple
+
+from .events import (
+    ChurnEpochEvent,
+    EstimateEvent,
+    ProbeEvent,
+    RetryEvent,
+    TraceCost,
+    TraceEvent,
+    WalkEvent,
+)
+from .jsonl import digest_of_lines, event_line
+from .registry import MetricsRegistry
+
+__all__ = [
+    "Tracer",
+    "active_tracer",
+    "tracing",
+]
+
+
+class Tracer:
+    """Collects typed events from one (or more) seeded runs.
+
+    Parameters
+    ----------
+    stream:
+        Optional writable text stream; every event's canonical JSONL
+        line is written (and newline-terminated) as it is emitted.
+    registry:
+        The metrics registry to aggregate into; a fresh one is created
+        when omitted.
+    capture:
+        Keep events and lines in memory (default).  Disable for
+        stream-only tracing of very long runs.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        capture: bool = True,
+    ):
+        self._stream = stream
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._capture = capture
+        self._events: List[Tuple[int, TraceEvent]] = []
+        self._lines: List[str] = []
+        self._seq = 0
+        self._cost = TraceCost()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this tracer aggregates into."""
+        return self._registry
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The captured events, in emission order."""
+        return [event for _, event in self._events]
+
+    @property
+    def sequenced_events(self) -> List[Tuple[int, TraceEvent]]:
+        """``(seq, event)`` pairs, in emission order."""
+        return list(self._events)
+
+    @property
+    def lines(self) -> List[str]:
+        """The canonical JSONL lines, in emission order."""
+        return list(self._lines)
+
+    @property
+    def num_events(self) -> int:
+        """How many events have been emitted."""
+        return self._seq
+
+    @property
+    def cost_total(self) -> TraceCost:
+        """Running sum of every event's ledger charge."""
+        return self._cost
+
+    # ------------------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> int:
+        """Record one event; returns its sequence number."""
+        seq = self._seq
+        self._seq = seq + 1
+        line = event_line(seq, event)
+        if self._capture:
+            self._events.append((seq, event))
+            self._lines.append(line)
+        if self._stream is not None:
+            self._stream.write(line)
+            self._stream.write("\n")
+        cost = event.cost()
+        self._cost = self._cost + cost
+        self._aggregate(event, cost)
+        return seq
+
+    def _aggregate(self, event: TraceEvent, cost: TraceCost) -> None:
+        registry = self._registry
+        registry.counter("events_total").inc()
+        registry.counter(f"events.{event.kind}").inc()
+        if cost.messages:
+            registry.counter("cost.messages").inc(cost.messages)
+        if cost.hops:
+            registry.counter("cost.hops").inc(cost.hops)
+        if cost.visits:
+            registry.counter("cost.visits").inc(cost.visits)
+        if cost.timeouts:
+            registry.counter("cost.timeouts").inc(cost.timeouts)
+        if isinstance(event, WalkEvent):
+            registry.histogram("walk.hops").observe(float(event.hops))
+        elif isinstance(event, ProbeEvent):
+            if event.outcome != "ok":
+                registry.counter(
+                    f"probe.failures.{event.outcome}"
+                ).inc()
+        elif isinstance(event, RetryEvent):
+            registry.counter("retries_total").inc()
+            registry.histogram("retry.backoff_ms").observe(event.backoff_ms)
+        elif isinstance(event, ChurnEpochEvent):
+            registry.gauge("churn.epoch").set(float(event.epoch))
+            registry.gauge("churn.peers").set(float(event.peers))
+        elif isinstance(event, EstimateEvent):
+            registry.gauge(f"estimate.{event.engine}").set(event.estimate)
+
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """sha256 over the captured canonical lines.
+
+        With a fixed engine, seed and topology this value is a pure
+        function of the run — the golden-trace tests pin it.
+        """
+        return digest_of_lines(self._lines)
+
+
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer in effect for this context, or ``None``.
+
+    This is the whole fast path when tracing is disabled: one context-
+    variable read per instrumented site, compared against ``None``.
+    """
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Activate ``tracer`` for the dynamic extent of the block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)

@@ -6,6 +6,11 @@ discipline, cost accounting, protocol immutability, float-equality
 hygiene, batch/scalar parity).  It has no dependencies beyond the
 standard library, so it can run in CI and pre-commit hooks without the
 simulation stack installed.
+
+:mod:`repro.tools.trace` works on the JSONL walk traces written by
+:class:`repro.obs.Tracer`: summarize event and cost totals (which
+reconcile exactly with the run's cost ledger), diff two seeded runs,
+or filter events for further tooling.
 """
 
-__all__ = ["lint"]
+__all__ = ["lint", "trace"]

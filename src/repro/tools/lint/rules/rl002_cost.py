@@ -18,6 +18,12 @@ accounting layer:
 guarded too: the resilient collector and the fault subsystem sit
 directly on the cost path (retries, backoff waits and timeouts must
 all be charged).
+
+The observability package (``obs/``) is guarded from the opposite
+direction: it observes the cost path but must never *be* one.  Code
+under ``obs/`` may not call simulator visit/flood/ping entry points
+and may not mutate (or create) cost ledgers — a tracer that visited
+peers or charged ledgers would change the very runs it records.
 """
 
 from __future__ import annotations
@@ -55,6 +61,23 @@ _GUARDED_DIRECTORIES = ("core", "sampling")
 _GUARDED_MODULES = (
     ("network", "walker.py"),
     ("network", "faults.py"),
+)
+
+#: Ledger mutators and constructors that ``obs/`` may never touch:
+#: the observability layer reads the cost path, it never charges it.
+_LEDGER_MUTATORS = frozenset(
+    {
+        "record_hops",
+        "record_visit",
+        "record_visit_replies",
+        "record_timeout",
+        "record_wait",
+        "record_reply",
+        "record_flood_message",
+        "record_flood_depth",
+        "new_ledger",
+        "CostLedger",
+    }
 )
 
 
@@ -104,6 +127,9 @@ class CostAccountingRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.in_directory("obs"):
+            yield from self._check_obs(module)
+            return
         if not _applies(module):
             return
         yield from self._check_ledger_calls(module)
@@ -111,6 +137,35 @@ class CostAccountingRule(Rule):
         yield from self._check_private_internals(module)
 
     # ------------------------------------------------------------------
+
+    def _check_obs(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        """obs/ is observation-only: no peer visits, no ledger writes."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id
+                if isinstance(node.func, ast.Name)
+                else None
+            )
+            if called is None:
+                continue
+            if called in _LEDGER_CALLS:
+                yield self.diagnostic(
+                    module, node,
+                    f"obs/ must not visit peers ('{called}'): the "
+                    "observability layer records runs, it does not "
+                    "participate in them",
+                )
+            elif called in _LEDGER_MUTATORS:
+                yield self.diagnostic(
+                    module, node,
+                    f"obs/ must not mutate or create cost ledgers "
+                    f"('{called}'): tracing has to leave the accounted "
+                    "run unchanged",
+                )
 
     def _check_ledger_calls(self, module: ModuleInfo) -> Iterator[Diagnostic]:
         for node in ast.walk(module.tree):

@@ -1,0 +1,7 @@
+"""``python -m repro.tools.trace`` dispatch."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -22,6 +22,25 @@ if _profile:
     hypothesis_settings.load_profile(_profile)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/goldens/*.json from the current engine "
+            "behaviour instead of asserting against them "
+            "(then inspect the diff and commit)"
+        ),
+    )
+
+
+@pytest.fixture()
+def update_goldens(request):
+    """True when the run should rewrite golden trace digests."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture(scope="session")
 def small_topology():
     """A connected power-law topology: 200 peers, 800 edges."""

@@ -1,0 +1,11 @@
+"""RL002 bad fixture: obs/ code that acts instead of observing."""
+
+
+def tracer_that_probes(simulator, query, sink, ledger, peer):
+    # the observability layer must never visit peers itself
+    return simulator.visit_aggregate(peer, query, sink=sink, ledger=ledger)
+
+
+def tracer_that_charges(ledger, peer):
+    # ... and must never mutate the ledger it observes
+    ledger.record_visit(peer, 0, 0)

@@ -1,0 +1,21 @@
+"""RL002 good fixture: obs/ code that only observes.
+
+Reading ledger snapshots, counting events and aggregating metrics is
+the observability layer's whole job — none of it touches the network
+or the accounting.
+"""
+
+
+def summarize(ledger, events):
+    """Reads are fine; obs/ just may not visit or charge."""
+    snapshot = ledger.snapshot()
+    counts = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {"messages": snapshot.messages, "events": counts}
+
+
+def feed_registry(registry, event):
+    """Aggregation into metrics objects is observation, not action."""
+    registry.counter("events_total").inc()
+    registry.counter("events." + event.kind).inc()

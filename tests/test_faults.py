@@ -107,6 +107,18 @@ class TestLossRateRange:
         with pytest.raises(ConfigurationError, match=r"\[0, 1\)"):
             FaultPlan(reply_loss=-0.1)
 
+    def test_simulator_negative_rate_rejected(
+        self, small_topology, small_dataset
+    ):
+        from repro.network.simulator import NetworkSimulator
+
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(
+                small_topology,
+                small_dataset.databases,
+                reply_loss_rate=-0.1,
+            )
+
     def test_simulator_docstring_documents_half_open_range(self):
         from repro.network.simulator import NetworkSimulator
 
@@ -339,6 +351,61 @@ class TestSimulatorFaults:
         assert reduced == [(0, 0)]
         assert len(reduced) < len(full)
         assert ledger.snapshot().messages == small_topology.degree(0)
+
+
+class TestReplyLossInjection:
+    """Simulator-level reply loss (merged from the old
+    ``test_failure_injection.py`` module)."""
+
+    def test_lost_visit_still_charged(self, small_topology, small_dataset):
+        from repro.network.simulator import NetworkSimulator
+        from repro.query.parser import parse_query
+
+        network = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=1,
+            reply_loss_rate=0.999999 - 1e-7,  # just under the cap
+        )
+        ledger = network.new_ledger()
+        query = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+        with pytest.raises(PeerUnavailableError):
+            network.visit_aggregate(0, query, sink=1, ledger=ledger)
+        cost = ledger.snapshot()
+        assert cost.peers_visited == 1
+        assert cost.tuples_processed == 0
+
+    def test_zero_rate_never_fails(self, small_network):
+        from repro.query.parser import parse_query
+
+        query = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+        ledger = small_network.new_ledger()
+        for _ in range(200):
+            small_network.visit_aggregate(0, query, sink=1, ledger=ledger)
+
+    @pytest.mark.statistical
+    def test_losses_occur_at_configured_rate(
+        self, small_topology, small_dataset
+    ):
+        from repro.network.simulator import NetworkSimulator
+        from repro.query.parser import parse_query
+
+        network = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=7,
+            reply_loss_rate=0.2,
+        )
+        query = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+        ledger = network.new_ledger()
+        losses = 0
+        trials = 400
+        for _ in range(trials):
+            try:
+                network.visit_aggregate(0, query, sink=1, ledger=ledger)
+            except PeerUnavailableError:
+                losses += 1
+        assert losses / trials == pytest.approx(0.2, abs=0.06)
 
 
 class TestRetryPolicy:

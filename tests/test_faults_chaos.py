@@ -16,11 +16,14 @@ All scenarios use a plan-seeded fault schedule, so each run replays
 the exact same failures.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.median import MedianConfig, MedianEngine
+from repro.core.statistics import StatisticsEngine
 from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
 from repro.errors import ReproError
+from repro.sampling.baselines import BFSEngine
 from repro.network.faults import (
     CrashWindow,
     FaultPlan,
@@ -33,6 +36,8 @@ from repro.network.simulator import NetworkSimulator
 from repro.network.walker import RetryPolicy
 from repro.query.exact import evaluate_exact
 from repro.query.parser import parse_query
+
+pytestmark = pytest.mark.chaos
 
 #: Normalized error envelope for chaos runs: generous (faults shrink
 #: the sample well below the planner's target) but strict enough to
@@ -253,3 +258,86 @@ class TestLossPlusChurn:
         peek = process.snapshot(advance_epoch=False)
         assert peek.epoch == 2
         assert process.epoch == 2
+
+
+# ---------------------------------------------------------------------------
+# Engines under plain reply loss (merged from the old
+# test_failure_injection.py module)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def lossy_network(small_topology, small_dataset):
+    return NetworkSimulator(
+        small_topology,
+        small_dataset.databases,
+        seed=7,
+        reply_loss_rate=0.2,
+    )
+
+
+class TestEnginesUnderLoss:
+    """Every engine must degrade gracefully under 20% reply loss:
+    skip the observation, keep the accounting consistent, and stay
+    accurate as long as enough replies survive."""
+
+    COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+    MEDIAN_ALL = parse_query("SELECT MEDIAN(A) FROM T")
+
+    def test_two_phase_survives_and_stays_accurate(
+        self, lossy_network, small_dataset
+    ):
+        truth = evaluate_exact(self.COUNT_30, small_dataset.databases)
+        n = small_dataset.num_tuples
+        errors = []
+        for seed in range(6):
+            engine = TwoPhaseEngine(
+                lossy_network,
+                config=TwoPhaseConfig(
+                    phase_one_peers=60, max_phase_two_peers=400
+                ),
+                seed=seed,
+            )
+            result = engine.execute(self.COUNT_30, delta_req=0.1, sink=0)
+            errors.append(abs(result.estimate - truth) / n)
+        assert np.mean(errors) <= 0.1
+
+    def test_phase_report_reflects_surviving_replies(self, lossy_network):
+        engine = TwoPhaseEngine(
+            lossy_network,
+            config=TwoPhaseConfig(phase_one_peers=60),
+            seed=3,
+        )
+        result = engine.execute(self.COUNT_30, delta_req=0.2, sink=0)
+        # ~20% of replies are lost; the report counts survivors only.
+        assert result.phase_one.peers_visited < 60
+        assert result.phase_one.peers_visited >= 30
+
+    def test_median_survives(self, lossy_network, small_dataset):
+        engine = MedianEngine(lossy_network, seed=4)
+        result = engine.execute(self.MEDIAN_ALL, delta_req=0.15, sink=0)
+        truth = evaluate_exact(self.MEDIAN_ALL, small_dataset.databases)
+        assert abs(result.estimate - truth) <= 15
+
+    def test_statistics_survive(self, lossy_network):
+        engine = StatisticsEngine(lossy_network, seed=5)
+        result = engine.histogram(
+            "A", num_buckets=5, value_range=(1, 100), sink=0
+        )
+        assert result.total_estimate > 0
+
+    def test_bfs_survives(self, lossy_network):
+        engine = BFSEngine(lossy_network, seed=6)
+        result = engine.execute(self.COUNT_30, delta_req=0.2, sink=0)
+        assert result.estimate > 0
+
+    def test_total_loss_fails_loudly(self, small_topology, small_dataset):
+        network = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=2,
+            reply_loss_rate=0.999999 - 1e-7,
+        )
+        engine = TwoPhaseEngine(network, seed=1)
+        with pytest.raises(ReproError):
+            engine.execute(self.COUNT_30, delta_req=0.1, sink=0)

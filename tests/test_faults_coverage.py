@@ -64,6 +64,7 @@ def _coverage(topology, databases, sql: str) -> float:
 
 
 @pytest.mark.slow
+@pytest.mark.statistical
 @pytest.mark.parametrize(
     "sql",
     ["SELECT COUNT(A) FROM T", "SELECT AVG(A) FROM T"],

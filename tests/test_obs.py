@@ -1,0 +1,575 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the metrics registry, the tracer and its context switch, the
+canonical JSONL encoding, the event↔ledger cost reconciliation
+contract on every instrumented path, and run manifests.
+"""
+
+import dataclasses
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.median import MedianConfig, MedianEngine
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.data.localdb import LocalDatabase
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.errors import ConfigurationError, PeerCrashedError
+from repro.experiments.configs import synthetic_bundle
+from repro.experiments.runner import run_trials
+from repro.network.faults import CrashWindow, FaultPlan, LatencySpike
+from repro.network.live import LiveNetwork
+from repro.network.simulator import NetworkSimulator
+from repro.network.walker import (
+    RandomWalker,
+    ResilientCollector,
+    RetryPolicy,
+)
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    TraceCost,
+    Tracer,
+    WalkEvent,
+    active_tracer,
+    canonical_config,
+    config_digest,
+    digest_of_lines,
+    event_line,
+    git_revision,
+    line_cost,
+    manifest_filename,
+    read_trace,
+    tracing,
+    write_manifest,
+)
+from repro.query.parser import parse_query
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+MEDIAN_ALL = parse_query("SELECT MEDIAN(A) FROM T")
+
+
+def assert_reconciles(tracer, cost):
+    """Trace cost totals must equal the ledger's countable totals."""
+    total = tracer.cost_total
+    assert total.messages == cost.messages
+    assert total.hops == cost.hops
+    assert total.visits == cost.peers_visited
+    assert total.timeouts == cost.timeouts
+
+
+# ----------------------------------------------------------------------
+# TraceCost
+
+
+class TestTraceCost:
+    def test_addition(self):
+        a = TraceCost(messages=2, hops=1)
+        b = TraceCost(visits=3, timeouts=1)
+        assert a + b == TraceCost(messages=2, hops=1, visits=3, timeouts=1)
+
+    def test_nonzero_drops_zero_fields(self):
+        assert TraceCost(messages=2).nonzero() == {"messages": 2}
+        assert TraceCost().nonzero() == {}
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        assert registry.counter("a").value == 3
+
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("a").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5)
+        registry.gauge("g").set(2)
+        assert registry.gauge("g").value == 2
+
+    def test_histogram_buckets_and_totals(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 105.5
+        assert snapshot["min"] == 0.5
+        assert snapshot["max"] == 100
+        assert snapshot["buckets"] == {"le_1": 1, "le_10": 1, "le_inf": 1}
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", bounds=(10.0, 1.0))
+
+    def test_cross_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(1.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must serialize cleanly
+
+
+# ----------------------------------------------------------------------
+# Tracer mechanics
+
+
+class TestTracer:
+    def test_sequence_numbers_and_lines(self):
+        tracer = Tracer()
+        assert tracer.emit(WalkEvent(start=1, hops=3)) == 0
+        assert tracer.emit(WalkEvent(start=2, hops=4)) == 1
+        assert tracer.num_events == 2
+        records = [json.loads(line) for line in tracer.lines]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["kind"] == "walk" for r in records)
+
+    def test_lines_are_canonical(self):
+        tracer = Tracer()
+        tracer.emit(WalkEvent(start=1, hops=3, selected=2, distinct=2))
+        line = tracer.lines[0]
+        record = json.loads(line)
+        assert line == json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        assert event_line(0, WalkEvent(start=1, hops=3, selected=2,
+                                       distinct=2)) == line
+
+    def test_stream_receives_lines(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        tracer.emit(WalkEvent(start=1, hops=3))
+        assert stream.getvalue() == tracer.lines[0] + "\n"
+
+    def test_capture_disabled_streams_only(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, capture=False)
+        tracer.emit(WalkEvent(start=1, hops=3))
+        assert tracer.events == []
+        assert tracer.lines == []
+        assert tracer.num_events == 1
+        assert stream.getvalue().count("\n") == 1
+
+    def test_cost_total_accumulates(self):
+        tracer = Tracer()
+        tracer.emit(WalkEvent(start=1, hops=3))
+        tracer.emit(WalkEvent(start=1, hops=4))
+        assert tracer.cost_total == TraceCost(messages=7, hops=7)
+
+    def test_registry_aggregation(self):
+        tracer = Tracer()
+        tracer.emit(WalkEvent(start=1, hops=3))
+        counters = tracer.registry.snapshot()["counters"]
+        assert counters["events_total"] == 1
+        assert counters["events.walk"] == 1
+        assert counters["cost.messages"] == 3
+        histogram = tracer.registry.histogram("walk.hops")
+        assert histogram.count == 1
+
+    def test_digest_matches_lines(self):
+        tracer = Tracer()
+        tracer.emit(WalkEvent(start=1, hops=3))
+        assert tracer.digest() == digest_of_lines(tracer.lines)
+
+
+class TestTracingContext:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+
+    def test_scoped_activation(self):
+        tracer = Tracer()
+        with tracing(tracer) as active:
+            assert active is tracer
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_nesting_restores_outer(self):
+        outer, inner = Tracer(), Tracer()
+        with tracing(outer):
+            with tracing(inner):
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trips
+
+
+class TestJsonl:
+    def test_read_trace_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(WalkEvent(start=1, hops=3))
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(tracer.lines) + "\n")
+        records = read_trace(path)
+        assert len(records) == 1
+        assert records[0]["kind"] == "walk"
+        assert line_cost(records[0]) == TraceCost(messages=3, hops=3)
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(path)
+
+    def test_read_trace_rejects_kindless_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\n')
+        with pytest.raises(ConfigurationError):
+            read_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Cost reconciliation on every instrumented path
+
+
+class TestReconciliation:
+    def test_scalar_visits_and_ping(self, small_network):
+        tracer = Tracer()
+        ledger = small_network.new_ledger()
+        with tracing(tracer):
+            small_network.visit_aggregate(
+                3, COUNT_30, sink=0, ledger=ledger
+            )
+            small_network.visit_values(
+                4, MEDIAN_ALL, sink=0, ledger=ledger
+            )
+            neighbor = int(small_network.topology.neighbors(0)[0])
+            small_network.ping(0, neighbor, ledger)
+        assert_reconciles(tracer, ledger.snapshot())
+        outcomes = [e.outcome for e in tracer.events if e.kind == "probe"]
+        assert outcomes == ["ok", "ok", "ok"]
+
+    def test_multi_aggregate_counts_every_reply(self, small_network):
+        tracer = Tracer()
+        ledger = small_network.new_ledger()
+        queries = [COUNT_30, parse_query("SELECT SUM(A) FROM T")]
+        with tracing(tracer):
+            replies = small_network.visit_multi_aggregate(
+                5, queries, sink=0, ledger=ledger
+            )
+        assert len(replies) == 2
+        assert_reconciles(tracer, ledger.snapshot())
+        probe = next(e for e in tracer.events if e.kind == "probe")
+        assert probe.replies == 2
+
+    def test_group_visit(self, small_topology):
+        dataset = generate_dataset(
+            small_topology,
+            DatasetConfig(
+                num_tuples=5_000, group_column="G", num_groups=4
+            ),
+            seed=31,
+        )
+        network = NetworkSimulator(
+            small_topology, dataset.databases, seed=31
+        )
+        tracer = Tracer()
+        ledger = network.new_ledger()
+        query = parse_query("SELECT COUNT(A) FROM T GROUP BY G")
+        with tracing(tracer):
+            network.visit_group_aggregate(2, query, sink=0, ledger=ledger)
+        assert_reconciles(tracer, ledger.snapshot())
+
+    def test_batch_visit_fast_path(self, small_network):
+        tracer = Tracer()
+        ledger = small_network.new_ledger()
+        peers = np.asarray([1, 2, 3, 4, 5])
+        with tracing(tracer):
+            small_network.visit_aggregate_batch(
+                peers, COUNT_30, sink=0, ledger=ledger
+            )
+        assert_reconciles(tracer, ledger.snapshot())
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["batch-visit"]
+
+    def test_batch_fallback_under_faults(
+        self, small_topology, small_dataset
+    ):
+        simulator = NetworkSimulator(
+            small_topology,
+            small_dataset.databases,
+            seed=7,
+            reply_loss_rate=0.3,
+        )
+        tracer = Tracer()
+        ledger = simulator.new_ledger()
+        peers = np.arange(20)
+        with tracing(tracer):
+            simulator.visit_aggregate_batch(
+                peers, COUNT_30, sink=0, ledger=ledger
+            )
+        assert_reconciles(tracer, ledger.snapshot())
+        kinds = [e.kind for e in tracer.events]
+        assert kinds[0] == "batch-fallback"
+        assert kinds.count("probe") == 20
+
+    def test_flood(self, small_network):
+        tracer = Tracer()
+        ledger = small_network.new_ledger()
+        with tracing(tracer):
+            reached = small_network.flood(0, 3, ledger)
+        assert_reconciles(tracer, ledger.snapshot())
+        flood = tracer.events[0]
+        assert flood.kind == "flood"
+        assert flood.reached == len(reached)
+
+    def test_flood_with_peer_cap(self, small_network):
+        tracer = Tracer()
+        ledger = small_network.new_ledger()
+        with tracing(tracer):
+            small_network.flood(0, 5, ledger, max_peers=10)
+        assert_reconciles(tracer, ledger.snapshot())
+
+    def test_resilient_collector_with_retries_and_crashes(
+        self, small_topology, small_dataset
+    ):
+        plan = FaultPlan(
+            seed=5,
+            crashes=(CrashWindow(peer_id=11, start=0, stop=200),),
+            latency_spike=LatencySpike(rate=0.3, extra_ms=5000.0),
+            probe_timeout_ms=1000.0,
+        )
+        simulator = NetworkSimulator(
+            small_topology, small_dataset.databases, seed=7, fault_plan=plan
+        )
+        walker = RandomWalker(simulator.topology, seed=3)
+        collector = ResilientCollector(
+            walker, simulator, RetryPolicy(max_attempts=3)
+        )
+        tracer = Tracer()
+        ledger = simulator.new_ledger()
+        with tracing(tracer):
+            replies, stats = collector.collect_aggregate(
+                0, COUNT_30, 25, ledger, probe_bytes=64
+            )
+        assert stats.timeouts > 0  # the plan actually bit
+        assert_reconciles(tracer, ledger.snapshot())
+
+    def test_two_phase_engine_run(self, small_network):
+        engine = TwoPhaseEngine(
+            small_network, TwoPhaseConfig(phase_one_peers=30), seed=42
+        )
+        tracer = Tracer()
+        with tracing(tracer):
+            result = engine.execute(COUNT_30, 0.1, sink=0)
+        assert_reconciles(tracer, result.cost)
+        kinds = {e.kind for e in tracer.events}
+        assert {"walk", "phase", "estimate"} <= kinds
+
+    def test_median_engine_run(self, small_network):
+        engine = MedianEngine(
+            small_network, MedianConfig(phase_one_peers=40), seed=9
+        )
+        tracer = Tracer()
+        with tracing(tracer):
+            result = engine.execute(MEDIAN_ALL, 0.05, sink=1)
+        assert_reconciles(tracer, result.cost)
+        estimates = [e for e in tracer.events if e.kind == "estimate"]
+        assert len(estimates) == 1
+        assert estimates[0].engine == "median"
+        assert estimates[0].estimate == result.estimate
+
+
+# ----------------------------------------------------------------------
+# Retry bracketing (deterministic instance; the property lives in
+# test_properties.py)
+
+
+class TestRetryBracketing:
+    def test_retry_sits_between_probes_of_same_peer(
+        self, small_topology, small_dataset
+    ):
+        plan = FaultPlan(
+            seed=5,
+            latency_spike=LatencySpike(rate=0.4, extra_ms=5000.0),
+            probe_timeout_ms=1000.0,
+        )
+        simulator = NetworkSimulator(
+            small_topology, small_dataset.databases, seed=7, fault_plan=plan
+        )
+        collector = ResilientCollector(
+            RandomWalker(simulator.topology, seed=3),
+            simulator,
+            RetryPolicy(max_attempts=4),
+        )
+        tracer = Tracer()
+        with tracing(tracer):
+            collector.collect_aggregate(
+                0, COUNT_30, 25, simulator.new_ledger(), probe_bytes=64
+            )
+        events = [
+            e for e in tracer.events if e.kind in ("probe", "retry")
+        ]
+        retries = [e for e in events if e.kind == "retry"]
+        assert retries  # the spike rate guarantees some
+        for index, event in enumerate(events):
+            if event.kind != "retry":
+                continue
+            before = events[index - 1]
+            after = events[index + 1]
+            assert before.kind == "probe" and before.outcome != "ok"
+            assert before.peer == event.peer
+            assert after.kind == "probe" and after.peer == event.peer
+
+
+# ----------------------------------------------------------------------
+# Disabled tracing changes nothing
+
+
+class TestBitIdentity:
+    def test_traced_and_untraced_runs_agree(self, small_network):
+        def run():
+            engine = TwoPhaseEngine(
+                small_network, TwoPhaseConfig(phase_one_peers=30), seed=42
+            )
+            return engine.execute(COUNT_30, 0.1, sink=0)
+
+        untraced = run()
+        with tracing(Tracer()):
+            traced = run()
+        assert traced.estimate == untraced.estimate
+        assert traced.cost == untraced.cost
+
+    def test_live_network_churn_epoch_event(self, small_topology):
+        rng = np.random.default_rng(3)
+        databases = [
+            LocalDatabase({"A": rng.integers(1, 101, 50)})
+            for _ in range(small_topology.num_peers)
+        ]
+        live = LiveNetwork(small_topology, databases, seed=13)
+        tracer = Tracer()
+        with tracing(tracer):
+            live.snapshot()
+            live.snapshot()
+        epochs = [e for e in tracer.events if e.kind == "churn-epoch"]
+        assert [e.epoch for e in epochs] == [0, 1]
+        assert all(e.peers > 0 for e in epochs)
+
+
+# ----------------------------------------------------------------------
+# Manifests
+
+
+class TestManifest:
+    def test_canonical_config_flattens(self):
+        config = TwoPhaseConfig(phase_one_peers=30)
+        data = canonical_config(config)
+        assert isinstance(data, dict)
+        assert data["phase_one_peers"] == 30
+        assert canonical_config((1, np.int64(2))) == [1, 2]
+
+    def test_config_digest_is_stable_and_sensitive(self):
+        a = TwoPhaseConfig(phase_one_peers=30)
+        b = TwoPhaseConfig(phase_one_peers=30)
+        c = TwoPhaseConfig(phase_one_peers=31)
+        assert config_digest(a) == config_digest(b)
+        assert config_digest(a) != config_digest(c)
+
+    def test_git_revision_shape(self):
+        revision = git_revision()
+        assert revision == "unknown" or len(revision) == 40
+
+    def test_manifest_filename(self):
+        name = manifest_filename("two-phase", "abcdef0123456789", 9)
+        assert name == "run_two-phase_abcdef01_s9.json"
+
+    def test_write_is_deterministic(self, tmp_path):
+        manifest = RunManifest(
+            engine="two-phase",
+            query="SELECT COUNT(A) FROM T",
+            delta_req=0.1,
+            seed=9,
+            trials=2,
+            config={"phase_one_peers": 30},
+            config_digest="deadbeef",
+            git_revision="unknown",
+            outcomes=[],
+            summary={},
+            metrics={},
+        )
+        first = write_manifest(tmp_path / "a.json", manifest)
+        second = write_manifest(tmp_path / "b.json", manifest)
+        assert first.read_bytes() == second.read_bytes()
+        parsed = json.loads(first.read_text())
+        assert parsed == dataclasses.asdict(manifest)
+
+    def test_run_trials_writes_manifest(self, tmp_path):
+        bundle = synthetic_bundle(scale=0.02, seed=5)
+        outcomes = run_trials(
+            bundle,
+            COUNT_30,
+            0.1,
+            trials=2,
+            seed=9,
+            manifest_path=tmp_path,
+        )
+        files = list(tmp_path.glob("run_*.json"))
+        assert len(files) == 1
+        manifest = json.loads(files[0].read_text())
+        assert manifest["engine"] == "two-phase"
+        assert manifest["seed"] == 9
+        assert manifest["trials"] == 2
+        assert len(manifest["outcomes"]) == 2
+        assert manifest["outcomes"][0]["estimate"] == outcomes[0].estimate
+        assert manifest["query"] == COUNT_30.to_sql()
+        assert manifest["metrics"] == {}  # tracing was off
+
+    def test_run_trials_manifest_captures_metrics(self, tmp_path):
+        bundle = synthetic_bundle(scale=0.02, seed=5)
+        tracer = Tracer()
+        with tracing(tracer):
+            run_trials(
+                bundle,
+                COUNT_30,
+                0.1,
+                trials=1,
+                seed=9,
+                workers=1,
+                manifest_path=tmp_path / "run.json",
+            )
+        manifest = json.loads((tmp_path / "run.json").read_text())
+        assert manifest["metrics"]["counters"]["events_total"] > 0
+
+    def test_run_trials_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        bundle = synthetic_bundle(scale=0.02, seed=5)
+        run_trials(bundle, COUNT_30, 0.1, trials=1, seed=3)
+        assert list(tmp_path.glob("run_*.json"))
+
+    def test_crashed_peer_error_still_reconciles(
+        self, small_topology, small_dataset
+    ):
+        plan = FaultPlan(
+            seed=5,
+            crashes=(CrashWindow(peer_id=3, start=0, stop=10),),
+        )
+        simulator = NetworkSimulator(
+            small_topology, small_dataset.databases, seed=7, fault_plan=plan
+        )
+        tracer = Tracer()
+        ledger = simulator.new_ledger()
+        with tracing(tracer):
+            with pytest.raises(PeerCrashedError):
+                simulator.visit_aggregate(3, COUNT_30, sink=0, ledger=ledger)
+        assert_reconciles(tracer, ledger.snapshot())
+        assert tracer.events[-1].outcome == "crashed"

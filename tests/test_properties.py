@@ -19,6 +19,12 @@ from repro.network.faults import (
 )
 from repro.network.generators import power_law_topology
 from repro.network.simulator import NetworkSimulator
+from repro.network.walker import (
+    RandomWalker,
+    ResilientCollector,
+    RetryPolicy,
+)
+from repro.obs import Tracer, tracing
 from repro.core.estimators import (
     PeerObservation,
     clustering_badness,
@@ -576,6 +582,7 @@ def _reply_payload(reply):
     )
 
 
+@pytest.mark.chaos
 @given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
 @settings(max_examples=25, deadline=None)
 def test_fault_ledger_nonnegative_and_monotone(plan, peers, seed):
@@ -598,6 +605,7 @@ def test_fault_ledger_nonnegative_and_monotone(plan, peers, seed):
         previous = current
 
 
+@pytest.mark.chaos
 @given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
 @settings(max_examples=25, deadline=None)
 def test_batch_scalar_bit_parity_under_any_fault_plan(plan, peers, seed):
@@ -639,6 +647,7 @@ def test_batch_scalar_bit_parity_under_any_fault_plan(plan, peers, seed):
     assert batch_ledger.snapshot() == scalar_ledger.snapshot()
 
 
+@pytest.mark.chaos
 @given(fault_plans(), _probe_sequences, st.integers(0, 2**31))
 @settings(max_examples=25, deadline=None)
 def test_fault_replay_is_bit_identical(plan, peers, seed):
@@ -670,6 +679,7 @@ def test_fault_replay_is_bit_identical(plan, peers, seed):
     assert run() == run()
 
 
+@pytest.mark.chaos
 @given(fault_plans(), st.integers(min_value=0, max_value=200))
 @settings(max_examples=50, deadline=None)
 def test_fault_decisions_are_pure_functions_of_coordinates(plan, step):
@@ -685,3 +695,105 @@ def test_fault_decisions_are_pure_functions_of_coordinates(plan, step):
         second.probe(peer, "aggregate") for peer in range(_FAULT_PEERS)
     ]
     assert forward == second_forward
+
+
+# ---------------------------------------------------------------------------
+# Observability invariants
+# ---------------------------------------------------------------------------
+
+
+def _traced_collection(plan, count, seed):
+    """One traced resilient collection over the shared fault network."""
+    simulator = _fault_simulator(plan)
+    collector = ResilientCollector(
+        RandomWalker(simulator.topology, seed=seed),
+        simulator,
+        RetryPolicy(max_attempts=3),
+    )
+    ledger = simulator.new_ledger()
+    tracer = Tracer()
+    with tracing(tracer):
+        replies, stats = collector.collect_aggregate(
+            0, _FAULT_QUERY, count, ledger, probe_bytes=64
+        )
+    return tracer, replies, stats, ledger.snapshot()
+
+
+@pytest.mark.chaos
+@given(
+    fault_plans(),
+    st.integers(min_value=1, max_value=15),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_every_retry_is_bracketed_by_probes(plan, count, seed):
+    """A retry event always sits between a failed probe of a peer and
+    the next probe of that same peer — retries are never orphaned and
+    never follow a success or a crash (crashes substitute instead)."""
+    tracer, _, _, _ = _traced_collection(plan, count, seed)
+    events = [e for e in tracer.events if e.kind in ("probe", "retry")]
+    for index, event in enumerate(events):
+        if event.kind != "retry":
+            continue
+        before = events[index - 1]
+        assert before.kind == "probe"
+        assert before.outcome in ("lost", "timeout")
+        assert before.peer == event.peer
+        after = events[index + 1]
+        assert after.kind == "probe"
+        assert after.peer == event.peer
+
+
+@pytest.mark.chaos
+@given(
+    fault_plans(),
+    st.integers(min_value=1, max_value=15),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_trace_cost_reconciles_with_ledger_under_faults(plan, count, seed):
+    """Summing every event's charge reproduces the ledger's countable
+    totals for arbitrary fault plans — no probe outcome, retry path or
+    substitution leaks an uncharged (or double-charged) message."""
+    tracer, _, _, cost = _traced_collection(plan, count, seed)
+    total = tracer.cost_total
+    assert total.messages == cost.messages
+    assert total.hops == cost.hops
+    assert total.visits == cost.peers_visited
+    assert total.timeouts == cost.timeouts
+
+
+@pytest.mark.chaos
+@given(
+    fault_plans(),
+    st.integers(min_value=1, max_value=15),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_disabled_tracer_runs_are_bit_identical(plan, count, seed):
+    """Tracing must be a pure observer: the same collection run with
+    and without an active tracer returns identical replies, stats and
+    ledger totals (no RNG draws, no control-flow changes)."""
+
+    def run(traced):
+        simulator = _fault_simulator(plan)
+        collector = ResilientCollector(
+            RandomWalker(simulator.topology, seed=seed),
+            simulator,
+            RetryPolicy(max_attempts=3),
+        )
+        ledger = simulator.new_ledger()
+        if traced:
+            with tracing(Tracer()):
+                replies, stats = collector.collect_aggregate(
+                    0, _FAULT_QUERY, count, ledger, probe_bytes=64
+                )
+        else:
+            replies, stats = collector.collect_aggregate(
+                0, _FAULT_QUERY, count, ledger, probe_bytes=64
+            )
+        # message_id comes from a process-global counter, so equivalent
+        # runs legitimately differ there — compare payloads instead.
+        return list(map(_reply_payload, replies)), stats, ledger.snapshot()
+
+    assert run(False) == run(True)

@@ -92,6 +92,12 @@ def test_rl002_findings():
     assert mapping["bad/core/rl002.py"].count("RL002") == 3
 
 
+def test_rl002_obs_findings():
+    """obs/ gets the inverted checks: no visits, no ledger writes."""
+    mapping = codes_by_file(run_lint(BAD))
+    assert mapping["bad/obs/rl002_obs.py"].count("RL002") == 2
+
+
 def test_rl003_declaration_and_mutation_findings():
     mapping = codes_by_file(run_lint(BAD))
     assert mapping["bad/network/protocol.py"].count("RL003") == 2

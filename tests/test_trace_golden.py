@@ -1,0 +1,167 @@
+"""Golden-trace regression tests.
+
+Each canonical seeded run is traced and reduced to a normalized
+digest (sha256 over the canonical JSONL lines) plus a reviewable
+summary (event counts, cost totals, final estimate).  The digests pin
+engine behaviour byte-for-byte: any change to walk order, fault
+decisions, retry charging or estimator arithmetic flips a digest.
+
+When a behaviour change is *intended*, regenerate the goldens with
+
+    PYTHONPATH=src python -m pytest tests/test_trace_golden.py \
+        --update-goldens
+
+then inspect the ``tests/goldens/`` diff (the summaries make it
+reviewable) and commit it alongside the change.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro.core.two_phase as two_phase_module
+from repro.core.median import MedianConfig, MedianEngine
+from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.data.generator import DatasetConfig, generate_dataset
+from repro.network.faults import CrashWindow, FaultPlan, LatencySpike
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
+from repro.obs import Tracer, tracing
+from repro.query.parser import parse_query
+
+GOLDENS = Path(__file__).resolve().parent / "goldens"
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+MEDIAN_ALL = parse_query("SELECT MEDIAN(A) FROM T")
+
+FAULT_PLAN = FaultPlan(
+    seed=5,
+    crashes=(CrashWindow(peer_id=3, start=0, stop=50),),
+    reply_loss=0.2,
+    latency_spike=LatencySpike(rate=0.1, extra_ms=50.0),
+    probe_timeout_ms=1000.0,
+)
+
+
+def _build_network(fault_plan=None):
+    """A fresh canonical network: never share simulator RNG state
+    with other tests (session fixtures would make digests depend on
+    execution order)."""
+    topology = power_law_topology(200, 800, seed=7)
+    dataset = generate_dataset(
+        topology,
+        DatasetConfig(num_tuples=10_000, cluster_level=0.25, skew=0.2),
+        seed=7,
+    )
+    return NetworkSimulator(
+        topology, dataset.databases, seed=7, fault_plan=fault_plan
+    )
+
+
+def _run_two_phase(fault_plan=None):
+    network = _build_network(fault_plan)
+    engine = TwoPhaseEngine(
+        network, TwoPhaseConfig(phase_one_peers=30), seed=42
+    )
+    tracer = Tracer()
+    with tracing(tracer):
+        result = engine.execute(COUNT_30, 0.1, sink=0)
+    return tracer, result
+
+
+def _run_median():
+    network = _build_network()
+    engine = MedianEngine(
+        network, MedianConfig(phase_one_peers=40), seed=9
+    )
+    tracer = Tracer()
+    with tracing(tracer):
+        result = engine.execute(MEDIAN_ALL, 0.05, sink=1)
+    return tracer, result
+
+
+def _payload(tracer, result):
+    cost = tracer.cost_total
+    return {
+        "digest": tracer.digest(),
+        "events": tracer.num_events,
+        "kinds": dict(sorted(Counter(e.kind for e in tracer.events).items())),
+        "cost": {
+            "messages": cost.messages,
+            "hops": cost.hops,
+            "visits": cost.visits,
+            "timeouts": cost.timeouts,
+        },
+        "estimate": result.estimate,
+    }
+
+
+def _check_golden(name, payload, update):
+    path = GOLDENS / f"{name}.json"
+    if update:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"rewrote {path.name}")
+    expected = json.loads(path.read_text())
+    assert payload == expected, (
+        f"golden trace '{name}' diverged; if the behaviour change is "
+        "intended, rerun with --update-goldens and commit the diff"
+    )
+
+
+class TestGoldenTraces:
+    def test_two_phase_golden(self, update_goldens):
+        tracer, result = _run_two_phase()
+        _check_golden("trace_two_phase", _payload(tracer, result),
+                      update_goldens)
+
+    def test_median_golden(self, update_goldens):
+        tracer, result = _run_median()
+        _check_golden("trace_median", _payload(tracer, result),
+                      update_goldens)
+
+    def test_fault_injected_golden(self, update_goldens):
+        tracer, result = _run_two_phase(FAULT_PLAN)
+        _check_golden("trace_two_phase_faulty",
+                      _payload(tracer, result), update_goldens)
+
+
+class TestDeterminism:
+    def test_two_phase_digest_is_reproducible(self):
+        first, _ = _run_two_phase()
+        second, _ = _run_two_phase()
+        assert first.digest() == second.digest()
+        assert first.lines == second.lines
+
+    def test_fault_injected_digest_is_reproducible(self):
+        first, _ = _run_two_phase(FAULT_PLAN)
+        second, _ = _run_two_phase(FAULT_PLAN)
+        assert first.digest() == second.digest()
+
+
+class TestSensitivity:
+    def test_one_line_estimator_change_flips_digest(self, monkeypatch):
+        """A deliberate one-line estimator tweak must flip the digest.
+
+        This is the guarantee the goldens exist to give: behaviour
+        changes in the engine arithmetic are *visible*, not silently
+        absorbed.
+        """
+        baseline, _ = _run_two_phase()
+
+        real_make_estimator = two_phase_module.make_estimator
+
+        def biased_make_estimator(name, num_peers=0):
+            point, variance = real_make_estimator(name, num_peers)
+            return (lambda observations: point(observations) * 1.001,
+                    variance)
+
+        monkeypatch.setattr(
+            two_phase_module, "make_estimator", biased_make_estimator
+        )
+        biased, _ = _run_two_phase()
+        assert biased.digest() != baseline.digest()
