@@ -25,6 +25,8 @@ True
 """
 
 from .errors import (
+    AdmissionError,
+    BudgetExceededError,
     ChurnError,
     ConfigurationError,
     ProtocolError,
@@ -32,6 +34,7 @@ from .errors import (
     QueryParseError,
     ReproError,
     SamplingError,
+    ServiceError,
     TopologyError,
 )
 from .network import (
@@ -117,6 +120,13 @@ from .core import (
     probe_weights,
 )
 from .sampling import BFSEngine, UniformOracleEngine, dfs_engine
+from .service import (
+    CostBudget,
+    QueryOutcome,
+    QueryService,
+    QueryTicket,
+    ServiceStats,
+)
 from .metrics import CostModel, QueryCost
 from .obs import (
     MetricsRegistry,
@@ -132,12 +142,21 @@ from .io import load_dataset, load_topology, save_dataset, save_topology
 __version__ = "1.0.0"
 
 __all__ = [
+    # serving layer
+    "QueryService",
+    "QueryTicket",
+    "QueryOutcome",
+    "ServiceStats",
+    "CostBudget",
     # errors
     "ReproError",
     "ConfigurationError",
     "TopologyError",
     "QueryError",
     "QueryParseError",
+    "ServiceError",
+    "AdmissionError",
+    "BudgetExceededError",
     "SamplingError",
     "ProtocolError",
     "ChurnError",

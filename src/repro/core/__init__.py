@@ -42,7 +42,7 @@ from .cost_optimizer import (
     optimize_tuple_budget,
 )
 from .groupby import GroupByConfig, GroupByEngine, GroupByResult
-from .hybrid import CachedPlan, HybridEngine
+from .hybrid import CachedPlan, HybridEngine, PlanCache
 from .biased import (
     BiasedConfig,
     BiasedSamplingEngine,
@@ -52,7 +52,12 @@ from .biased import (
 from .crossval import CrossValidation, cross_validate
 from .planner import PhaseOneAnalysis, PhaseTwoPlan, analyze_phase_one
 from .result import ApproximateResult, MedianResult, PhaseReport
-from .two_phase import TwoPhaseConfig, TwoPhaseEngine
+from .two_phase import (
+    StepCheckpoint,
+    TwoPhaseConfig,
+    TwoPhaseEngine,
+    drain_steps,
+)
 from .median import MedianConfig, MedianEngine
 from .confidence import ConfidenceInterval, normal_confidence_interval
 
@@ -75,8 +80,10 @@ __all__ = [
     "ApproximateResult",
     "MedianResult",
     "PhaseReport",
+    "StepCheckpoint",
     "TwoPhaseConfig",
     "TwoPhaseEngine",
+    "drain_steps",
     "MedianConfig",
     "MedianEngine",
     "ConfidenceInterval",
@@ -90,6 +97,7 @@ __all__ = [
     "DistinctResult",
     "HybridEngine",
     "CachedPlan",
+    "PlanCache",
     "GroupByEngine",
     "GroupByConfig",
     "GroupByResult",

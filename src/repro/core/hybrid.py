@@ -17,8 +17,15 @@ individual tuples, so they can be cached:
 * every warm execution folds its fresh sample's statistics back into
   the cache with exponential decay, so the plan tracks data drift;
 * entries expire after ``max_age`` uses (or on explicit
-  :meth:`HybridEngine.invalidate`, e.g. when churn changes M or \\|E|),
-  falling back to a cold run.
+  :meth:`HybridEngine.invalidate`), falling back to a cold run;
+* every entry records the population it was planned against
+  (peer/edge counts), and a lookup against a *different* population —
+  a churn epoch added or removed peers — is a cold miss.  Plans never
+  silently survive churn.
+
+The cache itself (:class:`PlanCache`) is a standalone object so a
+query service can share one across many engines: repeat signatures in
+a workload go warm regardless of which engine instance serves them.
 
 The cache stores statistics, never tuples — consistent with the
 paper's argument that pre-computed *samples* are impractical in P2P
@@ -34,19 +41,34 @@ from typing import Dict, Optional
 from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError
 from ..network.simulator import NetworkSimulator
+from ..obs.events import EstimateEvent, PhaseEvent, TraceEvent
+from ..obs.tracer import active_tracer
 from ..query.model import AggregationQuery
 from .confidence import ConfidenceInterval, z_for_confidence
 from .crossval import cross_validate
 from .estimators import make_estimator
 from .planner import estimate_scale
 from .result import ApproximateResult, PhaseReport
-from .two_phase import TwoPhaseConfig, TwoPhaseEngine
+from .two_phase import (
+    StepwiseRun,
+    TwoPhaseConfig,
+    TwoPhaseEngine,
+    drain_steps,
+)
 
 
 __all__ = [
     "CachedPlan",
+    "PlanCache",
     "HybridEngine",
 ]
+
+
+def _emit(event: TraceEvent) -> None:
+    """Forward ``event`` to the active tracer, if any."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.emit(event)
 
 
 @dataclasses.dataclass
@@ -64,12 +86,21 @@ class CachedPlan:
         Decayed normalization scale (N-hat or total-sum estimate).
     uses:
         Warm executions served from this entry.
+    num_peers, num_edges:
+        The population the plan was learned against.  A lookup from a
+        simulator with different counts (a churn epoch happened) is
+        treated as a cold miss — the statistics were cross-validated
+        for a network that no longer exists.  Zero means "unknown"
+        (entries constructed by hand); unknown populations never
+        mismatch, preserving the pre-churn-tracking behaviour.
     """
 
     mean_squared_cv_error: float
     half_size: int
     scale: float
     uses: int = 0
+    num_peers: int = 0
+    num_edges: int = 0
 
     def refresh(
         self, squared_cv: float, scale: float, decay: float
@@ -79,6 +110,101 @@ class CachedPlan:
             decay * self.mean_squared_cv_error + (1 - decay) * squared_cv
         )
         self.scale = decay * self.scale + (1 - decay) * scale
+
+    def matches_population(self, num_peers: int, num_edges: int) -> bool:
+        """Whether this plan was learned on the given population."""
+        if self.num_peers == 0 and self.num_edges == 0:
+            return True
+        return self.num_peers == num_peers and self.num_edges == num_edges
+
+
+class PlanCache:
+    """Signature-keyed store of :class:`CachedPlan` entries.
+
+    Shareable across :class:`HybridEngine` instances — a query service
+    hands one cache to every per-query engine so a workload's repeat
+    signatures go warm no matter which engine serves them.  Lookups
+    are churn-epoch aware: an entry recorded against a different
+    peer/edge population is dropped and reported as a miss, so plans
+    never outlive the network they were learned on.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CachedPlan] = {}
+        self._hits = 0
+        self._misses = 0
+        self._expirations = 0
+        self._churn_invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served warm."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell back to a cold run (absent, aged, or
+        churn-invalidated)."""
+        return self._misses
+
+    @property
+    def expirations(self) -> int:
+        """Misses caused by ``max_age`` expiry."""
+        return self._expirations
+
+    @property
+    def churn_invalidations(self) -> int:
+        """Entries dropped because the population changed under them."""
+        return self._churn_invalidations
+
+    def get(self, signature: str) -> Optional[CachedPlan]:
+        """The raw entry for ``signature`` (no aging/population checks,
+        no statistics side effects)."""
+        return self._entries.get(signature)
+
+    def store(self, signature: str, plan: CachedPlan) -> None:
+        """Insert or replace the entry for ``signature``."""
+        self._entries[signature] = plan
+
+    def lookup(
+        self,
+        signature: str,
+        num_peers: int,
+        num_edges: int,
+        max_age: int,
+    ) -> Optional[CachedPlan]:
+        """A servable plan for ``signature``, or ``None`` (cold miss).
+
+        ``None`` means the caller must run cold: there is no entry,
+        the entry has served ``max_age`` warm runs (left in place —
+        the cold run replaces it), or the entry was learned on a
+        different population (dropped on the spot).
+        """
+        plan = self._entries.get(signature)
+        if plan is None:
+            self._misses += 1
+            return None
+        if not plan.matches_population(num_peers, num_edges):
+            del self._entries[signature]
+            self._churn_invalidations += 1
+            self._misses += 1
+            return None
+        if plan.uses >= max_age:
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        return plan
+
+    def invalidate(self, signature: Optional[str] = None) -> None:
+        """Drop one signature's entry, or every entry."""
+        if signature is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(signature, None)
 
 
 class HybridEngine:
@@ -94,6 +220,10 @@ class HybridEngine:
     decay:
         Exponential blending factor for refreshing cached statistics
         from warm samples (closer to 1 = slower adaptation).
+    cache:
+        The plan cache to serve from.  Private by default; pass a
+        shared :class:`PlanCache` to pool plans across engines (the
+        query service does this for its whole workload).
     """
 
     def __init__(
@@ -103,6 +233,7 @@ class HybridEngine:
         seed: SeedLike = None,
         max_age: int = 25,
         decay: float = 0.7,
+        cache: Optional[PlanCache] = None,
     ):
         if max_age < 1:
             raise ConfigurationError("max_age must be >= 1")
@@ -116,7 +247,7 @@ class HybridEngine:
         )
         self._max_age = max_age
         self._decay = decay
-        self._cache: Dict[str, CachedPlan] = {}
+        self._cache = cache if cache is not None else PlanCache()
         self._cold_runs = 0
         self._warm_runs = 0
         self._point, self._variance = make_estimator(
@@ -135,6 +266,11 @@ class HybridEngine:
         """Executions served from the plan cache."""
         return self._warm_runs
 
+    @property
+    def cache(self) -> PlanCache:
+        """The plan cache this engine serves from."""
+        return self._cache
+
     def cached_plan(self, query: AggregationQuery) -> Optional[CachedPlan]:
         """The cache entry for ``query``'s signature, if any."""
         return self._cache.get(query.to_sql())
@@ -142,13 +278,33 @@ class HybridEngine:
     def invalidate(self, query: Optional[AggregationQuery] = None) -> None:
         """Drop one signature's entry, or the whole cache.
 
-        Call this when the network changes materially (churn epochs,
-        bulk data loads) — the next execution re-learns the plan.
+        Churn is handled automatically (entries record their
+        population and mismatches cold-miss); this remains useful for
+        bulk data loads or manual experiments.
         """
-        if query is None:
-            self._cache.clear()
-        else:
-            self._cache.pop(query.to_sql(), None)
+        self._cache.invalidate(None if query is None else query.to_sql())
+
+    def rebind(
+        self, simulator: NetworkSimulator, seed: SeedLike = None
+    ) -> None:
+        """Point this engine at a new network snapshot (churn epoch).
+
+        Rebuilds the inner two-phase engine, its walker and the
+        estimator closure against the new topology — the previous
+        closure baked the old ``num_peers`` into the Hájek estimator,
+        which is exactly the staleness the per-entry population check
+        guards against.  The plan cache is kept: entries for the old
+        population cold-miss on their own.
+        """
+        self._simulator = simulator
+        self._engine = TwoPhaseEngine(
+            simulator,
+            config=self._config,
+            seed=self._rng.spawn(1)[0] if seed is None else seed,
+        )
+        self._point, self._variance = make_estimator(
+            self._config.estimator, simulator.topology.num_peers
+        )
 
     # ------------------------------------------------------------------
 
@@ -159,45 +315,88 @@ class HybridEngine:
         sink: Optional[int] = None,
     ) -> ApproximateResult:
         """Answer ``query`` within ``delta_req``; warm when possible."""
-        signature = query.to_sql()
-        plan = self._cache.get(signature)
-        if plan is None or plan.uses >= self._max_age:
-            return self._cold(query, delta_req, sink, signature)
-        return self._warm(query, delta_req, sink, plan)
+        return drain_steps(self.run_stepwise(query, delta_req, sink=sink))
 
-    def _cold(
+    def run_stepwise(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+        chunk_peers: Optional[int] = None,
+    ) -> StepwiseRun:
+        """Warm-or-cold execution as a resumable generator.
+
+        Same contract as :meth:`TwoPhaseEngine.run_stepwise`: yields a
+        checkpoint per ``chunk_peers`` visits, returns the result
+        :meth:`execute` would.  The warm/cold decision happens on the
+        first advance of the generator, not at creation.
+        """
+        signature = query.to_sql()
+        topology = self._simulator.topology
+        plan = self._cache.lookup(
+            signature,
+            topology.num_peers,
+            topology.num_edges,
+            self._max_age,
+        )
+        if plan is None:
+            result = yield from self._cold_stepwise(
+                query, delta_req, sink, signature, chunk_peers
+            )
+            return result
+        result = yield from self._warm_stepwise(
+            query, delta_req, sink, plan, chunk_peers
+        )
+        return result
+
+    def _cold_stepwise(
         self,
         query: AggregationQuery,
         delta_req: float,
         sink: Optional[int],
         signature: str,
-    ) -> ApproximateResult:
+        chunk_peers: Optional[int],
+    ) -> StepwiseRun:
         self._cold_runs += 1
-        result = self._engine.execute(query, delta_req, sink=sink)
+        result = yield from self._engine.run_stepwise(
+            query, delta_req, sink=sink, chunk_peers=chunk_peers
+        )
         analysis = result.analysis  # phase-I statistics ride along
-        self._cache[signature] = CachedPlan(
-            mean_squared_cv_error=(
-                analysis.cross_validation.mean_squared_error
+        topology = self._simulator.topology
+        self._cache.store(
+            signature,
+            CachedPlan(
+                mean_squared_cv_error=(
+                    analysis.cross_validation.mean_squared_error
+                ),
+                half_size=analysis.cross_validation.half_size,
+                scale=analysis.scale,
+                num_peers=topology.num_peers,
+                num_edges=topology.num_edges,
             ),
-            half_size=analysis.cross_validation.half_size,
-            scale=analysis.scale,
         )
         return result
 
-    def _warm(
+    def _warm_stepwise(
         self,
         query: AggregationQuery,
         delta_req: float,
         sink: Optional[int],
         plan: CachedPlan,
-    ) -> ApproximateResult:
+        chunk_peers: Optional[int],
+    ) -> StepwiseRun:
         self._warm_runs += 1
         plan.uses += 1
         if sink is None:
             sink = int(self._rng.integers(self._simulator.num_peers))
         ledger = self._simulator.new_ledger()
 
-        absolute_target = delta_req * plan.scale
+        # The scale the walk is sized with is the scale the result
+        # reports — captured *before* the post-run refresh mutates the
+        # plan, so ``result.scale * delta_req == absolute_target``
+        # holds exactly.
+        planning_scale = plan.scale
+        absolute_target = delta_req * planning_scale
         m_prime = (
             plan.half_size
             * plan.mean_squared_cv_error
@@ -213,8 +412,18 @@ class HybridEngine:
                 peers, max(4, self._config.max_phase_two_peers)
             )
 
-        observations, replies = self._engine.collect_observations(
-            sink, query, peers, ledger
+        _emit(
+            PhaseEvent(
+                engine="hybrid",
+                phase="warm",
+                status="start",
+                requested=peers,
+            )
+        )
+        observations, replies = yield from (
+            self._engine.collect_observations_stepwise(
+                sink, query, peers, ledger, chunk_peers, "warm"
+            )
         )
         estimate = self._engine.final_estimate(query, observations)
         z = z_for_confidence(self._config.confidence)
@@ -257,13 +466,31 @@ class HybridEngine:
             hops=ledger.snapshot().hops,
             estimate=estimate,
         )
+        effective = len(replies)
+        _emit(
+            EstimateEvent(
+                engine="hybrid",
+                agg=query.agg.value,
+                estimate=estimate,
+                requested=peers,
+                received=effective,
+                degraded=effective < peers,
+            )
+        )
+        # Warm results honour the degraded-result contract exactly
+        # like cold runs: fault injection or churn can shrink the
+        # sample below the planned size, and downstream consumers key
+        # on these fields.
         return ApproximateResult(
             query=query,
             estimate=estimate,
             delta_req=delta_req,
-            scale=plan.scale,
+            scale=planning_scale,
             confidence_interval=interval,
             phase_one=phase,
             phase_two=None,
             cost=ledger.snapshot(),
+            requested_sample_size=peers,
+            effective_sample_size=effective,
+            degraded=effective < peers,
         )

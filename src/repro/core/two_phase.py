@@ -26,7 +26,7 @@ estimate.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import Generator, List, Optional, Sequence, Tuple, TypeVar
 
 from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError, SamplingError
@@ -55,8 +55,10 @@ from .result import ApproximateResult, PhaseReport
 
 
 __all__ = [
+    "StepCheckpoint",
     "TwoPhaseConfig",
     "TwoPhaseEngine",
+    "drain_steps",
 ]
 
 
@@ -65,6 +67,60 @@ def _emit(event: TraceEvent) -> None:
     tracer = active_tracer()
     if tracer is not None:
         tracer.emit(event)
+
+
+@dataclasses.dataclass(frozen=True)
+class StepCheckpoint:
+    """One scheduling point inside a stepwise query execution.
+
+    Stepwise engines (:meth:`TwoPhaseEngine.run_stepwise`,
+    :meth:`~repro.core.hybrid.HybridEngine.run_stepwise`) yield one of
+    these after every chunk of network work.  A scheduler uses the
+    checkpoint to interleave queries fairly and to enforce per-query
+    cost budgets: ``ledger`` is the query's live ledger, so
+    ``ledger.snapshot()`` at a checkpoint is the query's exact cost so
+    far.  The checkpoint stream is a pure function of the engine seed
+    — it carries nothing scheduling-dependent.
+
+    Attributes
+    ----------
+    engine:
+        Which engine yielded (``"two-phase"`` or ``"hybrid"``).
+    phase:
+        The phase the work belongs to: ``one``/``analysis``/``two``
+        for the two-phase engine, ``warm`` for hybrid warm runs.
+    collected:
+        Replies gathered so far *within the current phase*.
+    ledger:
+        The query's cost ledger (live; snapshot to inspect).
+    """
+
+    engine: str
+    phase: str
+    collected: int
+    ledger: CostLedger
+
+
+#: Type of a stepwise execution: yields checkpoints, returns the result.
+StepwiseRun = Generator[StepCheckpoint, None, ApproximateResult]
+
+_ReturnT = TypeVar("_ReturnT")
+
+
+def drain_steps(
+    steps: Generator[StepCheckpoint, None, _ReturnT],
+) -> _ReturnT:
+    """Run a stepwise execution to completion, discarding checkpoints.
+
+    The one-query case of the scheduler loop: ``execute()`` is exactly
+    ``drain_steps(run_stepwise(...))``, which is what makes serial and
+    scheduled execution trivially bit-identical.
+    """
+    while True:
+        try:
+            next(steps)
+        except StopIteration as stop:
+            return stop.value  # type: ignore[no-any-return]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -227,6 +283,33 @@ class TwoPhaseEngine:
         ledger: CostLedger,
     ) -> List[AggregateReply]:
         """Walk, visit every selected peer, and gather replies."""
+        return drain_steps(
+            self._collect_stepwise(
+                sink, query, count, ledger, chunk_peers=None, phase="collect"
+            )
+        )
+
+    def _collect_stepwise(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger: CostLedger,
+        chunk_peers: Optional[int],
+        phase: str,
+    ) -> Generator[StepCheckpoint, None, List[AggregateReply]]:
+        """Walk, visit and gather replies, yielding between chunks.
+
+        With ``chunk_peers=None`` (or >= ``count``) this is exactly the
+        historical single-shot collection — one walk, one batch visit,
+        one checkpoint.  With a smaller ``chunk_peers`` the walk runs
+        through a :class:`~repro.network.walker.WalkCursor` in chunks
+        of that many selections, yielding a checkpoint after each —
+        bit-identical replies either way, because the cursor consumes
+        the walker RNG exactly as the single-shot walk does and the
+        batch visits consume ``self._visit_rng`` peer by peer in
+        selection order.
+        """
         probe = WalkerProbe(
             source=sink,
             destination=sink,
@@ -235,6 +318,8 @@ class TwoPhaseEngine:
             tuples_per_peer=self._config.tuples_per_peer,
         )
         if self._collector is not None:
+            # The resilient collector owns its retry/substitution loop;
+            # it collects in one piece and checkpoints once.
             replies, _stats = self._collector.collect_aggregate(
                 sink,
                 query,
@@ -245,21 +330,46 @@ class TwoPhaseEngine:
                 sampling_method=self._config.sampling_method,
                 seed=self._visit_rng,
             )
+            yield StepCheckpoint("two-phase", phase, len(replies), ledger)
             return replies
-        walk = self._walker.sample_peers(sink, count)
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
-        # The batch fast path visits all selected peers in one
-        # vectorized pass; under fault injection it degrades to the
-        # per-peer loop internally, dropping lost replies either way.
-        return self._simulator.visit_aggregate_batch(
-            walk.peers,
-            query,
-            sink=sink,
-            ledger=ledger,
-            tuples_per_peer=self._config.tuples_per_peer,
-            sampling_method=self._config.sampling_method,
-            seed=self._visit_rng,
-        )
+        if chunk_peers is None or chunk_peers >= count:
+            walk = self._walker.sample_peers(sink, count)
+            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            # The batch fast path visits all selected peers in one
+            # vectorized pass; under fault injection it degrades to the
+            # per-peer loop internally, dropping lost replies either way.
+            replies = self._simulator.visit_aggregate_batch(
+                walk.peers,
+                query,
+                sink=sink,
+                ledger=ledger,
+                tuples_per_peer=self._config.tuples_per_peer,
+                sampling_method=self._config.sampling_method,
+                seed=self._visit_rng,
+            )
+            yield StepCheckpoint("two-phase", phase, len(replies), ledger)
+            return replies
+        cursor = self._walker.cursor(sink)
+        replies = []
+        remaining = count
+        while remaining > 0:
+            take = min(chunk_peers, remaining)
+            walk = cursor.take(take)
+            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            replies.extend(
+                self._simulator.visit_aggregate_batch(
+                    walk.peers,
+                    query,
+                    sink=sink,
+                    ledger=ledger,
+                    tuples_per_peer=self._config.tuples_per_peer,
+                    sampling_method=self._config.sampling_method,
+                    seed=self._visit_rng,
+                )
+            )
+            remaining -= take
+            yield StepCheckpoint("two-phase", phase, len(replies), ledger)
+        return replies
 
     def _observations(
         self, replies: Sequence[AggregateReply]
@@ -324,6 +434,27 @@ class TwoPhaseEngine:
         replies = self._collect(sink, query, count, ledger)
         return self._observations(replies), replies
 
+    def collect_observations_stepwise(
+        self,
+        sink: int,
+        query: AggregationQuery,
+        count: int,
+        ledger: CostLedger,
+        chunk_peers: Optional[int] = None,
+        phase: str = "collect",
+    ) -> Generator[
+        StepCheckpoint,
+        None,
+        Tuple[List[PeerObservation], List[AggregateReply]],
+    ]:
+        """Stepwise :meth:`collect_observations` — yields checkpoints
+        between chunks of ``chunk_peers`` visits, returns the same
+        ``(observations, replies)`` pair."""
+        replies = yield from self._collect_stepwise(
+            sink, query, count, ledger, chunk_peers, phase
+        )
+        return self._observations(replies), replies
+
     def final_estimate(
         self, query: AggregationQuery, observations: Sequence[PeerObservation]
     ) -> float:
@@ -344,8 +475,32 @@ class TwoPhaseEngine:
 
         ``sink`` is the peer where the query is introduced; a uniformly
         random peer is chosen when omitted (queries can originate
-        anywhere in a P2P network).
+        anywhere in a P2P network).  Runs the stepwise form to
+        completion in one go (:func:`drain_steps`), so serial execution
+        and a scheduler driving :meth:`run_stepwise` are bit-identical
+        by construction.
         """
+        return drain_steps(self.run_stepwise(query, delta_req, sink=sink))
+
+    def run_stepwise(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+        chunk_peers: Optional[int] = None,
+    ) -> StepwiseRun:
+        """The two-phase algorithm as a resumable generator.
+
+        Yields a :class:`StepCheckpoint` after every ``chunk_peers``
+        peer visits (and after the sink analysis), returning the final
+        :class:`~repro.core.result.ApproximateResult` — the *same*
+        result :meth:`execute` produces, for any chunking.  A query
+        service advances many of these generators round-robin to
+        interleave queries; budget enforcement happens between chunks,
+        so a query can overshoot its budget by at most one chunk.
+        """
+        if chunk_peers is not None and chunk_peers < 1:
+            raise ConfigurationError("chunk_peers must be >= 1")
         if not query.agg.supports_pushdown:
             raise ConfigurationError(
                 f"{query.agg.value} queries are answered by MedianEngine"
@@ -364,8 +519,9 @@ class TwoPhaseEngine:
                 requested=self._config.phase_one_peers,
             )
         )
-        replies_one = self._collect(
-            sink, query, self._config.phase_one_peers, ledger
+        replies_one = yield from self._collect_stepwise(
+            sink, query, self._config.phase_one_peers, ledger,
+            chunk_peers, "one",
         )
         hops_one = ledger.snapshot().hops - phase_one_hops_before
         observations_one = self._observations(replies_one)
@@ -404,6 +560,9 @@ class TwoPhaseEngine:
                 error=analysis.cross_validation.rms_error,
             )
         )
+        # A checkpoint between analysis and phase II lets a scheduler
+        # stop an over-budget query before it pays for the second walk.
+        yield StepCheckpoint("two-phase", "analysis", len(replies_one), ledger)
         phase_one = self._phase_report(replies_one, hops_one, estimate_one)
 
         # Phase II -------------------------------------------------------
@@ -422,8 +581,9 @@ class TwoPhaseEngine:
                     requested=analysis.plan.additional_peers,
                 )
             )
-            replies_two = self._collect(
-                sink, query, analysis.plan.additional_peers, ledger
+            replies_two = yield from self._collect_stepwise(
+                sink, query, analysis.plan.additional_peers, ledger,
+                chunk_peers, "two",
             )
             hops_two = ledger.snapshot().hops - hops_before
             observations_two = self._observations(replies_two)

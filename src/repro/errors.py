@@ -19,6 +19,9 @@ __all__ = [
     "PeerCrashedError",
     "ProbeTimeoutError",
     "ChurnError",
+    "ServiceError",
+    "AdmissionError",
+    "BudgetExceededError",
 ]
 
 
@@ -87,3 +90,23 @@ class ProbeTimeoutError(PeerUnavailableError):
 
 class ChurnError(ReproError):
     """A join/leave operation is inconsistent with the current network."""
+
+
+class ServiceError(ReproError):
+    """The query-serving layer could not carry out a request."""
+
+
+class AdmissionError(ServiceError):
+    """The service's bounded admission queue is full (backpressure).
+
+    The submitter should retry later or shed load; admitted queries
+    are unaffected.
+    """
+
+
+class BudgetExceededError(ServiceError):
+    """A query hit its per-query cost budget and was stopped.
+
+    Budgets are enforced at chunk boundaries, so the recorded cost can
+    exceed the ceiling by at most one chunk's worth of work.
+    """

@@ -19,7 +19,7 @@ from .configs import (
     gnutella_bundle,
     synthetic_bundle,
 )
-from .runner import TrialOutcome, run_trials
+from .runner import TrialOutcome, WorkloadOutcome, run_trials, run_workload
 from .figures import (
     FIGURES,
     FigureResult,
@@ -49,6 +49,8 @@ __all__ = [
     "default_trials",
     "TrialOutcome",
     "run_trials",
+    "WorkloadOutcome",
+    "run_workload",
     "FigureResult",
     "FIGURES",
     "figure02_required_accuracy",

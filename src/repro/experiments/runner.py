@@ -45,11 +45,14 @@ from ..obs.tracer import active_tracer
 from ..query.exact import evaluate_exact, rank_of_value
 from ..query.model import AggregateOp, AggregationQuery
 from ..sampling.baselines import BFSEngine, dfs_engine
+from ..service import CostBudget, QueryService
 from .configs import NetworkBundle, default_workers
 
 __all__ = [
     "TrialOutcome",
+    "WorkloadOutcome",
     "run_trials",
+    "run_workload",
     "build_manifest",
     "mean_error",
     "mean_sample_size",
@@ -346,6 +349,116 @@ def run_trials(
             ),
         )
     return outcomes
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadOutcome:
+    """One served query's result, scored against ground truth.
+
+    ``error`` is ``nan`` unless the query completed (``status ==
+    "done"``); budget-stopped and failed queries keep their status and
+    ``detail`` so workload summaries can count them.
+    """
+
+    query_id: int
+    sql: str
+    status: str
+    estimate: float
+    truth: float
+    error: float
+    detail: str
+    peers_visited: int
+    hops: int
+    messages: int
+    latency_ms: float
+
+
+def run_workload(
+    bundle: NetworkBundle,
+    queries: Sequence[AggregationQuery],
+    delta_req: float,
+    config: Optional[TwoPhaseConfig] = None,
+    seed: int = 1000,
+    max_in_flight: int = 4,
+    chunk_peers: Optional[int] = 8,
+    budget: Optional[CostBudget] = None,
+) -> List[WorkloadOutcome]:
+    """Serve ``queries`` concurrently over ``bundle`` and score each.
+
+    The workload runs through a :class:`~repro.service.QueryService`
+    (shared plan cache, round-robin interleaving, per-query sessions),
+    so repeated query signatures exercise the hybrid warm path exactly
+    as a long-lived deployment would.  Results are independent of
+    ``max_in_flight`` — the service's determinism invariant — so this
+    is safe to use for accuracy experiments at any concurrency.
+
+    Parameters
+    ----------
+    bundle:
+        The evaluation network.
+    queries:
+        The workload, scored in submission order.
+    delta_req:
+        Required accuracy on the normalized scale (shared by all
+        queries).
+    config:
+        Two-phase configuration; the same phase-II-capped default as
+        :func:`run_trials` when omitted.
+    seed:
+        Service seed; per-query streams are spawned from it in
+        submission order.
+    max_in_flight:
+        Concurrency ceiling (does not affect results).
+    chunk_peers:
+        Walk chunk size between scheduling points.
+    budget:
+        Optional per-query cost ceiling applied to every query.
+    """
+    if not queries:
+        raise ConfigurationError("queries must be non-empty")
+    cap = 2 * bundle.num_peers
+    engine_config = config or TwoPhaseConfig(max_phase_two_peers=cap)
+    service = QueryService(
+        bundle.simulator,
+        engine_config,
+        seed=seed,
+        max_in_flight=max_in_flight,
+        max_queue=max(len(queries), 1),
+        chunk_peers=chunk_peers,
+        default_budget=budget,
+    )
+    tickets = [service.submit(query, delta_req) for query in queries]
+    service.run()
+
+    scored: List[WorkloadOutcome] = []
+    for ticket in tickets:
+        outcome = service.outcome(ticket)
+        assert outcome is not None
+        if outcome.ok and outcome.result is not None:
+            truth = evaluate_exact(ticket.query, bundle.flat_dataset)
+            estimate = outcome.result.estimate
+            error = _score(bundle, ticket.query, estimate, truth)
+        else:
+            truth = math.nan
+            estimate = math.nan
+            error = math.nan
+        cost = outcome.cost
+        scored.append(
+            WorkloadOutcome(
+                query_id=ticket.query_id,
+                sql=ticket.signature,
+                status=outcome.status,
+                estimate=estimate,
+                truth=truth,
+                error=error,
+                detail=outcome.detail,
+                peers_visited=cost.peers_visited if cost else 0,
+                hops=cost.hops if cost else 0,
+                messages=cost.messages if cost else 0,
+                latency_ms=cost.latency_ms if cost else 0.0,
+            )
+        )
+    return scored
 
 
 def mean_error(outcomes: Sequence[TrialOutcome]) -> float:

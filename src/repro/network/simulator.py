@@ -208,6 +208,7 @@ class NetworkSimulator:
             )
         self._reply_loss_rate = reply_loss_rate
         self._failure_rng = ensure_rng(self._rng.spawn(1)[0])
+        self._fault_strict_peers = fault_strict_peers
         self._fault_state: Optional[FaultState] = (
             fault_plan.bind(
                 topology,
@@ -408,6 +409,46 @@ class NetworkSimulator:
     def new_ledger(self) -> CostLedger:
         """A fresh cost ledger bound to this network's cost model."""
         return CostLedger(self._cost_model)
+
+    def session(
+        self,
+        seed: SeedLike = None,
+        fault_clock: Optional[int] = None,
+    ) -> "NetworkSimulator":
+        """An isolated per-query view of this frozen network.
+
+        The returned simulator shares the topology, the peer
+        databases/identities and the (lazily built) caches — peers'
+        data is immutable for a snapshot's lifetime, so sharing is
+        safe — but owns its *entire stochastic state*: its own
+        sub-sampling RNG, its own failure RNG and its own fault-plan
+        clock.  This is what makes concurrent query execution
+        deterministic: each query runs against its own session seeded
+        from a per-query stream, so no interleaving of sessions can
+        perturb any other session's draws or fault decisions.
+
+        ``fault_clock`` defaults to this simulator's *current* fault
+        clock, so a session created mid-run sees the fault schedule
+        from "now" onward.
+        """
+        if fault_clock is None:
+            state = self._fault_state
+            fault_clock = state.clock if state is not None else 0
+        clone = NetworkSimulator(
+            self._topology,
+            [node.database for node in self._nodes],
+            peers=[node.peer for node in self._nodes],
+            cost_model=self._cost_model,
+            seed=seed,
+            reply_loss_rate=self._reply_loss_rate,
+            fault_plan=self.fault_plan,
+            fault_clock=fault_clock,
+            fault_strict_peers=self._fault_strict_peers,
+        )
+        clone._flat = self._flat
+        clone._total_tuples = self._total_tuples
+        clone._cpu_speeds = self._cpu_speeds
+        return clone
 
     def total_tuples(self) -> int:
         """Network-wide tuple count N (computed once, then cached)."""

@@ -43,6 +43,7 @@ from typing import (
     Dict,
     List,
     Optional,
+    Set,
     Tuple,
     TypeVar,
 )
@@ -71,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "RandomWalkConfig",
     "WalkResult",
+    "WalkCursor",
     "RandomWalker",
     "WeightedMetropolisWalker",
     "RetryPolicy",
@@ -173,6 +175,116 @@ class WalkResult:
     def distinct_peers(self) -> int:
         """Number of distinct peers in the selection."""
         return int(np.unique(self.peers).size)
+
+
+class WalkCursor:
+    """A resumable sampling walk — the scheduler's fairness primitive.
+
+    Obtained from :meth:`RandomWalker.cursor`.  Each :meth:`take` call
+    continues the *same* walk where the previous call left off:
+    burn-in happens exactly once (before the first selection), the
+    distinct-peer filter spans all takes, and the walker RNG is
+    consumed in exactly the same order as a single
+    :meth:`RandomWalker.sample_peers` call for the combined count.
+    ``cursor.take(a)`` followed by ``cursor.take(b)`` therefore selects
+    bit-identically the peers ``sample_peers(start, a + b)`` would —
+    which is what lets a query service interleave walker steps from
+    many in-flight queries without perturbing any of them.
+
+    The per-take hop budget mirrors the single-shot budget: generous
+    enough that it only trips on pathologically small graphs in
+    distinct-peer mode.
+    """
+
+    def __init__(
+        self,
+        start: int,
+        segment: Callable[[int, int], int],
+        config: RandomWalkConfig,
+    ):
+        self._start = start
+        self._segment = segment
+        self._config = config
+        self._current = start
+        self._seen: Set[int] = set()
+        self._started = False
+        self._pending_selection = False
+        self._total_hops = 0
+        self._total_selected = 0
+
+    @property
+    def start(self) -> int:
+        """The sink this walk started from."""
+        return self._start
+
+    @property
+    def position(self) -> int:
+        """The walker's current peer."""
+        return self._current
+
+    @property
+    def total_hops(self) -> int:
+        """Hops performed across all takes so far."""
+        return self._total_hops
+
+    @property
+    def total_selected(self) -> int:
+        """Peers selected across all takes so far."""
+        return self._total_selected
+
+    def take(self, count: int) -> WalkResult:
+        """Select the next ``count`` peers of this walk.
+
+        Returns a :class:`WalkResult` covering only this take: its
+        ``hops`` are the hops performed *by this call* (including
+        burn-in on the first take), so callers charge each take to the
+        ledger as they would a standalone walk.
+        """
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        if count == 0:
+            return _emit_walk(
+                WalkResult(
+                    peers=np.empty(0, dtype=np.int64),
+                    hops=0,
+                    start=self._start,
+                )
+            )
+        jump = self._config.effective_jump
+        hops = 0
+        budget_base = 0
+        if not self._started:
+            burn_in = self._config.effective_burn_in
+            if burn_in:
+                self._current = self._segment(self._start, burn_in)
+            hops = burn_in
+            budget_base = burn_in
+            self._started = True
+            self._pending_selection = True  # post-burn-in position counts
+        selected: List[int] = []
+        hop_budget = budget_base + 1000 * jump * max(count, 1) + 10_000
+        while len(selected) < count:
+            if not self._pending_selection:
+                self._current = self._segment(self._current, jump)
+                hops += jump
+            self._pending_selection = False
+            if self._config.allow_revisits or self._current not in self._seen:
+                selected.append(self._current)
+                self._seen.add(self._current)
+            elif hops > hop_budget:
+                raise TopologyError(
+                    f"walk could not find {count} distinct peers within "
+                    f"{hop_budget} hops (graph too small?)"
+                )
+        self._total_hops += hops
+        self._total_selected += count
+        return _emit_walk(
+            WalkResult(
+                peers=np.asarray(selected, dtype=np.int64),
+                hops=hops,
+                start=self._start,
+            )
+        )
 
 
 class RandomWalker:
@@ -311,6 +423,24 @@ class RandomWalker:
             out[i + 1] = current
         return out
 
+    def cursor(self, start: int) -> WalkCursor:
+        """A resumable sampling walk from ``start``.
+
+        The cursor selects peers in chunks (:meth:`WalkCursor.take`)
+        while consuming this walker's RNG exactly as one
+        :meth:`sample_peers` call for the combined count would, so
+        chunked collection is bit-identical to single-shot collection.
+        The stepping capability is handed to the cursor as a bound
+        method, so it works unchanged for subclasses with different
+        kernels (e.g. :class:`WeightedMetropolisWalker`).
+        """
+        self._check_start(start)
+        return WalkCursor(
+            start=start,
+            segment=self._walk_segment,
+            config=self._config,
+        )
+
     def sample_peers(self, start: int, count: int) -> WalkResult:
         """Select ``count`` peers by walking with the configured jump.
 
@@ -318,46 +448,10 @@ class RandomWalker:
         every ``jump``-th visited peer is added to the sample until
         ``count`` peers have been selected.  With ``allow_revisits``
         disabled, hops continue until ``count`` *distinct* peers are
-        found (bounded by a generous hop budget).
+        found (bounded by a generous hop budget).  Implemented as a
+        single-take :class:`WalkCursor`.
         """
-        self._check_start(start)
-        if count < 0:
-            raise ConfigurationError("count must be >= 0")
-        jump = self._config.effective_jump
-        burn_in = self._config.effective_burn_in
-        if count == 0:
-            return _emit_walk(
-                WalkResult(
-                    peers=np.empty(0, dtype=np.int64), hops=0, start=start
-                )
-            )
-
-        current = self._walk_segment(start, burn_in) if burn_in else start
-        hops = burn_in
-        selected: List[int] = []
-        seen = set()
-        hop_budget = burn_in + 1000 * jump * max(count, 1) + 10_000
-        pending_selection = True  # the post-burn-in position counts
-        while len(selected) < count:
-            if not pending_selection:
-                current = self._walk_segment(current, jump)
-                hops += jump
-            pending_selection = False
-            if self._config.allow_revisits or current not in seen:
-                selected.append(current)
-                seen.add(current)
-            elif hops > hop_budget:
-                raise TopologyError(
-                    f"walk could not find {count} distinct peers within "
-                    f"{hop_budget} hops (graph too small?)"
-                )
-        return _emit_walk(
-            WalkResult(
-                peers=np.asarray(selected, dtype=np.int64),
-                hops=hops,
-                start=start,
-            )
-        )
+        return self.cursor(start).take(count)
 
     def endpoint_after(self, start: int, hops: int) -> int:
         """The walker's position after ``hops`` hops (no selections)."""

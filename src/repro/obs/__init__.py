@@ -29,6 +29,7 @@ from .events import (
     FloodEvent,
     PhaseEvent,
     ProbeEvent,
+    QueryLifecycleEvent,
     RetryEvent,
     SubstituteEvent,
     TraceCost,
@@ -67,6 +68,7 @@ __all__ = [
     "PhaseEvent",
     "EstimateEvent",
     "ChurnEpochEvent",
+    "QueryLifecycleEvent",
     "Tracer",
     "active_tracer",
     "tracing",

@@ -62,6 +62,7 @@ __all__ = [
     "PhaseEvent",
     "EstimateEvent",
     "ChurnEpochEvent",
+    "QueryLifecycleEvent",
 ]
 
 
@@ -345,6 +346,33 @@ class EstimateEvent(TraceEvent):
             "requested": self.requested,
             "received": self.received,
             "degraded": self.degraded,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryLifecycleEvent(TraceEvent):
+    """A serving-layer query changed state (submitted/started/finished).
+
+    Emitted by the query service into the query's *own* tracer.  The
+    payload carries only scheduling-independent values — no queue
+    depths, no tick numbers — so a query's trace is a pure function of
+    its submission-order seed and is bit-identical between serial and
+    concurrent execution (the service's keystone invariant).
+    """
+
+    kind: ClassVar[str] = "query"
+
+    query_id: int = 0
+    status: str = ""  # submitted | started | done | failed | budget-exceeded
+    signature: str = ""
+    detail: str = ""  # budget violation / error text on failure
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "query_id": self.query_id,
+            "status": self.status,
+            "signature": self.signature,
+            "detail": self.detail,
         }
 
 

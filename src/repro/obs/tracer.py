@@ -29,6 +29,7 @@ from .events import (
     ChurnEpochEvent,
     EstimateEvent,
     ProbeEvent,
+    QueryLifecycleEvent,
     RetryEvent,
     TraceCost,
     TraceEvent,
@@ -151,6 +152,8 @@ class Tracer:
             registry.gauge("churn.peers").set(float(event.peers))
         elif isinstance(event, EstimateEvent):
             registry.gauge(f"estimate.{event.engine}").set(event.estimate)
+        elif isinstance(event, QueryLifecycleEvent):
+            registry.counter(f"query.{event.status}").inc()
 
     # ------------------------------------------------------------------
 

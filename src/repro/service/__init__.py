@@ -1,0 +1,39 @@
+"""Concurrent query serving over a shared network snapshot.
+
+This package is the serving layer the ROADMAP's "heavy traffic" north
+star calls for: many aggregation queries multiplexed over one
+simulator, with bounded admission, round-robin fairness, per-query
+cost budgets, a workload-shared plan cache and per-query tracing.
+
+The keystone invariant — proven by the property suite — is that
+concurrency never changes answers: ``N`` queries run interleaved are
+bit-identical to the same queries run serially, because every query
+owns its RNG streams (spawned in submission order) and its own
+simulator session.
+
+* :mod:`~repro.service.service` — :class:`QueryService` (submit /
+  await / run) and outcome types.
+* :mod:`~repro.service.scheduler` — the round-robin stepwise
+  scheduler with per-signature serialization.
+* :mod:`~repro.service.budget` — per-query cost ceilings.
+"""
+
+from .budget import CostBudget
+from .scheduler import (
+    Completion,
+    QueryTicket,
+    RoundRobinScheduler,
+    ScheduledQuery,
+)
+from .service import QueryOutcome, QueryService, ServiceStats
+
+__all__ = [
+    "CostBudget",
+    "QueryTicket",
+    "ScheduledQuery",
+    "Completion",
+    "RoundRobinScheduler",
+    "QueryOutcome",
+    "ServiceStats",
+    "QueryService",
+]

@@ -1,0 +1,205 @@
+"""Round-robin interleaving of stepwise query executions.
+
+The scheduler is deliberately dumb: it holds a FIFO of admitted tasks,
+keeps at most ``max_in_flight`` of them running, and on every
+:meth:`RoundRobinScheduler.tick` advances each running task by exactly
+one chunk (one ``next()`` on its stepwise generator).  Fairness is
+structural — nobody can starve, because every tick touches every
+running query once.
+
+Two rules carry the service's determinism invariant:
+
+* **Per-query isolation.**  A task's generator runs against its own
+  simulator session and engine RNG streams, so *when* it is advanced
+  relative to other tasks cannot change *what* it computes.
+* **Per-signature serialization.**  Tasks sharing a query signature
+  also share a mutable :class:`~repro.core.hybrid.CachedPlan`, and the
+  warm/cold decision is made on a task's first advance.  The scheduler
+  therefore never starts a task while an earlier task with the same
+  signature is unfinished — the cache is read and refreshed in
+  submission order, exactly as a serial run would.  Distinct
+  signatures interleave freely.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections import deque
+from typing import ContextManager, Deque, List, Optional, Set
+
+from ..core.hybrid import HybridEngine
+from ..core.result import ApproximateResult
+from ..core.two_phase import StepCheckpoint, StepwiseRun
+from ..errors import ConfigurationError, ReproError
+from ..obs.events import QueryLifecycleEvent
+from ..obs.tracer import Tracer, tracing
+from ..query.model import AggregationQuery
+from .budget import CostBudget
+
+__all__ = [
+    "QueryTicket",
+    "ScheduledQuery",
+    "Completion",
+    "RoundRobinScheduler",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryTicket:
+    """The submitter's handle on one admitted query."""
+
+    query_id: int
+    query: AggregationQuery
+    delta_req: float
+    signature: str
+
+
+@dataclasses.dataclass
+class ScheduledQuery:
+    """One admitted query's scheduling state."""
+
+    ticket: QueryTicket
+    steps: StepwiseRun
+    engine: HybridEngine
+    budget: Optional[CostBudget]
+    tracer: Optional[Tracer]
+    started: bool = False
+    chunks: int = 0
+    last_checkpoint: Optional[StepCheckpoint] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """How one task left the scheduler."""
+
+    task: ScheduledQuery
+    status: str  # done | failed | budget-exceeded
+    result: Optional[ApproximateResult] = None
+    error: Optional[ReproError] = None
+    detail: str = ""
+
+
+class RoundRobinScheduler:
+    """Advances up to ``max_in_flight`` stepwise queries, one chunk
+    per query per tick."""
+
+    def __init__(self, max_in_flight: int):
+        if max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        self._max_in_flight = max_in_flight
+        self._pending: Deque[ScheduledQuery] = deque()
+        self._running: List[ScheduledQuery] = []
+        self._active_signatures: Set[str] = set()
+
+    @property
+    def max_in_flight(self) -> int:
+        """Concurrency ceiling."""
+        return self._max_in_flight
+
+    @property
+    def backlog(self) -> int:
+        """Admitted tasks waiting to start."""
+        return len(self._pending)
+
+    @property
+    def in_flight(self) -> int:
+        """Tasks currently running."""
+        return len(self._running)
+
+    @property
+    def idle(self) -> bool:
+        """Whether nothing is queued or running."""
+        return not self._pending and not self._running
+
+    def enqueue(self, task: ScheduledQuery) -> None:
+        """Append ``task`` to the admission FIFO."""
+        self._pending.append(task)
+
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Start pending tasks up to the concurrency ceiling.
+
+        Scans the FIFO in order; a task whose signature is already
+        running stays queued (in its original position) so
+        same-signature plan-cache traffic happens in submission order.
+        """
+        if not self._pending or len(self._running) >= self._max_in_flight:
+            return
+        blocked: Deque[ScheduledQuery] = deque()
+        while self._pending and len(self._running) < self._max_in_flight:
+            task = self._pending.popleft()
+            if task.ticket.signature in self._active_signatures:
+                blocked.append(task)
+                continue
+            self._active_signatures.add(task.ticket.signature)
+            self._running.append(task)
+        while blocked:
+            self._pending.appendleft(blocked.pop())
+
+    def _emit_lifecycle(
+        self, task: ScheduledQuery, status: str, detail: str = ""
+    ) -> None:
+        if task.tracer is not None:
+            task.tracer.emit(
+                QueryLifecycleEvent(
+                    query_id=task.ticket.query_id,
+                    status=status,
+                    signature=task.ticket.signature,
+                    detail=detail,
+                )
+            )
+
+    def _advance(self, task: ScheduledQuery) -> Optional[Completion]:
+        """Run ``task`` one chunk forward; a completion ends it.
+
+        The task's tracer (if any) is activated only for the duration
+        of the generator frame, so every engine event lands in the
+        query's own trace regardless of interleaving.
+        """
+        if not task.started:
+            task.started = True
+            self._emit_lifecycle(task, "started")
+        scope: ContextManager[Optional[Tracer]] = (
+            tracing(task.tracer)
+            if task.tracer is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with scope:
+                checkpoint = next(task.steps)
+        except StopIteration as stop:
+            result: ApproximateResult = stop.value
+            self._emit_lifecycle(task, "done")
+            return Completion(task=task, status="done", result=result)
+        except ReproError as error:
+            self._emit_lifecycle(task, "failed", detail=str(error))
+            return Completion(
+                task=task, status="failed", error=error, detail=str(error)
+            )
+        task.chunks += 1
+        task.last_checkpoint = checkpoint
+        if task.budget is not None:
+            violation = task.budget.violation(checkpoint.ledger.snapshot())
+            if violation is not None:
+                task.steps.close()
+                self._emit_lifecycle(task, "budget-exceeded", detail=violation)
+                return Completion(
+                    task=task, status="budget-exceeded", detail=violation
+                )
+        return None
+
+    def tick(self) -> List[Completion]:
+        """One fairness round: admit, then advance every running task
+        one chunk.  Returns the tasks that finished this round."""
+        self._admit()
+        completions: List[Completion] = []
+        for task in list(self._running):
+            completion = self._advance(task)
+            if completion is not None:
+                self._running.remove(task)
+                self._active_signatures.discard(task.ticket.signature)
+                completions.append(completion)
+        self._admit()
+        return completions

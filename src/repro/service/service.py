@@ -1,0 +1,459 @@
+"""The concurrent query-serving front-end.
+
+:class:`QueryService` multiplexes many simultaneous aggregation
+queries over one shared network snapshot.  Design (ROADMAP: serve
+heavy repeat traffic, not one query at a time):
+
+* **Submit/await.**  :meth:`QueryService.submit` admits a query and
+  returns a :class:`~repro.service.scheduler.QueryTicket`;
+  :meth:`QueryService.await_result` (or :meth:`QueryService.run`)
+  drives the scheduler until the answer is in.  Admission is bounded:
+  when ``max_queue`` queries are outstanding, ``submit`` raises
+  :class:`~repro.errors.AdmissionError` (backpressure) instead of
+  growing an unbounded backlog.
+* **Per-query determinism.**  Every submission spawns its own RNG
+  streams from the service seed, in submission order: one seeds a
+  private :meth:`~repro.network.simulator.NetworkSimulator.session`
+  (own sub-sampling RNG, own failure RNG, own fault clock), the other
+  the query's :class:`~repro.core.hybrid.HybridEngine`.  No query
+  reads shared simulator randomness, so *any* interleaving of walker
+  steps produces bit-identical results — the keystone invariant:
+  ``N`` queries run concurrently equal the same queries run serially
+  (a service with ``max_in_flight=1``) bit for bit, traces included.
+* **Fair interleaving with budgets.**  Engines execute stepwise
+  (``chunk_peers`` visits per step); the round-robin scheduler
+  advances every in-flight query once per tick and enforces per-query
+  :class:`~repro.service.budget.CostBudget` ceilings at chunk
+  boundaries.
+* **Shared plan cache.**  All per-query engines serve from one
+  :class:`~repro.core.hybrid.PlanCache`, so repeat signatures in the
+  workload go warm.  Cache entries are churn-epoch aware; after
+  :meth:`QueryService.rebind` to a new snapshot, stale plans cold-miss
+  on their own.
+* **Observability.**  With ``capture_traces=True`` each query gets its
+  own :class:`~repro.obs.Tracer` (scheduling-independent, diffable
+  with ``python -m repro.tools.trace diff``); the service-level
+  :class:`~repro.obs.MetricsRegistry` tracks throughput counters,
+  queue depth, warm/cold runs and budget/admission rejections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .._util import SeedLike, ensure_rng
+from ..core.hybrid import HybridEngine, PlanCache
+from ..core.result import ApproximateResult
+from ..core.two_phase import TwoPhaseConfig
+from ..errors import (
+    AdmissionError,
+    BudgetExceededError,
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+)
+from ..metrics.cost import QueryCost
+from ..network.simulator import NetworkSimulator
+from ..obs.events import QueryLifecycleEvent
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import Tracer
+from ..query.model import AggregationQuery
+from .budget import CostBudget
+from .scheduler import (
+    Completion,
+    QueryTicket,
+    RoundRobinScheduler,
+    ScheduledQuery,
+)
+
+__all__ = [
+    "QueryOutcome",
+    "ServiceStats",
+    "QueryService",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryOutcome:
+    """How one submitted query ended.
+
+    ``status`` is ``"done"`` (``result`` is set), ``"failed"``
+    (``error`` holds the :class:`~repro.errors.ReproError`) or
+    ``"budget-exceeded"`` (``detail`` names the tripped ceiling).
+    ``cost`` is the query's ledger snapshot at the end, whichever way
+    it ended; ``chunks`` is how many scheduling steps it consumed.
+    """
+
+    ticket: QueryTicket
+    status: str
+    result: Optional[ApproximateResult] = None
+    error: Optional[ReproError] = None
+    detail: str = ""
+    cost: Optional[QueryCost] = None
+    chunks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced a result."""
+        return self.status == "done"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time summary of the service's counters."""
+
+    submitted: int
+    completed: int
+    failed: int
+    budget_stopped: int
+    rejected: int
+    queued: int
+    in_flight: int
+    ticks: int
+    warm_runs: int
+    cold_runs: int
+    cache_hits: int
+    cache_misses: int
+    churn_invalidations: int
+
+    @property
+    def warm_ratio(self) -> float:
+        """Warm runs over all runs (0.0 when nothing ran)."""
+        total = self.warm_runs + self.cold_runs
+        return self.warm_runs / total if total else 0.0
+
+
+class QueryService:
+    """Concurrent aggregation-query serving over one shared snapshot.
+
+    Parameters
+    ----------
+    simulator:
+        The network snapshot to serve against.  Each query runs in its
+        own :meth:`~repro.network.simulator.NetworkSimulator.session`
+        of it.
+    config:
+        Engine configuration shared by all queries.
+    seed:
+        Service seed; every per-query stream spawns from it in
+        submission order, which is the whole determinism story.
+    max_in_flight:
+        Queries interleaved at once (1 = serial reference behaviour).
+    max_queue:
+        Outstanding-query bound (queued + running); beyond it,
+        :meth:`submit` raises :class:`~repro.errors.AdmissionError`.
+    chunk_peers:
+        Peer visits per scheduling step.  Smaller = fairer
+        interleaving and tighter budget enforcement, at more
+        scheduling overhead.  ``None`` runs each phase in one step.
+    default_budget:
+        Budget applied to submissions that don't bring their own.
+    max_age, decay:
+        Plan-cache tuning, as for :class:`~repro.core.hybrid.HybridEngine`.
+    capture_traces:
+        Give each query a private tracer (inspect via :meth:`trace`,
+        dump via :meth:`write_traces`).
+    registry:
+        Service metrics registry; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        config: Optional[TwoPhaseConfig] = None,
+        seed: SeedLike = None,
+        *,
+        max_in_flight: int = 4,
+        max_queue: int = 64,
+        chunk_peers: Optional[int] = 8,
+        default_budget: Optional[CostBudget] = None,
+        max_age: int = 25,
+        decay: float = 0.7,
+        capture_traces: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if chunk_peers is not None and chunk_peers < 1:
+            raise ConfigurationError("chunk_peers must be >= 1")
+        self._base = simulator
+        self._config = config or TwoPhaseConfig()
+        self._rng = ensure_rng(seed)
+        self._scheduler = RoundRobinScheduler(max_in_flight)
+        self._max_queue = max_queue
+        self._chunk_peers = chunk_peers
+        self._default_budget = default_budget
+        self._max_age = max_age
+        self._decay = decay
+        self._capture_traces = capture_traces
+        self._cache = PlanCache()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._outcomes: Dict[int, QueryOutcome] = {}
+        self._tracers: Dict[int, Tracer] = {}
+        self._next_id = 0
+        self._ticks = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._budget_stopped = 0
+        self._rejected = 0
+        self._warm_runs = 0
+        self._cold_runs = 0
+        self._prime(simulator)
+
+    @staticmethod
+    def _prime(simulator: NetworkSimulator) -> None:
+        # Sessions share the base snapshot's lazy columnar cache; build
+        # it once up front so no query pays for it mid-run.  Fault
+        # plans force the per-peer path, which doesn't need it.
+        if not simulator.faults_active:
+            simulator.flat_dataset
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The service-level metrics registry."""
+        return self._registry
+
+    @property
+    def cache(self) -> PlanCache:
+        """The plan cache shared by every query's engine."""
+        return self._cache
+
+    @property
+    def idle(self) -> bool:
+        """Whether no admitted query is unfinished."""
+        return self._scheduler.idle
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service's counters."""
+        return ServiceStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            failed=self._failed,
+            budget_stopped=self._budget_stopped,
+            rejected=self._rejected,
+            queued=self._scheduler.backlog,
+            in_flight=self._scheduler.in_flight,
+            ticks=self._ticks,
+            warm_runs=self._warm_runs,
+            cold_runs=self._cold_runs,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            churn_invalidations=self._cache.churn_invalidations,
+        )
+
+    def outcome(self, ticket: QueryTicket) -> Optional[QueryOutcome]:
+        """The outcome for ``ticket``, if it has resolved."""
+        return self._outcomes.get(ticket.query_id)
+
+    def trace(self, ticket: QueryTicket) -> Optional[Tracer]:
+        """The query's private tracer (``capture_traces`` only),
+        available once the query has resolved."""
+        return self._tracers.get(ticket.query_id)
+
+    def write_traces(self, directory: Union[str, Path]) -> List[Path]:
+        """Dump every resolved query's trace as ``query-NNNN.jsonl``.
+
+        The files are canonical JSONL, one per query in query-id
+        order — ready for ``python -m repro.tools.trace diff`` against
+        a reference run.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for query_id in sorted(self._tracers):
+            tracer = self._tracers[query_id]
+            path = target / f"query-{query_id:04d}.jsonl"
+            content = "\n".join(tracer.lines)
+            path.write_text(content + "\n" if content else "")
+            written.append(path)
+        return written
+
+    # ------------------------------------------------------------------
+    # Submission and scheduling
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int] = None,
+        budget: Optional[CostBudget] = None,
+    ) -> QueryTicket:
+        """Admit one query; returns its ticket.
+
+        Raises :class:`~repro.errors.AdmissionError` when ``max_queue``
+        queries are already outstanding.  The query's RNG streams are
+        spawned *here*, so results depend only on submission order —
+        never on scheduling.
+        """
+        outstanding = self._scheduler.backlog + self._scheduler.in_flight
+        if outstanding >= self._max_queue:
+            self._rejected += 1
+            self._registry.counter("service.rejected").inc()
+            raise AdmissionError(
+                f"admission queue full ({outstanding} queries outstanding, "
+                f"bound {self._max_queue})"
+            )
+        query_id = self._next_id
+        self._next_id += 1
+        signature = query.to_sql()
+        session_seed, engine_seed = self._rng.spawn(2)
+        session = self._base.session(seed=session_seed)
+        engine = HybridEngine(
+            session,
+            config=self._config,
+            seed=engine_seed,
+            max_age=self._max_age,
+            decay=self._decay,
+            cache=self._cache,
+        )
+        ticket = QueryTicket(
+            query_id=query_id,
+            query=query,
+            delta_req=delta_req,
+            signature=signature,
+        )
+        tracer: Optional[Tracer] = None
+        if self._capture_traces:
+            tracer = Tracer()
+            tracer.emit(
+                QueryLifecycleEvent(
+                    query_id=query_id,
+                    status="submitted",
+                    signature=signature,
+                )
+            )
+        task = ScheduledQuery(
+            ticket=ticket,
+            steps=engine.run_stepwise(
+                query, delta_req, sink=sink, chunk_peers=self._chunk_peers
+            ),
+            engine=engine,
+            budget=budget if budget is not None else self._default_budget,
+            tracer=tracer,
+        )
+        self._scheduler.enqueue(task)
+        self._submitted += 1
+        self._registry.counter("service.submitted").inc()
+        self._update_gauges()
+        return ticket
+
+    def tick(self) -> List[QueryOutcome]:
+        """One scheduling round; returns queries that resolved in it."""
+        self._ticks += 1
+        self._registry.counter("service.ticks").inc()
+        outcomes = [
+            self._finish(completion) for completion in self._scheduler.tick()
+        ]
+        self._update_gauges()
+        return outcomes
+
+    def run(self) -> List[QueryOutcome]:
+        """Drive the scheduler until every admitted query resolves.
+
+        Returns the outcomes that resolved during this call, in
+        submission order.
+        """
+        finished: List[QueryOutcome] = []
+        while not self._scheduler.idle:
+            finished.extend(self.tick())
+        return sorted(finished, key=lambda o: o.ticket.query_id)
+
+    def await_result(self, ticket: QueryTicket) -> ApproximateResult:
+        """Drive the scheduler until ``ticket`` resolves; return its
+        result or raise how it failed.
+
+        Raises the query's own :class:`~repro.errors.ReproError` for
+        failed queries, :class:`~repro.errors.BudgetExceededError` for
+        budget stops, and :class:`~repro.errors.ServiceError` for a
+        ticket this service never admitted.
+        """
+        while (
+            ticket.query_id not in self._outcomes
+            and not self._scheduler.idle
+        ):
+            self.tick()
+        outcome = self._outcomes.get(ticket.query_id)
+        if outcome is None:
+            raise ServiceError(
+                f"query {ticket.query_id} is not outstanding here"
+            )
+        if outcome.status == "budget-exceeded":
+            raise BudgetExceededError(
+                f"query {ticket.query_id} stopped: {outcome.detail}"
+            )
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.result is not None
+        return outcome.result
+
+    def rebind(self, simulator: NetworkSimulator) -> None:
+        """Serve subsequent submissions from a new network snapshot.
+
+        Only legal while idle — in-flight queries hold sessions of the
+        old snapshot.  The plan cache survives: entries learned on the
+        old population cold-miss via their population stamp (counted
+        in ``churn_invalidations``), so no manual invalidation is
+        needed across churn epochs.
+        """
+        if not self._scheduler.idle:
+            raise ServiceError(
+                "cannot rebind while queries are outstanding"
+            )
+        self._base = simulator
+        self._prime(simulator)
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, completion: Completion) -> QueryOutcome:
+        task = completion.task
+        cost: Optional[QueryCost] = None
+        if completion.result is not None:
+            cost = completion.result.cost
+        elif task.last_checkpoint is not None:
+            cost = task.last_checkpoint.ledger.snapshot()
+        outcome = QueryOutcome(
+            ticket=task.ticket,
+            status=completion.status,
+            result=completion.result,
+            error=completion.error,
+            detail=completion.detail,
+            cost=cost,
+            chunks=task.chunks,
+        )
+        self._outcomes[task.ticket.query_id] = outcome
+        if task.tracer is not None:
+            self._tracers[task.ticket.query_id] = task.tracer
+        if completion.status == "done":
+            self._completed += 1
+            self._registry.counter("service.completed").inc()
+        elif completion.status == "failed":
+            self._failed += 1
+            self._registry.counter("service.failed").inc()
+        else:
+            self._budget_stopped += 1
+            self._registry.counter("service.budget_stopped").inc()
+        warm = task.engine.warm_runs
+        cold = task.engine.cold_runs
+        self._warm_runs += warm
+        self._cold_runs += cold
+        if warm:
+            self._registry.counter("service.warm_runs").inc(warm)
+        if cold:
+            self._registry.counter("service.cold_runs").inc(cold)
+        return outcome
+
+    def _update_gauges(self) -> None:
+        self._registry.gauge("service.queue_depth").set(
+            float(self._scheduler.backlog)
+        )
+        self._registry.gauge("service.in_flight").set(
+            float(self._scheduler.in_flight)
+        )

@@ -2,9 +2,9 @@
 
 The paper's evaluation currency is *cost*: every peer visit, hop and
 message must land in a :class:`~repro.metrics.cost.CostLedger`, or the
-reported visits/latency/bandwidth silently undercount.  Algorithm code
-(``core/`` and ``sampling/``) therefore may not reach around the
-accounting layer:
+reported visits/latency/bandwidth silently undercount.  Algorithm and
+serving code (``core/``, ``sampling/`` and ``service/``) therefore may
+not reach around the accounting layer:
 
 * simulator visit/flood/ping calls must pass a ``ledger`` argument;
 * raw topology traversal (``.neighbors(...)``) is only allowed inside a
@@ -52,7 +52,7 @@ _LEDGER_CALLS: Dict[str, int] = {
 }
 
 #: Directories whose modules this rule constrains.
-_GUARDED_DIRECTORIES = ("core", "sampling")
+_GUARDED_DIRECTORIES = ("core", "sampling", "service")
 
 #: Individual modules outside those directories that sit on the cost
 #: path and are held to the same standard: the resilient collector

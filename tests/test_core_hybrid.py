@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.hybrid import CachedPlan, HybridEngine
+from repro.core.hybrid import CachedPlan, HybridEngine, PlanCache
 from repro.core.two_phase import TwoPhaseConfig
 from repro.errors import ConfigurationError
+from repro.network.faults import FaultPlan
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
 from repro.query.exact import evaluate_exact
 from repro.query.parser import parse_query
 
@@ -115,6 +118,148 @@ class TestAccuracyAndCost:
         assert warm.cost.peers_visited == warm.total_peers_visited
 
 
+class TestWarmResultContract:
+    """Warm runs honour the same result contract as cold runs."""
+
+    def test_warm_result_carries_degradation_fields(self, small_network):
+        """Regression: `_warm` used to drop the degraded-result
+        contract entirely — under reply loss the warm result said
+        nothing about how far short of the plan its sample fell."""
+        faulty = NetworkSimulator(
+            small_network.topology,
+            small_network.databases(),
+            seed=7,
+            fault_plan=FaultPlan(seed=3, reply_loss=0.5),
+        )
+        engine = HybridEngine(
+            faulty, TwoPhaseConfig(max_phase_two_peers=200), seed=7
+        )
+        engine.execute(COUNT_30, 0.1, sink=0)  # cold, fills the cache
+        warm = engine.execute(COUNT_30, 0.1, sink=0)
+        assert engine.warm_runs == 1
+        assert warm.requested_sample_size > 0
+        assert 0 < warm.effective_sample_size <= warm.requested_sample_size
+        # At 50% reply loss a full sample is (deterministically, for
+        # this seed) impossible — the degradation must be flagged.
+        assert warm.effective_sample_size < warm.requested_sample_size
+        assert warm.degraded
+
+    def test_warm_result_reports_planning_scale(self, engine):
+        """Regression: the warm path sized its walk from the
+        pre-refresh `plan.scale` but reported the post-refresh mutated
+        scale, so `result.scale * delta_req` no longer equalled the
+        absolute target the walk was planned for.
+
+        SUM's scale is a sample-dependent column-sum estimate (COUNT's
+        is exact under this uniform placement), so the warm refresh
+        provably moves it.
+        """
+        engine.execute(SUM_ALL, 0.1, sink=0)
+        planning_scale = engine.cached_plan(SUM_ALL).scale
+        warm = engine.execute(SUM_ALL, 0.1, sink=0)
+        # Exact equality: the reported scale *is* the planning scale,
+        # so absolute_target == result.scale * delta_req bit for bit.
+        assert warm.scale == planning_scale
+        # The refresh did happen — the cache moved on; only the
+        # *report* sticks to planning time.
+        assert engine.cached_plan(SUM_ALL).scale != planning_scale
+
+    def test_churned_population_is_a_cold_miss(self, small_dataset):
+        """Regression: the cache never auto-invalidated under churn —
+        a plan learned on one population silently served another."""
+        cache = PlanCache()
+        config = TwoPhaseConfig(max_phase_two_peers=200)
+        big = NetworkSimulator(
+            power_law_topology(200, 800, seed=7),
+            small_dataset.databases,
+            seed=7,
+        )
+        first = HybridEngine(big, config, seed=7, cache=cache)
+        first.execute(COUNT_30, 0.1, sink=0)
+        assert first.cold_runs == 1
+
+        small = NetworkSimulator(
+            power_law_topology(150, 600, seed=11),
+            small_dataset.databases[:150],
+            seed=13,
+        )
+        second = HybridEngine(small, config, seed=7, cache=cache)
+        second.execute(COUNT_30, 0.1, sink=0)
+        assert second.cold_runs == 1
+        assert second.warm_runs == 0
+        assert cache.churn_invalidations == 1
+        # The replacement entry is stamped with the new population.
+        plan = second.cached_plan(COUNT_30)
+        assert (plan.num_peers, plan.num_edges) == (150, 600)
+
+    def test_rebind_rebuilds_estimator_for_new_population(
+        self, small_dataset
+    ):
+        engine = HybridEngine(
+            NetworkSimulator(
+                power_law_topology(200, 800, seed=7),
+                small_dataset.databases,
+                seed=7,
+            ),
+            TwoPhaseConfig(max_phase_two_peers=200),
+            seed=7,
+        )
+        engine.execute(COUNT_30, 0.1, sink=0)
+        engine.rebind(
+            NetworkSimulator(
+                power_law_topology(150, 600, seed=11),
+                small_dataset.databases[:150],
+                seed=13,
+            )
+        )
+        result = engine.execute(COUNT_30, 0.1, sink=0)
+        # The stale plan cold-missed; the run against the new
+        # population still produces a sane estimate.
+        assert engine.cold_runs == 2
+        assert result.estimate > 0
+
+
+class TestPlanCache:
+    def test_lookup_counters(self):
+        cache = PlanCache()
+        assert cache.lookup("q", 10, 20, max_age=5) is None
+        assert cache.misses == 1
+        cache.store("q", CachedPlan(1.0, 10, 100.0, num_peers=10,
+                                    num_edges=20))
+        assert cache.lookup("q", 10, 20, max_age=5) is not None
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_population_mismatch_drops_entry(self):
+        cache = PlanCache()
+        cache.store("q", CachedPlan(1.0, 10, 100.0, num_peers=10,
+                                    num_edges=20))
+        assert cache.lookup("q", 11, 20, max_age=5) is None
+        assert cache.churn_invalidations == 1
+        assert cache.get("q") is None  # dropped, not just skipped
+
+    def test_unknown_population_never_mismatches(self):
+        cache = PlanCache()
+        cache.store("q", CachedPlan(1.0, 10, 100.0))
+        assert cache.lookup("q", 999, 999, max_age=5) is not None
+
+    def test_expiry_leaves_entry_for_cold_replacement(self):
+        cache = PlanCache()
+        cache.store("q", CachedPlan(1.0, 10, 100.0, uses=5))
+        assert cache.lookup("q", 0, 0, max_age=5) is None
+        assert cache.expirations == 1
+        assert cache.get("q") is not None
+
+    def test_invalidate(self):
+        cache = PlanCache()
+        cache.store("a", CachedPlan(1.0, 10, 100.0))
+        cache.store("b", CachedPlan(1.0, 10, 100.0))
+        cache.invalidate("a")
+        assert cache.get("a") is None and cache.get("b") is not None
+        cache.invalidate()
+        assert len(cache) == 0
+
+
 class TestCachedPlan:
     def test_refresh_blends(self):
         plan = CachedPlan(
@@ -123,3 +268,9 @@ class TestCachedPlan:
         plan.refresh(squared_cv=20.0, scale=200.0, decay=0.5)
         assert plan.mean_squared_cv_error == 15.0
         assert plan.scale == 150.0
+
+    def test_matches_population(self):
+        stamped = CachedPlan(1.0, 10, 100.0, num_peers=5, num_edges=9)
+        assert stamped.matches_population(5, 9)
+        assert not stamped.matches_population(5, 10)
+        assert CachedPlan(1.0, 10, 100.0).matches_population(5, 9)

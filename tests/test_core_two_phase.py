@@ -4,7 +4,11 @@
 import numpy as np
 import pytest
 
-from repro.core.two_phase import TwoPhaseConfig, TwoPhaseEngine
+from repro.core.two_phase import (
+    TwoPhaseConfig,
+    TwoPhaseEngine,
+    drain_steps,
+)
 from repro.errors import ConfigurationError
 from repro.query.exact import evaluate_exact
 from repro.query.model import AggregateOp, AggregationQuery
@@ -232,3 +236,76 @@ class TestDistinctPeersAndRiskFlag:
         engine = TwoPhaseEngine(small_network, config=config, seed=23)
         result = engine.execute(COUNT_30, delta_req=0.2, sink=0)
         assert not result.accuracy_at_risk
+
+
+class TestStepwiseExecution:
+    """`run_stepwise` is `execute` cut at chunk boundaries."""
+
+    QUERY = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+
+    def test_drained_stepwise_equals_execute(self, small_network):
+        reference = TwoPhaseEngine(
+            small_network, TwoPhaseConfig(max_phase_two_peers=200), seed=3
+        ).execute(self.QUERY, 0.1, sink=0)
+        stepped = drain_steps(
+            TwoPhaseEngine(
+                small_network,
+                TwoPhaseConfig(max_phase_two_peers=200),
+                seed=3,
+            ).run_stepwise(self.QUERY, 0.1, sink=0)
+        )
+        assert stepped.estimate == reference.estimate
+        assert stepped.cost == reference.cost
+
+    def test_chunked_estimate_matches_unchunked(self, small_network):
+        def run(chunk_peers):
+            return drain_steps(
+                TwoPhaseEngine(
+                    small_network,
+                    TwoPhaseConfig(max_phase_two_peers=200),
+                    seed=3,
+                ).run_stepwise(
+                    self.QUERY, 0.1, sink=0, chunk_peers=chunk_peers
+                )
+            )
+
+        whole = run(None)
+        chunked = run(5)
+        assert chunked.estimate == whole.estimate
+        assert chunked.cost.hops == whole.cost.hops
+        assert chunked.cost.peers_visited == whole.cost.peers_visited
+
+    def test_checkpoints_are_ordered_and_monotone(self, small_network):
+        engine = TwoPhaseEngine(
+            small_network, TwoPhaseConfig(max_phase_two_peers=200), seed=3
+        )
+        steps = engine.run_stepwise(self.QUERY, 0.1, sink=0, chunk_peers=6)
+        phases = []
+        collected = {}
+        try:
+            while True:
+                checkpoint = next(steps)
+                assert checkpoint.engine == "two-phase"
+                if phases and phases[-1] != checkpoint.phase:
+                    phases.append(checkpoint.phase)
+                elif not phases:
+                    phases.append(checkpoint.phase)
+                previous = collected.get(checkpoint.phase, 0)
+                assert checkpoint.collected >= previous
+                collected[checkpoint.phase] = checkpoint.collected
+        except StopIteration as stop:
+            result = stop.value
+        assert phases == ["one", "analysis", "two"]
+        assert result.estimate > 0
+
+    def test_chunk_peers_validated(self, small_network):
+        engine = TwoPhaseEngine(small_network, seed=3)
+        with pytest.raises(ConfigurationError):
+            next(engine.run_stepwise(self.QUERY, 0.1, chunk_peers=0))
+
+    def test_drain_steps_returns_generator_value(self):
+        def generator():
+            yield "checkpoint"
+            return 42
+
+        assert drain_steps(generator()) == 42

@@ -288,3 +288,70 @@ class TestMetropolisUniform:
         degrees = small_topology.degrees.astype(float)
         correlation = np.corrcoef(empirical, degrees)[0, 1]
         assert abs(correlation) < 0.35
+
+
+class TestWalkCursor:
+    """The incremental cursor must be indistinguishable from one
+    `sample_peers` call split at arbitrary boundaries."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            RandomWalkConfig(jump=10),
+            RandomWalkConfig(jump=3, variant="metropolis-uniform"),
+            RandomWalkConfig(jump=5, allow_revisits=False),
+            RandomWalkConfig(jump=0, burn_in=0),
+        ],
+        ids=["simple", "metropolis", "distinct", "dfs"],
+    )
+    def test_chunked_takes_equal_one_walk(self, small_topology, config):
+        whole = RandomWalker(small_topology, config, seed=21)
+        reference = whole.sample_peers(3, 20)
+
+        chunked = RandomWalker(small_topology, config, seed=21)
+        cursor = chunked.cursor(3)
+        pieces = [cursor.take(7), cursor.take(0), cursor.take(5),
+                  cursor.take(8)]
+        peers = [p for piece in pieces for p in piece.peers]
+        assert peers == list(reference.peers)
+        assert sum(piece.hops for piece in pieces) == reference.hops
+        # The walker RNG advanced identically: the next draw agrees.
+        assert whole.step(int(reference.peers[-1])) == chunked.step(
+            int(reference.peers[-1])
+        )
+
+    def test_take_zero_before_start_consumes_nothing(self, small_topology):
+        walker = RandomWalker(small_topology, seed=5)
+        cursor = walker.cursor(0)
+        empty = cursor.take(0)
+        assert len(empty.peers) == 0 and empty.hops == 0
+        assert cursor.total_hops == 0
+        # Burn-in only happens once real selection begins.
+        first = cursor.take(2)
+        assert len(first.peers) == 2
+
+    def test_negative_take_rejected(self, small_topology):
+        cursor = RandomWalker(small_topology, seed=5).cursor(0)
+        with pytest.raises(ConfigurationError):
+            cursor.take(-1)
+
+    def test_distinct_mode_spans_takes(self, small_topology):
+        config = RandomWalkConfig(jump=4, allow_revisits=False)
+        cursor = RandomWalker(small_topology, config, seed=9).cursor(0)
+        seen = []
+        for count in (6, 6, 6):
+            seen.extend(cursor.take(count).peers)
+        assert len(seen) == len(set(seen)) == 18
+
+    def test_progress_properties(self, small_topology):
+        cursor = RandomWalker(small_topology, seed=5).cursor(7)
+        assert cursor.start == 7 and cursor.position == 7
+        cursor.take(4)
+        assert cursor.total_selected == 4
+        assert cursor.total_hops > 0
+        assert 0 <= cursor.position < small_topology.num_peers
+
+    def test_invalid_start_rejected(self, small_topology):
+        walker = RandomWalker(small_topology, seed=5)
+        with pytest.raises(TopologyError):
+            walker.cursor(small_topology.num_peers + 1)

@@ -1,0 +1,464 @@
+"""Tests for the concurrent query-serving layer.
+
+The headline assertion is the service's keystone invariant: ``N``
+queries run concurrently (``max_in_flight > 1``) are bit-identical —
+results, costs, *and traces* — to the same queries run serially
+(``max_in_flight=1``), because every query owns its RNG streams and
+simulator session.  Everything else (backpressure, budgets, the shared
+plan cache, metrics) is tested around that.
+"""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_phase import TwoPhaseConfig
+from repro.errors import (
+    AdmissionError,
+    BudgetExceededError,
+    ConfigurationError,
+    QueryError,
+    ServiceError,
+)
+from repro.metrics.cost import QueryCost
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
+from repro.query.parser import parse_query
+from repro.service import (
+    CostBudget,
+    QueryService,
+    QueryTicket,
+    RoundRobinScheduler,
+    ScheduledQuery,
+)
+from repro.tools.trace.cli import main as trace_main
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+SUM_50 = parse_query("SELECT SUM(A) FROM T WHERE A BETWEEN 1 AND 50")
+AVG_ALL = parse_query("SELECT AVG(A) FROM T")
+
+#: The determinism-gate workload: eight mixed queries with repeated
+#: signatures, so warm cache traffic is part of what must replay.
+WORKLOAD = [
+    COUNT_30, SUM_50, AVG_ALL, COUNT_30,
+    SUM_50, AVG_ALL, COUNT_30, parse_query("SELECT SUM(A) FROM T"),
+]
+
+CONFIG = TwoPhaseConfig(max_phase_two_peers=200)
+
+
+def make_service(small_network, **kwargs):
+    kwargs.setdefault("seed", 99)
+    return QueryService(small_network, CONFIG, **kwargs)
+
+
+def run_workload_at(small_network, max_in_flight, **kwargs):
+    service = make_service(
+        small_network,
+        max_in_flight=max_in_flight,
+        capture_traces=True,
+        **kwargs,
+    )
+    tickets = [service.submit(query, 0.1) for query in WORKLOAD]
+    outcomes = service.run()
+    return service, tickets, outcomes
+
+
+class TestCostBudget:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostBudget(max_messages=-1)
+        with pytest.raises(ConfigurationError):
+            CostBudget(max_latency_ms=-0.5)
+
+    def test_unlimited(self):
+        assert CostBudget().unlimited
+        assert not CostBudget(max_hops=10).unlimited
+
+    def test_violation_names_field_and_values(self):
+        budget = CostBudget(max_messages=5)
+        cost = QueryCost(messages=9)
+        assert budget.violation(cost) == "messages 9 > 5"
+        assert budget.violation(QueryCost(messages=5)) is None
+
+    def test_within_budget(self):
+        budget = CostBudget(
+            max_messages=100, max_hops=100, max_visits=100,
+            max_latency_ms=1e9,
+        )
+        assert budget.violation(QueryCost(messages=1, hops=1)) is None
+
+
+class TestSubmitAwait:
+    def test_submit_returns_sequential_tickets(self, small_network):
+        service = make_service(small_network)
+        first = service.submit(COUNT_30, 0.1)
+        second = service.submit(AVG_ALL, 0.1)
+        assert (first.query_id, second.query_id) == (0, 1)
+        assert first.signature == COUNT_30.to_sql()
+
+    def test_await_result_returns_the_estimate(self, small_network):
+        service = make_service(small_network)
+        ticket = service.submit(COUNT_30, 0.1)
+        result = service.await_result(ticket)
+        assert result.estimate > 0
+        assert result.cost.peers_visited > 0
+        outcome = service.outcome(ticket)
+        assert outcome is not None and outcome.ok
+        assert outcome.result is result
+
+    def test_unknown_ticket_raises(self, small_network):
+        service = make_service(small_network)
+        stranger = QueryTicket(
+            query_id=999, query=COUNT_30, delta_req=0.1,
+            signature=COUNT_30.to_sql(),
+        )
+        with pytest.raises(ServiceError):
+            service.await_result(stranger)
+
+    def test_failed_query_raises_its_own_error(self, small_network):
+        service = make_service(small_network)
+        bad = parse_query("SELECT COUNT(Z) FROM T WHERE Z BETWEEN 1 AND 2")
+        ticket = service.submit(bad, 0.1)
+        with pytest.raises(QueryError):
+            service.await_result(ticket)
+        outcome = service.outcome(ticket)
+        assert outcome.status == "failed"
+        assert "Z" in outcome.detail
+
+    def test_run_resolves_everything_in_submission_order(
+        self, small_network
+    ):
+        service = make_service(small_network, max_in_flight=3)
+        tickets = [service.submit(q, 0.1) for q in WORKLOAD[:5]]
+        outcomes = service.run()
+        assert [o.ticket.query_id for o in outcomes] == [
+            t.query_id for t in tickets
+        ]
+        assert all(o.ok for o in outcomes)
+        assert service.idle
+
+    def test_validation(self, small_network):
+        with pytest.raises(ConfigurationError):
+            make_service(small_network, max_queue=0)
+        with pytest.raises(ConfigurationError):
+            make_service(small_network, chunk_peers=0)
+        with pytest.raises(ConfigurationError):
+            make_service(small_network, max_in_flight=0)
+
+
+class TestBackpressure:
+    def test_admission_bound(self, small_network):
+        service = make_service(small_network, max_queue=2)
+        service.submit(COUNT_30, 0.1)
+        service.submit(AVG_ALL, 0.1)
+        with pytest.raises(AdmissionError):
+            service.submit(SUM_50, 0.1)
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.submitted == 2
+
+    def test_capacity_frees_up_after_completion(self, small_network):
+        service = make_service(small_network, max_queue=1)
+        ticket = service.submit(COUNT_30, 0.1)
+        service.await_result(ticket)
+        # The slot is free again: this admission must not raise.
+        service.await_result(service.submit(AVG_ALL, 0.1))
+
+
+class TestBudgets:
+    def test_budget_stop_is_typed_and_detailed(self, small_network):
+        service = make_service(small_network, chunk_peers=4)
+        ticket = service.submit(
+            COUNT_30, 0.1, budget=CostBudget(max_hops=10)
+        )
+        with pytest.raises(BudgetExceededError, match="hops"):
+            service.await_result(ticket)
+        outcome = service.outcome(ticket)
+        assert outcome.status == "budget-exceeded"
+        assert "hops" in outcome.detail
+        assert outcome.cost is not None and outcome.cost.hops > 10
+        assert outcome.chunks >= 1
+        assert service.stats().budget_stopped == 1
+
+    def test_default_budget_applies_to_all(self, small_network):
+        service = make_service(
+            small_network,
+            chunk_peers=4,
+            default_budget=CostBudget(max_messages=3),
+        )
+        service.submit(COUNT_30, 0.1)
+        service.submit(AVG_ALL, 0.1)
+        outcomes = service.run()
+        assert all(o.status == "budget-exceeded" for o in outcomes)
+
+    def test_unlimited_budget_never_trips(self, small_network):
+        service = make_service(
+            small_network, default_budget=CostBudget()
+        )
+        ticket = service.submit(COUNT_30, 0.1)
+        assert service.await_result(ticket).estimate > 0
+
+
+class TestSharedPlanCache:
+    def test_repeat_signatures_go_warm(self, small_network):
+        service, _, outcomes = run_workload_at(small_network, 4)
+        stats = service.stats()
+        # 4 distinct signatures in the 8-query workload: the repeats
+        # must be served warm from the shared cache.
+        assert stats.cold_runs == 4
+        assert stats.warm_runs == 4
+        assert stats.cache_hits == 4
+        assert stats.cache_misses == 4
+        assert 0.0 < stats.warm_ratio < 1.0
+        assert len(service.cache) == 4
+        assert all(o.ok for o in outcomes)
+
+    def test_warm_queries_cost_less(self, small_network):
+        service = make_service(small_network)
+        cold = service.await_result(service.submit(COUNT_30, 0.1))
+        warm = service.await_result(service.submit(COUNT_30, 0.1))
+        assert warm.cost.peers_visited <= cold.cost.peers_visited
+
+    def test_rebind_requires_idle(self, small_network):
+        service = make_service(small_network)
+        service.submit(COUNT_30, 0.1)
+        with pytest.raises(ServiceError):
+            service.rebind(small_network)
+
+    def test_rebind_churn_invalidates_stale_plans(
+        self, small_network, small_dataset
+    ):
+        service = make_service(small_network)
+        service.await_result(service.submit(COUNT_30, 0.1))
+        assert service.stats().cold_runs == 1
+
+        # A different population: plans learned on 200 peers must not
+        # serve it warm.
+        other_topology = power_law_topology(150, 600, seed=11)
+        other = NetworkSimulator(
+            other_topology,
+            small_dataset.databases[:150],
+            seed=13,
+        )
+        service.rebind(other)
+        service.await_result(service.submit(COUNT_30, 0.1))
+        stats = service.stats()
+        assert stats.cold_runs == 2
+        assert stats.warm_runs == 0
+        assert stats.churn_invalidations == 1
+
+
+class TestDeterminismGate:
+    """The keystone invariant, pinned on the full mixed workload."""
+
+    def test_concurrent_results_equal_serial(self, small_network):
+        _, _, serial = run_workload_at(small_network, 1)
+        _, _, concurrent = run_workload_at(small_network, 8)
+        assert len(serial) == len(concurrent) == len(WORKLOAD)
+        for a, b in zip(serial, concurrent):
+            assert a.ticket.query_id == b.ticket.query_id
+            assert a.status == b.status == "done"
+            assert a.result.estimate == b.result.estimate
+            assert a.result.scale == b.result.scale
+            assert a.result.cost == b.result.cost
+            assert (
+                a.result.confidence_interval.half_width
+                == b.result.confidence_interval.half_width
+            )
+
+    def test_concurrent_traces_equal_serial(self, small_network):
+        serial_svc, serial_tickets, _ = run_workload_at(small_network, 1)
+        conc_svc, conc_tickets, _ = run_workload_at(small_network, 8)
+        for st_, ct in zip(serial_tickets, conc_tickets):
+            serial_trace = serial_svc.trace(st_)
+            concurrent_trace = conc_svc.trace(ct)
+            assert serial_trace.lines == concurrent_trace.lines
+            assert serial_trace.digest() == concurrent_trace.digest()
+
+    def test_trace_diff_tool_sees_identical_runs(
+        self, small_network, tmp_path
+    ):
+        serial_svc, _, _ = run_workload_at(small_network, 1)
+        conc_svc, _, _ = run_workload_at(small_network, 8)
+        serial_paths = serial_svc.write_traces(tmp_path / "serial")
+        conc_paths = conc_svc.write_traces(tmp_path / "concurrent")
+        assert len(serial_paths) == len(conc_paths) == len(WORKLOAD)
+        for left, right in zip(serial_paths, conc_paths):
+            assert trace_main(["diff", str(left), str(right)]) == 0
+
+    def test_trace_diff_subprocess_entry_point(
+        self, small_network, tmp_path
+    ):
+        """The documented CLI (`python -m repro.tools.trace diff`)
+        agrees: a concurrent run's trace diffs clean against serial."""
+        serial_svc, _, _ = run_workload_at(small_network, 1)
+        conc_svc, _, _ = run_workload_at(small_network, 8)
+        left = serial_svc.write_traces(tmp_path / "serial")[0]
+        right = conc_svc.write_traces(tmp_path / "concurrent")[0]
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.tools.trace", "diff",
+                str(left), str(right),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_chunk_size_does_not_change_results(self, small_network):
+        _, _, coarse = run_workload_at(small_network, 4, chunk_peers=None)
+        _, _, fine = run_workload_at(small_network, 4, chunk_peers=3)
+        for a, b in zip(coarse, fine):
+            assert a.result.estimate == b.result.estimate
+            # Chunked collection charges the ledger in more, smaller
+            # additions, so the float latency accumulator can differ
+            # in the last ulp; every integer cost field is exact.
+            assert dataclasses.replace(
+                a.result.cost, latency_ms=0.0
+            ) == dataclasses.replace(b.result.cost, latency_ms=0.0)
+            assert a.result.cost.latency_ms == pytest.approx(
+                b.result.cost.latency_ms, rel=1e-12
+            )
+
+
+class TestObservability:
+    def test_lifecycle_events_in_trace(self, small_network):
+        service = make_service(small_network, capture_traces=True)
+        ticket = service.submit(COUNT_30, 0.1)
+        service.run()
+        tracer = service.trace(ticket)
+        lifecycle = [
+            event for event in tracer.events if event.kind == "query"
+        ]
+        assert [event.status for event in lifecycle] == [
+            "submitted", "started", "done"
+        ]
+        assert all(
+            event.query_id == ticket.query_id for event in lifecycle
+        )
+        assert tracer.registry.counter("query.done").value == 1
+
+    def test_service_metrics(self, small_network):
+        service, _, _ = run_workload_at(small_network, 4)
+        registry = service.registry
+        assert registry.counter("service.submitted").value == len(WORKLOAD)
+        assert registry.counter("service.completed").value == len(WORKLOAD)
+        assert registry.counter("service.warm_runs").value == 4
+        assert registry.counter("service.cold_runs").value == 4
+        assert registry.gauge("service.queue_depth").value == 0.0
+        assert registry.gauge("service.in_flight").value == 0.0
+        assert registry.counter("service.ticks").value > 0
+
+    def test_stats_roundtrip(self, small_network):
+        service = make_service(small_network)
+        stats = service.stats()
+        assert stats.submitted == 0
+        assert stats.warm_ratio == 0.0
+
+
+class TestScheduler:
+    """Scheduler-level behaviour, on synthetic stepwise generators."""
+
+    @staticmethod
+    def _task(query_id, signature, steps):
+        ticket = QueryTicket(
+            query_id=query_id, query=COUNT_30, delta_req=0.1,
+            signature=signature,
+        )
+        return ScheduledQuery(
+            ticket=ticket, steps=steps, engine=None, budget=None,
+            tracer=None,
+        )
+
+    @staticmethod
+    def _steps(log, name, chunks):
+        def generator():
+            for index in range(chunks):
+                log.append((name, index))
+                yield None
+            return name
+
+        return generator()
+
+    def test_round_robin_interleaves_fairly(self):
+        log = []
+        scheduler = RoundRobinScheduler(max_in_flight=2)
+        scheduler.enqueue(self._task(0, "a", self._steps(log, "a", 2)))
+        scheduler.enqueue(self._task(1, "b", self._steps(log, "b", 2)))
+        scheduler.tick()
+        # One chunk each per tick — neither runs ahead.
+        assert log == [("a", 0), ("b", 0)]
+        scheduler.tick()
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_same_signature_never_runs_concurrently(self):
+        log = []
+        scheduler = RoundRobinScheduler(max_in_flight=4)
+        scheduler.enqueue(self._task(0, "same", self._steps(log, "x", 2)))
+        scheduler.enqueue(self._task(1, "same", self._steps(log, "y", 2)))
+        scheduler.enqueue(self._task(2, "other", self._steps(log, "z", 2)))
+        done = []
+        while not scheduler.idle:
+            done.extend(scheduler.tick())
+        # "y" shares a signature with "x" so it must not start until
+        # "x" finishes; "z" interleaves freely.
+        y_start = log.index(("y", 0))
+        x_end = log.index(("x", 1))
+        assert y_start > x_end
+        assert [c.task.ticket.query_id for c in done] == [0, 2, 1]
+
+    def test_admission_respects_max_in_flight(self):
+        log = []
+        scheduler = RoundRobinScheduler(max_in_flight=1)
+        scheduler.enqueue(self._task(0, "a", self._steps(log, "a", 1)))
+        scheduler.enqueue(self._task(1, "b", self._steps(log, "b", 1)))
+        scheduler.tick()
+        assert scheduler.in_flight + scheduler.backlog >= 1
+        assert ("b", 0) not in log
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinScheduler(max_in_flight=0)
+
+
+class TestPropertyDeterminism:
+    """Random small workloads: concurrency never changes answers."""
+
+    POOL = [COUNT_30, SUM_50, AVG_ALL]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=2, max_size=5
+        ),
+        max_in_flight=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_concurrent_equals_serial(
+        self, small_network, picks, max_in_flight, seed
+    ):
+        queries = [self.POOL[i] for i in picks]
+
+        def run(in_flight):
+            service = QueryService(
+                small_network,
+                TwoPhaseConfig(max_phase_two_peers=60),
+                seed=seed,
+                max_in_flight=in_flight,
+                chunk_peers=5,
+            )
+            tickets = [service.submit(q, 0.15) for q in queries]
+            service.run()
+            return [service.outcome(t) for t in tickets]
+
+        serial = run(1)
+        concurrent = run(max_in_flight)
+        for a, b in zip(serial, concurrent):
+            assert a.status == b.status
+            assert a.result.estimate == b.result.estimate
+            assert a.result.cost == b.result.cost

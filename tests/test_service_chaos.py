@@ -1,0 +1,120 @@
+"""Chaos scenarios for the query-serving layer.
+
+The service's determinism invariant has to survive fault injection:
+every query's session carries its own failure RNG and fault clock, so
+a faulty workload run concurrently must still be bit-identical to the
+same workload run serially — the *same* probes fail either way.  And
+the per-query outcomes must honour the chaos contract: a degraded
+result or a typed :class:`~repro.errors.ReproError`, never a silent
+wrong answer.
+"""
+
+import pytest
+
+from repro.core.two_phase import TwoPhaseConfig
+from repro.network.faults import CrashWindow, FaultPlan
+from repro.network.simulator import NetworkSimulator
+from repro.network.walker import RetryPolicy
+from repro.query.parser import parse_query
+from repro.service import QueryService
+
+pytestmark = pytest.mark.chaos
+
+WORKLOAD = [
+    parse_query("SELECT COUNT(A) FROM T"),
+    parse_query("SELECT AVG(A) FROM T"),
+    parse_query("SELECT COUNT(A) FROM T"),
+    parse_query("SELECT SUM(A) FROM T WHERE A BETWEEN 1 AND 50"),
+    parse_query("SELECT COUNT(A) FROM T"),
+]
+
+PLAN = FaultPlan(
+    seed=11,
+    reply_loss=0.2,
+    crashes=tuple(
+        CrashWindow(peer_id=peer, start=0, stop=10**6)
+        for peer in range(0, 200, 9)
+    ),
+    probe_timeout_ms=200.0,
+)
+
+CONFIG = TwoPhaseConfig(
+    phase_one_peers=40,
+    max_phase_two_peers=120,
+    retry_policy=RetryPolicy(max_attempts=3, backoff_base_ms=10.0),
+)
+
+
+def faulty_simulator(small_network):
+    return NetworkSimulator(
+        small_network.topology,
+        small_network.databases(),
+        seed=7,
+        fault_plan=PLAN,
+    )
+
+
+def run_workload(simulator, max_in_flight):
+    service = QueryService(
+        simulator,
+        CONFIG,
+        seed=99,
+        max_in_flight=max_in_flight,
+        chunk_peers=8,
+        capture_traces=True,
+    )
+    tickets = [service.submit(query, 0.1) for query in WORKLOAD]
+    service.run()
+    return service, tickets
+
+
+class TestServiceUnderFaults:
+    def test_every_outcome_is_degraded_or_typed(self, small_network):
+        service, tickets = run_workload(
+            faulty_simulator(small_network), max_in_flight=4
+        )
+        for ticket in tickets:
+            outcome = service.outcome(ticket)
+            assert outcome is not None
+            # The chaos contract: a real (possibly degraded) result or
+            # a typed error — never a hang, never a silent bad answer.
+            assert outcome.status in ("done", "failed")
+            if outcome.ok:
+                result = outcome.result
+                assert (
+                    result.effective_sample_size
+                    <= result.requested_sample_size
+                )
+                if (
+                    result.effective_sample_size
+                    < result.requested_sample_size
+                ):
+                    assert result.degraded
+            else:
+                assert outcome.error is not None
+        # The schedule actually injected faults somewhere.
+        stats = service.stats()
+        assert stats.completed + stats.failed == len(WORKLOAD)
+
+    def test_faulty_workload_is_still_deterministic(self, small_network):
+        """Serial and concurrent runs see the *same* injected faults:
+        per-query sessions isolate the failure RNG and fault clock."""
+        serial_svc, serial_tickets = run_workload(
+            faulty_simulator(small_network), max_in_flight=1
+        )
+        conc_svc, conc_tickets = run_workload(
+            faulty_simulator(small_network), max_in_flight=5
+        )
+        for st, ct in zip(serial_tickets, conc_tickets):
+            a = serial_svc.outcome(st)
+            b = conc_svc.outcome(ct)
+            assert a.status == b.status
+            if a.ok:
+                assert a.result.estimate == b.result.estimate
+                assert a.result.cost == b.result.cost
+                assert a.result.degraded == b.result.degraded
+                assert (
+                    a.result.effective_sample_size
+                    == b.result.effective_sample_size
+                )
+            assert serial_svc.trace(st).lines == conc_svc.trace(ct).lines
