@@ -36,17 +36,23 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._util import SeedLike, ensure_rng
 from ..errors import ConfigurationError
+from ..network.protocol import AggregateReply
 from ..network.simulator import NetworkSimulator
-from ..obs.events import EstimateEvent, PhaseEvent, TraceEvent
+from ..obs.events import (
+    DeltaReuseEvent,
+    EstimateEvent,
+    PhaseEvent,
+    TraceEvent,
+)
 from ..obs.tracer import active_tracer
 from ..query.model import AggregationQuery
 from .confidence import ConfidenceInterval, z_for_confidence
 from .crossval import cross_validate
-from .estimators import make_estimator
+from .estimators import make_estimator, observations_from_replies
 from .planner import estimate_scale
 from .result import ApproximateResult, PhaseReport
 from .two_phase import (
@@ -60,6 +66,7 @@ from .two_phase import (
 __all__ = [
     "CachedPlan",
     "PlanCache",
+    "RetainedSample",
     "HybridEngine",
 ]
 
@@ -69,6 +76,26 @@ def _emit(event: TraceEvent) -> None:
     tracer = active_tracer()
     if tracer is not None:
         tracer.emit(event)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetainedSample:
+    """A run's sample, keyed by stable labels, for churn-delta top-up.
+
+    This retains per-peer *sufficient statistics* — each reply carries
+    one peer's locally scaled aggregate, variance and degree — not
+    tuples, so it stays within the doctrine that pre-computed tuple
+    samples are impractical in P2P systems while slow-changing
+    parameters are fair game.  Labels come from
+    :attr:`~repro.network.simulator.NetworkSimulator.peer_labels`:
+    vertex ids are compacted per churn epoch, so the stable label is
+    the only identity that survives into the next epoch, where the
+    delta path filters this sample against the new live set.
+    """
+
+    sink_label: int
+    labels: Tuple[int, ...]
+    replies: Tuple[AggregateReply, ...]
 
 
 @dataclasses.dataclass
@@ -93,6 +120,11 @@ class CachedPlan:
         for a network that no longer exists.  Zero means "unknown"
         (entries constructed by hand); unknown populations never
         mismatch, preserving the pre-churn-tracking behaviour.
+    retained:
+        The most recent run's sample keyed by stable labels, kept only
+        when the owning engine runs with delta re-estimation.  On a
+        churn mismatch it lets the lookup hand the stale plan back for
+        a delta top-up instead of dropping it.
     """
 
     mean_squared_cv_error: float
@@ -101,6 +133,7 @@ class CachedPlan:
     uses: int = 0
     num_peers: int = 0
     num_edges: int = 0
+    retained: Optional[RetainedSample] = None
 
     def refresh(
         self, squared_cv: float, scale: float, decay: float
@@ -135,6 +168,7 @@ class PlanCache:
         self._misses = 0
         self._expirations = 0
         self._churn_invalidations = 0
+        self._delta_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -160,6 +194,12 @@ class PlanCache:
         """Entries dropped because the population changed under them."""
         return self._churn_invalidations
 
+    @property
+    def delta_hits(self) -> int:
+        """Churn mismatches salvaged by a retained sample (delta
+        top-up instead of a cold restart)."""
+        return self._delta_hits
+
     def get(self, signature: str) -> Optional[CachedPlan]:
         """The raw entry for ``signature`` (no aging/population checks,
         no statistics side effects)."""
@@ -175,6 +215,7 @@ class PlanCache:
         num_peers: int,
         num_edges: int,
         max_age: int,
+        allow_delta: bool = False,
     ) -> Optional[CachedPlan]:
         """A servable plan for ``signature``, or ``None`` (cold miss).
 
@@ -182,12 +223,25 @@ class PlanCache:
         the entry has served ``max_age`` warm runs (left in place —
         the cold run replaces it), or the entry was learned on a
         different population (dropped on the spot).
+
+        With ``allow_delta``, a population-mismatched entry that still
+        carries a retained sample (and is not aged out) is *returned*
+        instead of dropped — the caller must check
+        :meth:`CachedPlan.matches_population` and run the delta top-up
+        path when it reports a mismatch.
         """
         plan = self._entries.get(signature)
         if plan is None:
             self._misses += 1
             return None
         if not plan.matches_population(num_peers, num_edges):
+            if (
+                allow_delta
+                and plan.retained is not None
+                and plan.uses < max_age
+            ):
+                self._delta_hits += 1
+                return plan
             del self._entries[signature]
             self._churn_invalidations += 1
             self._misses += 1
@@ -224,6 +278,15 @@ class HybridEngine:
         The plan cache to serve from.  Private by default; pass a
         shared :class:`PlanCache` to pool plans across engines (the
         query service does this for its whole workload).
+    delta_reestimation:
+        Off by default.  When on — and the simulator carries
+        ``peer_labels`` (it came from a churn snapshot) — every run
+        retains its sample keyed by stable labels, and a churn-epoch
+        cache invalidation re-estimates incrementally: the retained
+        sample is filtered against the new epoch's live set, surviving
+        replies are remapped onto the new topology, and only the
+        deficit is collected by a fresh walk.  Default-off keeps every
+        existing execution path (and its traces) byte-identical.
     """
 
     def __init__(
@@ -234,6 +297,7 @@ class HybridEngine:
         max_age: int = 25,
         decay: float = 0.7,
         cache: Optional[PlanCache] = None,
+        delta_reestimation: bool = False,
     ):
         if max_age < 1:
             raise ConfigurationError("max_age must be >= 1")
@@ -248,8 +312,10 @@ class HybridEngine:
         self._max_age = max_age
         self._decay = decay
         self._cache = cache if cache is not None else PlanCache()
+        self._delta_reestimation = delta_reestimation
         self._cold_runs = 0
         self._warm_runs = 0
+        self._delta_runs = 0
         self._point, self._variance = make_estimator(
             self._config.estimator, simulator.topology.num_peers
         )
@@ -265,6 +331,16 @@ class HybridEngine:
     def warm_runs(self) -> int:
         """Executions served from the plan cache."""
         return self._warm_runs
+
+    @property
+    def delta_runs(self) -> int:
+        """Executions served by churn-delta re-estimation."""
+        return self._delta_runs
+
+    @property
+    def delta_reestimation(self) -> bool:
+        """Whether churn-delta re-estimation is enabled."""
+        return self._delta_reestimation
 
     @property
     def cache(self) -> PlanCache:
@@ -338,10 +414,21 @@ class HybridEngine:
             topology.num_peers,
             topology.num_edges,
             self._max_age,
+            allow_delta=(
+                self._delta_reestimation
+                and self._simulator.peer_labels is not None
+            ),
         )
         if plan is None:
             result = yield from self._cold_stepwise(
                 query, delta_req, sink, signature, chunk_peers
+            )
+            return result
+        if not plan.matches_population(
+            topology.num_peers, topology.num_edges
+        ):
+            result = yield from self._delta_stepwise(
+                query, delta_req, sink, plan, chunk_peers
             )
             return result
         result = yield from self._warm_stepwise(
@@ -363,19 +450,46 @@ class HybridEngine:
         )
         analysis = result.analysis  # phase-I statistics ride along
         topology = self._simulator.topology
-        self._cache.store(
-            signature,
-            CachedPlan(
-                mean_squared_cv_error=(
-                    analysis.cross_validation.mean_squared_error
-                ),
-                half_size=analysis.cross_validation.half_size,
-                scale=analysis.scale,
-                num_peers=topology.num_peers,
-                num_edges=topology.num_edges,
+        plan = CachedPlan(
+            mean_squared_cv_error=(
+                analysis.cross_validation.mean_squared_error
             ),
+            half_size=analysis.cross_validation.half_size,
+            scale=analysis.scale,
+            num_peers=topology.num_peers,
+            num_edges=topology.num_edges,
         )
+        self._retain(
+            plan, self._engine.last_replies, self._engine.last_sink
+        )
+        self._cache.store(signature, plan)
         return result
+
+    def _retain(
+        self,
+        plan: CachedPlan,
+        replies: Sequence[AggregateReply],
+        sink: Optional[int],
+    ) -> None:
+        """Record a run's sample on its plan, keyed by stable labels.
+
+        No-op unless delta re-estimation is on and the simulator knows
+        its peers' stable labels — in that case nothing could be
+        matched across epochs anyway.  Consumes no randomness.
+        """
+        labels = self._simulator.peer_labels
+        if (
+            not self._delta_reestimation
+            or labels is None
+            or sink is None
+            or not replies
+        ):
+            return
+        plan.retained = RetainedSample(
+            sink_label=labels[sink],
+            labels=tuple(labels[reply.source] for reply in replies),
+            replies=tuple(replies),
+        )
 
     def _warm_stepwise(
         self,
@@ -459,6 +573,7 @@ class HybridEngine:
                 query, observations, point_estimator=point
             )
             plan.refresh(rescaled, fresh_scale, self._decay)
+        self._retain(plan, replies, sink)
 
         phase = PhaseReport(
             peers_visited=len(replies),
@@ -481,6 +596,174 @@ class HybridEngine:
         # like cold runs: fault injection or churn can shrink the
         # sample below the planned size, and downstream consumers key
         # on these fields.
+        return ApproximateResult(
+            query=query,
+            estimate=estimate,
+            delta_req=delta_req,
+            scale=planning_scale,
+            confidence_interval=interval,
+            phase_one=phase,
+            phase_two=None,
+            cost=ledger.snapshot(),
+            requested_sample_size=peers,
+            effective_sample_size=effective,
+            degraded=effective < peers,
+        )
+
+    def _delta_stepwise(
+        self,
+        query: AggregationQuery,
+        delta_req: float,
+        sink: Optional[int],
+        plan: CachedPlan,
+        chunk_peers: Optional[int],
+    ) -> StepwiseRun:
+        """Churn-delta top-up: reuse survivors, walk only the deficit.
+
+        The plan's population stamp no longer matches the simulator —
+        a churn epoch replaced the topology — but its retained sample
+        still references peers by stable label.  Survivors (peers
+        whose label is still live and reachable) are remapped onto the
+        new topology and *reused*; a fresh walk collects only the
+        difference between the planned sample size and the survivor
+        count.  The result honours the same estimate contract as a
+        cold re-walk: same requested/effective/degraded semantics,
+        with the plan's statistics refreshed and its population
+        re-stamped so the next run is warm again.
+        """
+        retained = plan.retained
+        labels = self._simulator.peer_labels
+        assert retained is not None and labels is not None
+        self._delta_runs += 1
+        plan.uses += 1
+        topology = self._simulator.topology
+        ledger = self._simulator.new_ledger()
+
+        # Filter the retained sample against the new epoch's live set
+        # and remap survivors onto the new vertex ids.  The remapped
+        # degree feeds the stationary probability, which must describe
+        # the *new* topology for the estimator to stay unbiased.
+        vertex_of = {label: v for v, label in enumerate(labels)}
+        survivor_replies: List[AggregateReply] = []
+        survivor_labels: List[int] = []
+        for label, reply in zip(retained.labels, retained.replies):
+            vertex = vertex_of.get(label)
+            if vertex is None or topology.degree(vertex) == 0:
+                continue
+            survivor_replies.append(
+                dataclasses.replace(
+                    reply,
+                    source=vertex,
+                    degree=topology.degree(vertex),
+                )
+            )
+            survivor_labels.append(label)
+        dropped = len(retained.replies) - len(survivor_replies)
+
+        # Size the sample exactly as a warm run would; the retained
+        # survivors count toward it and only the deficit is collected.
+        planning_scale = plan.scale
+        absolute_target = delta_req * planning_scale
+        m_prime = (
+            plan.half_size
+            * plan.mean_squared_cv_error
+            / absolute_target**2
+        )
+        peers = max(self._config.phase_one_peers, int(math.ceil(m_prime)))
+        if self._config.max_phase_two_peers is not None:
+            peers = min(peers, max(4, self._config.max_phase_two_peers))
+        deficit = max(0, peers - len(survivor_replies))
+
+        if sink is None:
+            sink_vertex = vertex_of.get(retained.sink_label)
+            if sink_vertex is not None and topology.degree(sink_vertex) > 0:
+                sink = sink_vertex
+            else:  # the sink itself churned out; draw a fresh one
+                sink = int(self._rng.integers(self._simulator.num_peers))
+
+        _emit(
+            PhaseEvent(
+                engine="hybrid",
+                phase="delta",
+                status="start",
+                requested=peers,
+            )
+        )
+        _emit(
+            DeltaReuseEvent(
+                survivors=len(survivor_replies),
+                dropped=dropped,
+                deficit=deficit,
+            )
+        )
+        fresh_replies: List[AggregateReply] = []
+        if deficit > 0:
+            _fresh_obs, fresh_replies = yield from (
+                self._engine.collect_observations_stepwise(
+                    sink, query, deficit, ledger, chunk_peers, "delta"
+                )
+            )
+        replies = survivor_replies + fresh_replies
+        observations = observations_from_replies(
+            replies,
+            num_edges=topology.num_edges,
+            num_peers=topology.num_peers,
+            variant=self._config.walk_variant,
+        )
+        estimate = self._engine.final_estimate(query, observations)
+        z = z_for_confidence(self._config.confidence)
+        half_width = z * math.sqrt(self._variance(observations))
+        interval = ConfidenceInterval(
+            estimate=estimate,
+            half_width=half_width,
+            confidence=self._config.confidence,
+        )
+
+        # Refresh the plan from the combined sample and re-stamp its
+        # population: the statistics now describe the new epoch, so
+        # the next lookup is an ordinary warm hit.
+        if len(observations) >= 4:
+            point = (
+                None
+                if self._config.estimator == "ht"
+                else self._point
+            )
+            cv = cross_validate(
+                observations,
+                rounds=self._config.cross_validation_rounds,
+                seed=self._rng,
+                estimator=point,
+            )
+            rescaled = (
+                cv.mean_squared_error * cv.half_size / plan.half_size
+                if plan.half_size
+                else cv.mean_squared_error
+            )
+            fresh_scale = estimate_scale(
+                query, observations, point_estimator=point
+            )
+            plan.refresh(rescaled, fresh_scale, self._decay)
+        plan.num_peers = topology.num_peers
+        plan.num_edges = topology.num_edges
+        self._retain(plan, replies, sink)
+
+        phase = PhaseReport(
+            peers_visited=len(replies),
+            tuples_sampled=sum(r.processed_tuples for r in replies),
+            hops=ledger.snapshot().hops,
+            estimate=estimate,
+        )
+        effective = len(replies)
+        _emit(
+            EstimateEvent(
+                engine="hybrid",
+                agg=query.agg.value,
+                estimate=estimate,
+                requested=peers,
+                received=effective,
+                degraded=effective < peers,
+            )
+        )
         return ApproximateResult(
             query=query,
             estimate=estimate,

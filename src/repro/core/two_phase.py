@@ -151,6 +151,11 @@ class TwoPhaseConfig:
         fresh peers are found).  The paper's theory assumes *with*
         replacement; without-replacement is never worse statistically
         but costs extra hops — exposed for ablations.
+    walk_kernel:
+        Walk-generation strategy, forwarded to
+        :class:`~repro.network.walker.RandomWalkConfig`: ``"auto"``
+        (default, vectorized when bit-identical), ``"stepwise"``, or
+        ``"vectorized"`` (raise when ineligible).
     sampling_method:
         Local sub-sampling flavour: ``"uniform"`` or ``"block"``.
     confidence:
@@ -181,6 +186,7 @@ class TwoPhaseConfig:
     confidence: float = 0.95
     estimator: str = "hajek"
     distinct_peers: bool = False
+    walk_kernel: str = "auto"
     retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
@@ -201,6 +207,10 @@ class TwoPhaseConfig:
         if self.estimator not in ("ht", "hajek"):
             raise ConfigurationError(
                 f"unknown estimator {self.estimator!r}"
+            )
+        if self.walk_kernel not in ("auto", "stepwise", "vectorized"):
+            raise ConfigurationError(
+                f"unknown walk_kernel {self.walk_kernel!r}"
             )
 
     @classmethod
@@ -229,6 +239,7 @@ class TwoPhaseConfig:
             burn_in=self.burn_in,
             variant=self.walk_variant,
             allow_revisits=not self.distinct_peers,
+            kernel=self.walk_kernel,
         )
 
 
@@ -260,6 +271,8 @@ class TwoPhaseEngine:
             self._collector = ResilientCollector(
                 self._walker, simulator, policy=self._config.retry_policy
             )
+        self._last_replies: Tuple[AggregateReply, ...] = ()
+        self._last_sink: Optional[int] = None
 
     @property
     def config(self) -> TwoPhaseConfig:
@@ -270,6 +283,21 @@ class TwoPhaseEngine:
     def simulator(self) -> NetworkSimulator:
         """The network this engine queries."""
         return self._simulator
+
+    @property
+    def last_replies(self) -> Tuple[AggregateReply, ...]:
+        """The pooled replies of the most recent full run (diagnostic).
+
+        Lets composed engines (delta re-estimation) retain a run's
+        sample without re-walking; empty before the first run.  Purely
+        observational — recording it consumes no randomness.
+        """
+        return self._last_replies
+
+    @property
+    def last_sink(self) -> Optional[int]:
+        """The sink of the most recent full run (diagnostic)."""
+        return self._last_sink
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -625,6 +653,8 @@ class TwoPhaseEngine:
         )
 
         effective = len(replies_one) + len(replies_two)
+        self._last_replies = tuple(replies_one) + tuple(replies_two)
+        self._last_sink = sink
         _emit(
             EstimateEvent(
                 engine="two-phase",

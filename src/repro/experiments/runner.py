@@ -23,6 +23,7 @@ import dataclasses
 import math
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -153,6 +154,11 @@ def _run_single_trial(
 # trial context travels to them via copy-on-write memory instead of the
 # pickle pipe; only the per-trial seed and the TrialOutcome cross it.
 _TRIAL_CONTEXT: Optional[tuple] = None
+
+# One warning per process when the worker pool is capped below the
+# requested size — bench sweeps call run_trials hundreds of times and
+# the cap is a property of the machine, not the call.
+_WORKER_CAP_WARNED = False
 
 
 def _run_trial_from_context(trial_seed: int) -> TrialOutcome:
@@ -311,7 +317,21 @@ def run_trials(
 
     # Forking more workers than cores only adds overhead (results are
     # identical either way), so the pool is capped at the machine size.
-    effective_workers = min(workers, trials, os.cpu_count() or 1)
+    # The cap used to be silent, which made REPRO_WORKERS=4 on a 1-core
+    # box *look* parallel in bench logs while running the serial path —
+    # say so once per process.
+    cores = os.cpu_count() or 1
+    effective_workers = min(workers, trials, cores)
+    global _WORKER_CAP_WARNED
+    if workers > cores and not _WORKER_CAP_WARNED:
+        _WORKER_CAP_WARNED = True
+        warnings.warn(
+            f"run_trials: {workers} workers requested but only {cores} "
+            f"CPU core(s) are available; capping the pool at "
+            f"{effective_workers} worker(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     parallel = (
         effective_workers > 1
         and bundle.simulator.reply_loss_rate <= 0.0

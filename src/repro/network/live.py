@@ -265,6 +265,7 @@ class LiveNetwork:
             fault_plan=self._fault_plan,
             fault_clock=self.fault_clock,
             fault_strict_peers=False,
+            peer_labels=churn_snapshot.labels,
         )
         if self._fault_plan is not None:
             self._last_faulty_simulator = simulator

@@ -167,6 +167,14 @@ class NetworkSimulator:
         Whether the fault plan's peer ids must all exist in this
         topology (default).  Live networks pass ``False`` so schedules
         survive peers departing between epochs.
+    peer_labels:
+        Optional stable identity per vertex.  Vertex ids are compacted
+        per churn epoch and do *not* persist across snapshots;
+        ``peer_labels[v]`` is the label that does.
+        :class:`~repro.network.live.LiveNetwork` passes its churn
+        snapshot's labels, which is what lets delta re-estimation match
+        a retained sample's peers against a later epoch's live set.
+        ``None`` (default) means no cross-epoch identity is available.
     """
 
     def __init__(
@@ -180,11 +188,22 @@ class NetworkSimulator:
         fault_plan: Optional[FaultPlan] = None,
         fault_clock: int = 0,
         fault_strict_peers: bool = True,
+        peer_labels: Optional[Sequence[int]] = None,
     ):
         if len(databases) != topology.num_peers:
             raise ConfigurationError(
                 f"{len(databases)} databases for {topology.num_peers} peers"
             )
+        if peer_labels is not None and len(peer_labels) != topology.num_peers:
+            raise ConfigurationError(
+                f"{len(peer_labels)} peer labels for "
+                f"{topology.num_peers} peers"
+            )
+        self._peer_labels: Optional[Tuple[int, ...]] = (
+            tuple(int(label) for label in peer_labels)
+            if peer_labels is not None
+            else None
+        )
         self._topology = topology
         self._rng = ensure_rng(seed)
         if peers is None:
@@ -379,6 +398,16 @@ class NetworkSimulator:
         return self._reply_loss_rate > 0.0 or self._fault_state is not None
 
     @property
+    def peer_labels(self) -> Optional[Tuple[int, ...]]:
+        """Stable cross-epoch identity per vertex, when known.
+
+        ``peer_labels[v]`` identifies the peer at vertex ``v`` across
+        churn epochs (vertex ids themselves are compacted per epoch).
+        ``None`` when the network was not built from a churn snapshot.
+        """
+        return self._peer_labels
+
+    @property
     def flat_dataset(self) -> FlatDataset:
         """Concatenated columnar view over all peers' databases.
 
@@ -444,6 +473,7 @@ class NetworkSimulator:
             fault_plan=self.fault_plan,
             fault_clock=fault_clock,
             fault_strict_peers=self._fault_strict_peers,
+            peer_labels=self._peer_labels,
         )
         clone._flat = self._flat
         clone._total_tuples = self._total_tuples

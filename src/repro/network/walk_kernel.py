@@ -1,0 +1,479 @@
+"""Vectorized whole-walk generation (the walk hot path).
+
+The stepwise walker (:mod:`repro.network.walker`) advances one segment
+at a time: every burn-in and every jump segment pays a separate
+``Generator.random`` call, a cursor/refill check per hop, and the
+variant branch dispatch per hop.  For the sampling walks the engines
+actually run (burn-in + ``count`` selections ``jump`` hops apart) the
+whole RNG demand of a take is known up front, so this module generates
+entire takes as one array program:
+
+* **one fused RNG draw per take** — ``rng.random(n)`` for the exact
+  number of uniforms the stepwise path would consume across all of its
+  per-segment draws.  For numpy's ``Generator`` (PCG64),
+  ``rng.random(a)`` followed by ``rng.random(b)`` produces bit-for-bit
+  the same doubles as ``rng.random(a + b)`` and leaves the stream in
+  the same state, so fusing the draws is *exact*, not approximate;
+* **precomputed neighbor tables** — per-peer neighbor lists and a
+  degree list materialized once per :class:`~repro.network.topology.
+  Topology` and memoized in a :class:`weakref.WeakKeyDictionary`
+  alongside the spectral profile cache.  A churn epoch freezes a *new*
+  topology object, so epoch invalidation is automatic;
+* **jump-thinning as a stride** — selections are emitted every
+  ``jump``-th visit of the fused hop loop instead of re-entering the
+  segment machinery per selection.
+
+Neighbor *choice* stays ``int(r * degree)`` — for uniform proposals
+the alias method degenerates to direct indexing (every column of the
+alias table keeps probability 1), so the table would only add a
+memory indirection.  :class:`AliasTable` (Vose's O(n) construction,
+O(1) per draw) is used where the distribution is genuinely non-uniform:
+drawing i.i.d. peers from a variant's *stationary* law
+(:func:`stationary_alias`), the oracle the convergence and parity
+suites sample against.  See ``docs/performance.md`` for the full
+construction and the fallback matrix.
+
+Bit-parity contract
+-------------------
+
+Kernel takes must be bit-identical to the stepwise walker: same
+selected peers, same hop counts, same RNG stream position afterwards.
+That holds only while every constituent stepwise segment fits in one
+RNG block (``per_hop * hops <= 8192``) — a larger segment refills
+mid-loop and *discards the tail* of its final block, which a fused
+draw cannot reproduce.  :class:`~repro.network.walker.RandomWalker`
+checks this (and the other fallback conditions) before handing a
+kernel to the cursor; the kernel itself assumes eligibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, TopologyError
+from .topology import Topology
+
+__all__ = [
+    "AliasTable",
+    "KernelTables",
+    "WalkKernel",
+    "kernel_tables",
+    "stationary_alias",
+]
+
+
+# ---------------------------------------------------------------------------
+# Alias-method sampling (Vose construction)
+# ---------------------------------------------------------------------------
+
+
+class AliasTable:
+    """O(1) categorical sampling via Walker's alias method.
+
+    Vose's construction: split the scaled probabilities into columns of
+    equal mass 1/n, each column holding at most two outcomes — the
+    column's own index and one "alias".  A draw picks a column
+    uniformly and keeps it or takes its alias, so sampling is two
+    uniforms and one comparison regardless of how skewed the weights
+    are (Gnutella-like degree distributions included).
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        probs = np.asarray(weights, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ConfigurationError("alias table needs a non-empty vector")
+        if np.any(probs < 0) or not np.all(np.isfinite(probs)):
+            raise ConfigurationError(
+                "alias weights must be finite and non-negative"
+            )
+        total = float(probs.sum())
+        if total <= 0.0:
+            raise ConfigurationError("alias weights must not all be zero")
+        n = probs.size
+        scaled = probs * (n / total)
+        self._prob = np.ones(n, dtype=float)
+        self._alias = np.arange(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            self._prob[lo] = scaled[lo]
+            self._alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            if scaled[hi] < 1.0:
+                small.append(hi)
+            else:
+                large.append(hi)
+        # Leftovers are exactly-1 columns up to roundoff.
+        for i in small + large:
+            self._prob[i] = 1.0
+            self._alias[i] = i
+
+    def __len__(self) -> int:
+        return int(self._prob.size)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Column keep-probabilities (read-only view; diagnostics)."""
+        view = self._prob.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def aliases(self) -> np.ndarray:
+        """Column alias indices (read-only view; diagnostics)."""
+        view = self._alias.view()
+        view.flags.writeable = False
+        return view
+
+    def pick(self, column_u: float, keep_u: float) -> int:
+        """One draw from two uniforms in ``[0, 1)``."""
+        column = int(column_u * self._prob.size)
+        if keep_u < self._prob[column]:
+            return column
+        return int(self._alias[column])
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` i.i.d. draws, vectorized (one comparison per draw)."""
+        if size < 0:
+            raise ConfigurationError("size must be >= 0")
+        columns = rng.integers(self._prob.size, size=size)
+        keep = rng.random(size)
+        take_alias = keep >= self._prob[columns]
+        out = np.where(take_alias, self._alias[columns], columns)
+        return out.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Per-topology tables (memoized like the spectral profile)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTables:
+    """Plain-python adjacency of one topology, shaped for the hot loop.
+
+    ``neighbors[p]`` is peer ``p``'s neighbor list in CSR order (so
+    ``neighbors[p][k] == indices[indptr[p] + k]`` — the exact element
+    the stepwise walker would index) and ``degrees[p]`` its length.
+    Scalar indexing of nested python lists beats both numpy scalar
+    indexing and flat-list ``indptr`` arithmetic on this loop.
+
+    ``degrees`` holds *floats*: every hop multiplies the degree by a
+    uniform, and CPython's float-float multiply is measurably faster
+    than float-int while producing the identical double (int-to-double
+    conversion is exact for any degree below 2**53, and that conversion
+    is exactly what the stepwise walker's mixed-type multiply performs
+    anyway).  Comparisons against these degrees are exact for the same
+    reason.
+    """
+
+    neighbors: List[List[int]]
+    degrees: List[float]
+
+
+# Topologies are immutable; churn epochs freeze *new* Topology objects
+# (LiveNetwork.snapshot), so weak keying both shares tables across every
+# walker on one epoch and invalidates them with the epoch.
+_TABLE_CACHE: "weakref.WeakKeyDictionary[Topology, KernelTables]" = (
+    weakref.WeakKeyDictionary()
+)
+
+_ALIAS_CACHE: (
+    "weakref.WeakKeyDictionary[Topology, dict[str, AliasTable]]"
+) = weakref.WeakKeyDictionary()
+
+
+def kernel_tables(topology: Topology) -> KernelTables:
+    """The (memoized) kernel tables for ``topology``."""
+    cached = _TABLE_CACHE.get(topology)
+    if cached is not None:
+        return cached
+    indptr = topology.indptr.tolist()
+    indices = topology.indices.tolist()
+    neighbors = [
+        indices[indptr[p]: indptr[p + 1]]
+        for p in range(topology.num_peers)
+    ]
+    tables = KernelTables(
+        neighbors=neighbors,
+        degrees=[float(len(row)) for row in neighbors],
+    )
+    _TABLE_CACHE[topology] = tables
+    return tables
+
+
+def stationary_alias(topology: Topology, variant: str) -> AliasTable:
+    """Alias table over ``variant``'s stationary distribution.
+
+    Memoized per ``(topology, variant)`` with the same weak-key
+    lifetime as the kernel tables.  This is the one place the alias
+    method earns its keep: the stationary law is degree-skewed, and
+    i.i.d. draws from it are the oracle distribution walks converge to.
+    """
+    if topology.num_edges == 0:
+        raise TopologyError("stationary distribution of an edgeless graph")
+    per_topology = _ALIAS_CACHE.setdefault(topology, {})
+    cached = per_topology.get(variant)
+    if cached is not None:
+        return cached
+    degrees = topology.degrees.astype(float)
+    if variant == "self-inclusive":
+        weights = degrees + 1.0
+    elif variant == "metropolis-uniform":
+        weights = np.ones(topology.num_peers, dtype=float)
+    elif variant in ("simple", "lazy"):
+        weights = degrees
+    else:
+        raise ConfigurationError(f"unknown walk variant {variant!r}")
+    table = AliasTable(weights)
+    per_topology[variant] = table
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fused take loops (one per variant; bit-identical to _walk_segment)
+# ---------------------------------------------------------------------------
+#
+# Each loop iterates the fused uniforms directly (``for r in randoms``
+# is the cheapest sequential access CPython offers — measurably faster
+# than a bound ``__next__``) and implements jump-thinning as a countdown
+# stride: ``left`` hops remain until the next selection, reset to
+# ``jump`` after each.  The per-hop arithmetic replicates the stepwise
+# segment token for token — the float expressions are load-bearing,
+# e.g. lazy's ``(r - 0.5) * 2.0`` cannot be rewritten without moving
+# int() cutoffs by an ulp.  The fused draw is sized so the uniforms run
+# out exactly at the ``count``-th selection.
+
+
+def _start_stride(
+    selected: List[int], current: int, jump: int, first: bool, burn_in: int
+) -> int:
+    """Initial countdown; emits the immediate selection when due."""
+    if first:
+        if burn_in == 0:
+            # Post-burn-in position is the first selection; with no
+            # burn-in that is the start itself, before any hop.
+            selected.append(current)
+            return jump
+        return burn_in
+    return jump
+
+
+def _take_simple(
+    nbrs: List[List[int]],
+    degs: List[float],
+    randoms: List[float],
+    current: int,
+    count: int,
+    jump: int,
+    first: bool,
+    burn_in: int,
+) -> List[int]:
+    selected: List[int] = []
+    append = selected.append
+    left = _start_stride(selected, current, jump, first, burn_in)
+    for r in randoms:
+        current = nbrs[current][int(r * degs[current])]
+        left -= 1
+        if not left:
+            append(current)
+            left = jump
+    return selected
+
+
+def _take_lazy(
+    nbrs: List[List[int]],
+    degs: List[float],
+    randoms: List[float],
+    current: int,
+    count: int,
+    jump: int,
+    first: bool,
+    burn_in: int,
+) -> List[int]:
+    selected: List[int] = []
+    append = selected.append
+    left = _start_stride(selected, current, jump, first, burn_in)
+    for r in randoms:
+        if r >= 0.5:
+            r = (r - 0.5) * 2.0
+            current = nbrs[current][int(r * degs[current])]
+        left -= 1
+        if not left:
+            append(current)
+            left = jump
+    return selected
+
+
+def _take_inclusive(
+    nbrs: List[List[int]],
+    degs: List[float],
+    randoms: List[float],
+    current: int,
+    count: int,
+    jump: int,
+    first: bool,
+    burn_in: int,
+) -> List[int]:
+    selected: List[int] = []
+    append = selected.append
+    left = _start_stride(selected, current, jump, first, burn_in)
+    for r in randoms:
+        degree = degs[current]
+        pick = int(r * (degree + 1))
+        if pick < degree:
+            current = nbrs[current][pick]
+        left -= 1
+        if not left:
+            append(current)
+            left = jump
+    return selected
+
+
+def _take_metropolis(
+    nbrs: List[List[int]],
+    degs: List[float],
+    randoms: List[float],
+    current: int,
+    count: int,
+    jump: int,
+    first: bool,
+    burn_in: int,
+) -> List[int]:
+    selected: List[int] = []
+    append = selected.append
+    left = _start_stride(selected, current, jump, first, burn_in)
+    pairs = iter(randoms)
+    for r in pairs:
+        accept = next(pairs)
+        degree = degs[current]
+        proposal = nbrs[current][int(r * degree)]
+        if accept * degs[proposal] < degree:
+            current = proposal
+        left -= 1
+        if not left:
+            append(current)
+            left = jump
+    return selected
+
+
+def _take_weighted(
+    nbrs: List[List[int]],
+    degs: List[float],
+    weights: List[float],
+    randoms: List[float],
+    current: int,
+    count: int,
+    jump: int,
+    first: bool,
+    burn_in: int,
+) -> List[int]:
+    selected: List[int] = []
+    append = selected.append
+    left = _start_stride(selected, current, jump, first, burn_in)
+    pairs = iter(randoms)
+    for r in pairs:
+        accept = next(pairs)
+        degree = degs[current]
+        proposal = nbrs[current][int(r * degree)]
+        if (
+            accept * weights[current] * degs[proposal]
+            < weights[proposal] * degree
+        ):
+            current = proposal
+        left -= 1
+        if not left:
+            append(current)
+            left = jump
+    return selected
+
+
+class WalkKernel:
+    """Fused-draw take generation for one walker's RNG stream.
+
+    Built by :meth:`~repro.network.walker.RandomWalker.cursor` once
+    eligibility is established; :meth:`take` replaces the cursor's
+    segment-by-segment stepping with one RNG draw and one tight loop,
+    returning exactly the selections (and hop count) the stepwise path
+    would produce while leaving the shared ``rng`` at exactly the same
+    stream position.
+    """
+
+    def __init__(
+        self,
+        tables: KernelTables,
+        rng: np.random.Generator,
+        variant: str,
+        jump: int,
+        burn_in: int,
+        weights: Optional[List[float]] = None,
+    ):
+        if jump < 1 or burn_in < 0:
+            raise ConfigurationError("kernel needs jump >= 1, burn_in >= 0")
+        self._tables = tables
+        self._rng = rng
+        self._variant = variant
+        self._jump = jump
+        self._burn_in = burn_in
+        self._weights = weights
+        if weights is None:
+            if variant == "metropolis-uniform":
+                self._per_hop = 2
+            elif variant in ("simple", "lazy", "self-inclusive"):
+                self._per_hop = 1
+            else:
+                raise ConfigurationError(
+                    f"unknown walk variant {variant!r}"
+                )
+        else:
+            self._per_hop = 2  # weighted Metropolis: propose + accept
+
+    @property
+    def per_hop(self) -> int:
+        """Uniforms consumed per hop (2 for Metropolis accept steps)."""
+        return self._per_hop
+
+    def take(
+        self, current: int, count: int, first: bool
+    ) -> Tuple[List[int], int]:
+        """Select ``count`` peers from ``current``; ``first`` includes
+        burn-in and the post-burn-in pending selection.
+
+        Returns ``(selected, hops)``.  ``count`` must be >= 1 (the
+        cursor short-circuits empty takes before the kernel).
+        """
+        if count < 1:
+            raise ConfigurationError("kernel take needs count >= 1")
+        jump = self._jump
+        burn_in = self._burn_in if first else 0
+        segments = count - 1 if first else count
+        hops = burn_in + segments * jump
+        total = self._per_hop * hops
+        randoms = self._rng.random(total).tolist() if total else []
+        if self._weights is not None:
+            selected = _take_weighted(
+                self._tables.neighbors, self._tables.degrees,
+                self._weights, randoms, current, count, jump,
+                first, burn_in,
+            )
+        else:
+            loop = _TAKE_LOOPS[self._variant]
+            selected = loop(
+                self._tables.neighbors, self._tables.degrees,
+                randoms, current, count, jump, first, burn_in,
+            )
+        return selected, hops
+
+
+_TAKE_LOOPS = {
+    "simple": _take_simple,
+    "lazy": _take_lazy,
+    "self-inclusive": _take_inclusive,
+    "metropolis-uniform": _take_metropolis,
+}

@@ -64,6 +64,7 @@ from ..obs.events import RetryEvent, SubstituteEvent, WalkEvent
 from ..obs.tracer import active_tracer
 from ..query.model import AggregationQuery
 from .topology import Topology
+from .walk_kernel import WalkKernel, kernel_tables
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .protocol import AggregateReply, TupleReply
@@ -81,6 +82,7 @@ __all__ = [
 ]
 
 _VARIANTS = ("simple", "lazy", "self-inclusive", "metropolis-uniform")
+_KERNELS = ("auto", "stepwise", "vectorized")
 _RANDOM_BLOCK = 8192
 
 
@@ -119,12 +121,21 @@ class RandomWalkConfig:
         Peers may be selected multiple times (sampling with
         replacement).  The paper's derivations assume replacement;
         disabling it is available for ablations.
+    kernel:
+        Walk-generation strategy.  ``"auto"`` (default) uses the
+        vectorized kernel whenever it is bit-identical to stepwise
+        stepping and falls back silently otherwise; ``"stepwise"``
+        forces the per-segment loop; ``"vectorized"`` forces the
+        kernel and raises :class:`ConfigurationError` when the
+        configuration is ineligible (see
+        :meth:`RandomWalker.kernel_ineligibility`).
     """
 
     jump: int = 10
     burn_in: Optional[int] = None
     variant: str = "simple"
     allow_revisits: bool = True
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.jump < 0:
@@ -134,6 +145,10 @@ class RandomWalkConfig:
         if self.variant not in _VARIANTS:
             raise ConfigurationError(
                 f"variant must be one of {_VARIANTS}, got {self.variant!r}"
+            )
+        if self.kernel not in _KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {_KERNELS}, got {self.kernel!r}"
             )
 
     @property
@@ -201,10 +216,12 @@ class WalkCursor:
         start: int,
         segment: Callable[[int, int], int],
         config: RandomWalkConfig,
+        kernel: Optional[WalkKernel] = None,
     ):
         self._start = start
         self._segment = segment
         self._config = config
+        self._kernel = kernel
         self._current = start
         self._seen: Set[int] = set()
         self._started = False
@@ -250,6 +267,12 @@ class WalkCursor:
                     start=self._start,
                 )
             )
+        if self._kernel is not None:
+            return self._take_vectorized(count)
+        return self._take(count)
+
+    def _take(self, count: int) -> WalkResult:
+        """Stepwise take: advance segment by segment (scalar path)."""
         jump = self._config.effective_jump
         hops = 0
         budget_base = 0
@@ -276,6 +299,33 @@ class WalkCursor:
                     f"walk could not find {count} distinct peers within "
                     f"{hop_budget} hops (graph too small?)"
                 )
+        self._total_hops += hops
+        self._total_selected += count
+        return _emit_walk(
+            WalkResult(
+                peers=np.asarray(selected, dtype=np.int64),
+                hops=hops,
+                start=self._start,
+            )
+        )
+
+    def _take_vectorized(self, count: int) -> WalkResult:
+        """Kernel take: one fused RNG draw, bit-identical to `_take`.
+
+        The walker establishes eligibility *before* handing a kernel
+        to the cursor (``allow_revisits`` on, segments within one RNG
+        block, stock stepping), so this path never consults the seen
+        set or the hop budget — the stepwise path provably would not
+        have either.
+        """
+        assert self._kernel is not None
+        first = not self._started
+        selected, hops = self._kernel.take(self._current, count, first)
+        self._started = True
+        self._pending_selection = False
+        self._current = selected[-1]
+        if not self._config.allow_revisits:  # pragma: no cover - guarded
+            self._seen.update(selected)
         self._total_hops += hops
         self._total_selected += count
         return _emit_walk(
@@ -338,6 +388,78 @@ class RandomWalker:
     def stationary_probability(self, peer: int) -> float:
         """Stationary probability of one peer for this variant."""
         return float(self.stationary_probabilities()[peer])
+
+    # ------------------------------------------------------------------
+    # Vectorized kernel eligibility
+    # ------------------------------------------------------------------
+
+    def _kernel_per_hop(self) -> int:
+        """Uniforms the stepwise segment consumes per hop."""
+        return 2 if self._config.variant == "metropolis-uniform" else 1
+
+    def _stock_stepping(self) -> bool:
+        """Whether stepping is the stock ``RandomWalker`` segment."""
+        if "_walk_segment" in self.__dict__:  # instance monkey-patch
+            return False
+        # reprolint: disable=RL002 -- method-identity probe, no bypass
+        stock = RandomWalker._walk_segment
+        return type(self)._walk_segment is stock
+
+    def kernel_ineligibility(self) -> Optional[str]:
+        """Why the vectorized kernel cannot be used, or ``None``.
+
+        The kernel is bit-identical to stepwise stepping only when:
+
+        * revisits are allowed — distinct-peer mode interleaves hop
+          generation with the seen-set filter and the hop budget,
+          which cannot be sized up front;
+        * every stepwise segment fits in one RNG block
+          (``per_hop * hops <= 8192``) — a longer segment refills
+          mid-loop and discards the tail of its final block, which a
+          fused draw cannot reproduce;
+        * stepping is the stock segment — a subclass or monkey-patched
+          ``_walk_segment`` carries semantics the kernel does not know.
+        """
+        if not self._config.allow_revisits:
+            return "distinct-peer mode needs the per-hop seen-set filter"
+        per_hop = self._kernel_per_hop()
+        if per_hop * self._config.effective_jump > _RANDOM_BLOCK:
+            return (
+                f"jump segment needs more than {_RANDOM_BLOCK} randoms; "
+                "stepwise block refills are not reproducible"
+            )
+        if per_hop * self._config.effective_burn_in > _RANDOM_BLOCK:
+            return (
+                f"burn-in segment needs more than {_RANDOM_BLOCK} randoms; "
+                "stepwise block refills are not reproducible"
+            )
+        if not self._stock_stepping():
+            return "custom _walk_segment stepping cannot be batched"
+        return None
+
+    def _make_kernel(self) -> WalkKernel:
+        """Build the fused-draw kernel sharing this walker's RNG."""
+        return WalkKernel(
+            tables=kernel_tables(self._topology),
+            rng=self._rng,
+            variant=self._config.variant,
+            jump=self._config.effective_jump,
+            burn_in=self._config.effective_burn_in,
+        )
+
+    def _vectorized_kernel(self) -> Optional[WalkKernel]:
+        """The kernel the cursor should use, honoring ``config.kernel``."""
+        mode = self._config.kernel
+        if mode == "stepwise":
+            return None
+        reason = self.kernel_ineligibility()
+        if reason is not None:
+            if mode == "vectorized":
+                raise ConfigurationError(
+                    f"kernel='vectorized' is not available: {reason}"
+                )
+            return None  # auto: silent stepwise fallback
+        return self._make_kernel()
 
     # ------------------------------------------------------------------
     # Core stepping
@@ -432,13 +554,17 @@ class RandomWalker:
         chunked collection is bit-identical to single-shot collection.
         The stepping capability is handed to the cursor as a bound
         method, so it works unchanged for subclasses with different
-        kernels (e.g. :class:`WeightedMetropolisWalker`).
+        kernels (e.g. :class:`WeightedMetropolisWalker`).  When the
+        configuration is kernel-eligible, the cursor additionally
+        receives a fused-draw :class:`WalkKernel` and generates whole
+        takes vectorized — bit-identically, sharing the same RNG.
         """
         self._check_start(start)
         return WalkCursor(
             start=start,
             segment=self._walk_segment,
             config=self._config,
+            kernel=self._vectorized_kernel(),
         )
 
     def sample_peers(self, start: int, count: int) -> WalkResult:
@@ -532,6 +658,26 @@ class WeightedMetropolisWalker(RandomWalker):
     def stationary_probabilities(self) -> np.ndarray:
         """``w(p) / sum(w)`` — the walk's exact stationary law."""
         return np.asarray(self._weights) / self._weight_total
+
+    def _kernel_per_hop(self) -> int:
+        return 2  # propose + accept
+
+    def _stock_stepping(self) -> bool:
+        if "_walk_segment" in self.__dict__:  # instance monkey-patch
+            return False
+        # reprolint: disable=RL002 -- method-identity probe, no bypass
+        stock = WeightedMetropolisWalker._walk_segment
+        return type(self)._walk_segment is stock
+
+    def _make_kernel(self) -> WalkKernel:
+        return WalkKernel(
+            tables=kernel_tables(self._topology),
+            rng=self._rng,
+            variant=self._config.variant,
+            jump=self._config.effective_jump,
+            burn_in=self._config.effective_burn_in,
+            weights=self._weights,
+        )
 
     def _walk_segment(self, current: int, hops: int) -> int:
         indptr = self._indptr

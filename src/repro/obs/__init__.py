@@ -24,6 +24,7 @@ from .events import (
     BatchFallbackEvent,
     BatchVisitEvent,
     ChurnEpochEvent,
+    DeltaReuseEvent,
     EstimateEvent,
     FaultEvent,
     FloodEvent,
@@ -68,6 +69,7 @@ __all__ = [
     "PhaseEvent",
     "EstimateEvent",
     "ChurnEpochEvent",
+    "DeltaReuseEvent",
     "QueryLifecycleEvent",
     "Tracer",
     "active_tracer",

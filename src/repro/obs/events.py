@@ -28,6 +28,7 @@ retry                0           0      0       0
 substitute           jump        jump   0       0
 fault                0           0      0       0
 flood                messages    0      0       0
+delta-reuse          0           0      0       0
 phase/estimate/...   0           0      0       0
 ===================  ==========  =====  ======  ========
 
@@ -62,6 +63,7 @@ __all__ = [
     "PhaseEvent",
     "EstimateEvent",
     "ChurnEpochEvent",
+    "DeltaReuseEvent",
     "QueryLifecycleEvent",
 ]
 
@@ -373,6 +375,30 @@ class QueryLifecycleEvent(TraceEvent):
             "status": self.status,
             "signature": self.signature,
             "detail": self.detail,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class DeltaReuseEvent(TraceEvent):
+    """A delta re-estimation reused part of a retained sample.
+
+    Emitted only on the hybrid engine's delta path (feature-gated, off
+    by default — traces of default runs are unchanged).  The countable
+    cost is zero: reusing survivors costs nothing, and the deficit walk
+    and visits are charged by their own walk/probe events.
+    """
+
+    kind: ClassVar[str] = "delta-reuse"
+
+    survivors: int = 0
+    dropped: int = 0
+    deficit: int = 0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "survivors": self.survivors,
+            "dropped": self.dropped,
+            "deficit": self.deficit,
         }
 
 

@@ -114,9 +114,11 @@ class ServiceStats:
     ticks: int
     warm_runs: int
     cold_runs: int
+    delta_runs: int
     cache_hits: int
     cache_misses: int
     churn_invalidations: int
+    delta_hits: int
 
     @property
     def warm_ratio(self) -> float:
@@ -157,6 +159,12 @@ class QueryService:
         dump via :meth:`write_traces`).
     registry:
         Service metrics registry; a fresh one is created when omitted.
+    delta_reestimation:
+        Forwarded to every per-query
+        :class:`~repro.core.hybrid.HybridEngine`: when on and the
+        snapshot carries stable peer labels, churn-invalidated plans
+        are topped up incrementally from their retained sample instead
+        of re-running cold (counted in ``delta_runs``/``delta_hits``).
     """
 
     def __init__(
@@ -173,6 +181,7 @@ class QueryService:
         decay: float = 0.7,
         capture_traces: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        delta_reestimation: bool = False,
     ):
         if max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
@@ -188,6 +197,7 @@ class QueryService:
         self._max_age = max_age
         self._decay = decay
         self._capture_traces = capture_traces
+        self._delta_reestimation = delta_reestimation
         self._cache = PlanCache()
         self._registry = registry if registry is not None else MetricsRegistry()
         self._outcomes: Dict[int, QueryOutcome] = {}
@@ -201,6 +211,7 @@ class QueryService:
         self._rejected = 0
         self._warm_runs = 0
         self._cold_runs = 0
+        self._delta_runs = 0
         self._prime(simulator)
 
     @staticmethod
@@ -243,9 +254,11 @@ class QueryService:
             ticks=self._ticks,
             warm_runs=self._warm_runs,
             cold_runs=self._cold_runs,
+            delta_runs=self._delta_runs,
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
             churn_invalidations=self._cache.churn_invalidations,
+            delta_hits=self._cache.delta_hits,
         )
 
     def outcome(self, ticket: QueryTicket) -> Optional[QueryOutcome]:
@@ -313,6 +326,7 @@ class QueryService:
             max_age=self._max_age,
             decay=self._decay,
             cache=self._cache,
+            delta_reestimation=self._delta_reestimation,
         )
         ticket = QueryTicket(
             query_id=query_id,
@@ -442,12 +456,16 @@ class QueryService:
             self._registry.counter("service.budget_stopped").inc()
         warm = task.engine.warm_runs
         cold = task.engine.cold_runs
+        delta = task.engine.delta_runs
         self._warm_runs += warm
         self._cold_runs += cold
+        self._delta_runs += delta
         if warm:
             self._registry.counter("service.warm_runs").inc(warm)
         if cold:
             self._registry.counter("service.cold_runs").inc(cold)
+        if delta:
+            self._registry.counter("service.delta_runs").inc(delta)
         return outcome
 
     def _update_gauges(self) -> None:

@@ -3,14 +3,16 @@
 The vectorized fast paths promise *bit-for-bit* agreement with their
 per-peer loops.  That promise only means something while (a) the scalar
 counterpart still exists to compare against and (b) the equivalence
-suite actually exercises the batch entry point.  This project-wide rule
-checks, for every ``*_batch`` function defined under ``src/``:
+suite actually exercises the vectorized entry point.  This
+project-wide rule checks, for every ``*_batch`` and ``*_vectorized``
+function defined under ``src/``:
 
-* a sibling of the same name minus the ``_batch`` suffix is defined in
-  the same class (for methods) or module (for free functions);
-* the ``*_batch`` name is referenced from
-  ``tests/test_batch_equivalence.py`` (skipped when the equivalence
-  suite is not part of the lint run, e.g. ``lint src`` alone).
+* a sibling of the same name minus the suffix is defined in the same
+  class (for methods) or module (for free functions);
+* the suffixed name is referenced from the suffix's equivalence suite
+  — ``tests/test_batch_equivalence.py`` for ``*_batch``,
+  ``tests/test_walk_kernel.py`` for ``*_vectorized`` (skipped when
+  that suite is not part of the lint run, e.g. ``lint src`` alone).
 """
 
 from __future__ import annotations
@@ -25,8 +27,11 @@ __all__ = [
     "BatchParityRule",
 ]
 
-_BATCH_SUFFIX = "_batch"
-_EQUIVALENCE_SUITE_SUFFIX = "tests/test_batch_equivalence.py"
+#: suffix -> the test module that must exercise functions carrying it.
+_PARITY_SUITES = {
+    "_batch": "tests/test_batch_equivalence.py",
+    "_vectorized": "tests/test_walk_kernel.py",
+}
 
 
 def _defined_functions(
@@ -63,21 +68,28 @@ class BatchParityRule(ProjectRule):
     code = "RL005"
     name = "batch-parity"
     description = (
-        "every *_batch function needs a scalar counterpart and coverage "
-        "in tests/test_batch_equivalence.py"
+        "every *_batch / *_vectorized function needs a scalar "
+        "counterpart and coverage in its equivalence suite"
     )
 
     def check_project(
         self, modules: Sequence[ModuleInfo]
     ) -> Iterator[Diagnostic]:
-        equivalence_modules = [
-            module
-            for module in modules
-            if module.relpath.endswith(_EQUIVALENCE_SUITE_SUFFIX)
-        ]
-        covered: Set[str] = set()
-        for module in equivalence_modules:
-            covered |= _referenced_names(module)
+        # Per-suffix: the suite modules present in this run and the
+        # names they reference.
+        suites_in_run: Dict[str, bool] = {}
+        covered: Dict[str, Set[str]] = {}
+        for suffix, suite in _PARITY_SUITES.items():
+            suite_modules = [
+                module
+                for module in modules
+                if module.relpath.endswith(suite)
+            ]
+            suites_in_run[suffix] = bool(suite_modules)
+            names: Set[str] = set()
+            for module in suite_modules:
+                names |= _referenced_names(module)
+            covered[suffix] = names
 
         for module in modules:
             if "src" not in module.parts[:-1]:
@@ -89,20 +101,30 @@ class BatchParityRule(ProjectRule):
                 definitions.items(),
                 key=lambda item: getattr(item[1], "lineno", 0),
             ):
-                if not name.endswith(_BATCH_SUFFIX):
+                suffix = next(
+                    (
+                        candidate
+                        for candidate in _PARITY_SUITES
+                        if name.endswith(candidate)
+                    ),
+                    None,
+                )
+                if suffix is None:
                     continue
-                scalar = name[: -len(_BATCH_SUFFIX)]
+                kind = suffix[1:]  # "batch" / "vectorized"
+                scalar = name[: -len(suffix)]
                 if not scalar or (scope, scalar) not in definitions:
                     where = f"class '{scope}'" if scope else "this module"
                     yield self.diagnostic(
                         module, node,
-                        f"batch function '{name}' has no scalar counterpart "
-                        f"'{scalar}' in {where}; the bit-identical contract "
-                        "has nothing to compare against",
+                        f"{kind} function '{name}' has no scalar "
+                        f"counterpart '{scalar}' in {where}; the "
+                        "bit-identical contract has nothing to compare "
+                        "against",
                     )
-                if equivalence_modules and name not in covered:
+                if suites_in_run[suffix] and name not in covered[suffix]:
                     yield self.diagnostic(
                         module, node,
-                        f"batch function '{name}' is not exercised by "
-                        f"{_EQUIVALENCE_SUITE_SUFFIX}",
+                        f"{kind} function '{name}' is not exercised by "
+                        f"{_PARITY_SUITES[suffix]}",
                     )

@@ -1,0 +1,7 @@
+"""Kernel-parity-suite fixture referencing every vectorized entry point."""
+
+from batching import take, take_vectorized
+
+
+def test_take_vectorized_matches_scalar():
+    assert take_vectorized([1, 2]) == [take(1), take(2)]

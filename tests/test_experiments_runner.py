@@ -74,6 +74,36 @@ class TestRunTrials:
         with pytest.raises(ConfigurationError):
             run_trials(bundle, COUNT_30, 0.1, trials=0)
 
+    def test_worker_cap_warns_once_per_process(self, bundle, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(runner_module, "_WORKER_CAP_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="capping the pool"):
+            run_trials(
+                bundle, COUNT_30, 0.1, trials=2, seed=1, workers=4
+            )
+        # Second oversubscribed call: the warning already fired.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            run_trials(
+                bundle, COUNT_30, 0.1, trials=2, seed=1, workers=4
+            )
+
+    def test_workers_within_cores_stay_silent(self, bundle, monkeypatch):
+        import repro.experiments.runner as runner_module
+        import warnings as warnings_module
+
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(runner_module, "_WORKER_CAP_WARNED", False)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            run_trials(
+                bundle, COUNT_30, 0.1, trials=2, seed=1, workers=2
+            )
+
     def test_wrong_config_type(self, bundle):
         with pytest.raises(ConfigurationError):
             run_trials(
