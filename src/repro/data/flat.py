@@ -39,6 +39,19 @@ __all__ = [
 ]
 
 
+def _readonly_view(data: np.ndarray) -> np.ndarray:
+    """A non-writable view of ``data`` (the caller's array is untouched).
+
+    The flat view is shared by reference with every engine and, in the
+    planned sharded backend, across forked workers — a writable column
+    handed out by :meth:`FlatDataset.column` would be a cross-worker
+    race waiting to happen.
+    """
+    view = data.view()
+    view.setflags(write=False)
+    return view
+
+
 class FlatDataset:
     """Read-only concatenated columns with per-peer offsets.
 
@@ -62,7 +75,9 @@ class FlatDataset:
                 raise ConfigurationError(
                     f"column {name!r} has {data.size} rows, expected {total}"
                 )
-        self._columns = columns
+        self._columns = {
+            name: _readonly_view(data) for name, data in columns.items()
+        }
         self._offsets = offsets
         self._counts = np.diff(offsets)
         self._offsets.flags.writeable = False

@@ -1,34 +1,47 @@
-"""reprolint — AST-based invariant linter for the sampling engine.
+"""reprolint — whole-program invariant linter for the sampling engine.
 
-The paper's accuracy and cost claims rest on three mechanical
-conventions: all randomness flows through seeded numpy ``Generator``
-streams, every peer visit and message is charged to a ``CostLedger``,
-and protocol messages are immutable value objects.  reprolint encodes
-those conventions (plus float-equality hygiene and batch/scalar parity)
-as AST rules so they are enforced, not remembered.
+The paper's accuracy and cost claims rest on mechanical conventions:
+all randomness flows through seeded numpy ``Generator`` streams, every
+peer visit and message is charged to a ``CostLedger``, and protocol
+messages are immutable value objects.  reprolint encodes those
+conventions (plus float-equality hygiene, batch/scalar parity,
+nondeterminism taint, RNG stream discipline, snapshot immutability and
+trace↔ledger reconciliation) as static rules so they are enforced, not
+remembered.
+
+RL001–RL004 examine one module's AST at a time; RL005–RL009 run over a
+whole-program view (symbol table, import graph, call graph) built from
+per-module summaries, which a content-hash cache makes incremental —
+an unchanged file is never re-parsed.
 
 Usage::
 
     PYTHONPATH=src python -m repro.tools.lint src tests benchmarks
-    PYTHONPATH=src python -m repro.tools.lint --format json src
+    PYTHONPATH=src python -m repro.tools.lint --format sarif src
+    PYTHONPATH=src python -m repro.tools.lint --cache .reprolint-cache.json src
     PYTHONPATH=src python -m repro.tools.lint --list-rules
 
-Suppression (explicit codes and a reason are mandatory)::
+Suppression (explicit codes and a reason are mandatory; directives
+that waive nothing are themselves findings)::
 
     value = compute()  # reprolint: disable=RL004 -- exact by construction
 
 See ``docs/static-analysis.md`` for the full rule catalogue.
 """
 
+from .baseline import Baseline
 from .diagnostics import TOOL_ERROR_CODE, Diagnostic
 from .engine import LintEngine, LintReport, collect_files
-from .rules import ALL_RULES
+from .rules import ALL_RULES, ANALYSIS_RULES, MODULE_RULES
 
 __all__ = [
     "ALL_RULES",
+    "ANALYSIS_RULES",
+    "Baseline",
     "Diagnostic",
     "LintEngine",
     "LintReport",
+    "MODULE_RULES",
     "TOOL_ERROR_CODE",
     "collect_files",
 ]

@@ -1,0 +1,108 @@
+"""Accepted-findings baseline.
+
+A baseline lets a new rule land before every pre-existing violation is
+fixed: known findings are recorded and filtered from the report, while
+anything *new* still fails the build.  Findings are fingerprinted as
+``path::code::message`` **without** line numbers, so unrelated edits
+that shift a known violation up or down the file do not resurrect it —
+and the baseline is a *multiset*: two identical violations in one file
+need two baseline entries, so fixing one and introducing another
+elsewhere in the file cannot cancel out.
+
+:data:`~repro.tools.lint.diagnostics.TOOL_ERROR_CODE` findings are
+never baselined — a parse failure or malformed suppression is a broken
+tool contract, not technical debt.
+
+The repo ships an **empty** baseline (``.reprolint-baseline.json``);
+the merge gate for this tree is zero findings with zero baselined.
+``--update-baseline`` rewrites the file from the current report for
+branches that need to stage a rule rollout.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .diagnostics import TOOL_ERROR_CODE, Diagnostic
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "fingerprint",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Line-number-free identity of a finding."""
+    return f"{diagnostic.path}::{diagnostic.code}::{diagnostic.message}"
+
+
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    def __init__(self, counts: Dict[str, int]):
+        self._counts = Counter(counts)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; missing or corrupt files act empty
+        (fail-closed: nothing gets silently waived)."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls({})
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), dict)
+        ):
+            return cls({})
+        counts = {
+            key: int(value)
+            for key, value in payload["findings"].items()
+            if isinstance(value, int) and value > 0
+        }
+        return cls(counts)
+
+    def filter(
+        self, diagnostics: List[Diagnostic]
+    ) -> Tuple[List[Diagnostic], int]:
+        """Split ``diagnostics`` into (kept, number baselined away)."""
+        budget = Counter(self._counts)
+        kept: List[Diagnostic] = []
+        baselined = 0
+        for diagnostic in diagnostics:
+            key = fingerprint(diagnostic)
+            if diagnostic.code != TOOL_ERROR_CODE and budget[key] > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                kept.append(diagnostic)
+        return kept, baselined
+
+    @staticmethod
+    def update(path: Path, diagnostics: List[Diagnostic]) -> int:
+        """Rewrite ``path`` to accept the given findings; returns the
+        number recorded (tool errors are never recorded)."""
+        counts: "Counter[str]" = Counter(
+            fingerprint(diagnostic)
+            for diagnostic in diagnostics
+            if diagnostic.code != TOOL_ERROR_CODE
+        )
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(counts.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return sum(counts.values())

@@ -9,10 +9,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
+from .analysis import AnalysisCache
+from .baseline import Baseline
 from .engine import LintEngine, LintReport
 from .rules import ALL_RULES
+from .sarif import render_sarif
 
 __all__ = [
     "DEFAULT_PATHS",
@@ -35,9 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
         description=(
-            "reprolint: AST-based invariant linter for the p2p-aqp "
+            "reprolint: whole-program invariant linter for the p2p-aqp "
             "sampling engine (seed discipline, cost accounting, protocol "
-            "immutability, float equality, batch/scalar parity)"
+            "immutability, float equality, batch/scalar parity, "
+            "nondeterminism taint, RNG stream discipline, snapshot "
+            "immutability, trace/ledger reconciliation)"
         ),
     )
     parser.add_argument(
@@ -45,8 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is machine-readable, for CI annotation)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help=(
+            "output format (json is machine-readable; sarif is for "
+            "GitHub code-scanning annotation)"
+        ),
     )
     parser.add_argument(
         "--select", type=_split_codes, default=None, metavar="CODES",
@@ -55,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore", type=_split_codes, default=None, metavar="CODES",
         help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="PATH",
+        help=(
+            "content-hash analysis cache file; unchanged files skip "
+            "parsing and per-module rules entirely (safe to delete)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help=(
+            "accepted-findings baseline (path::code::message multiset); "
+            "known findings are reported as baselined, new ones fail"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the --baseline file from this run's findings",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -66,9 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
 def _render_text(report: LintReport, stream: TextIO) -> None:
     for diagnostic in report.diagnostics:
         print(diagnostic.render(), file=stream)
+    extras = []
+    if report.cache_hits:
+        extras.append(f"{report.cache_hits} cached")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    suffix = f" ({', '.join(extras)})" if extras else ""
     summary = (
         f"reprolint: {len(report.diagnostics)} finding(s) "
-        f"in {report.files_checked} file(s)"
+        f"in {report.files_checked} file(s){suffix}"
     )
     print(summary, file=stream)
 
@@ -78,9 +111,20 @@ def _render_json(report: LintReport, stream: TextIO) -> None:
         "version": REPORT_VERSION,
         "files_checked": report.files_checked,
         "findings": len(report.diagnostics),
+        "cache_hits": report.cache_hits,
+        "baselined": report.baselined,
         "diagnostics": [d.to_json() for d in report.diagnostics],
     }
     json.dump(payload, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+def _render_sarif(report: LintReport, stream: TextIO) -> None:
+    engine_rules = [rule() for rule in ALL_RULES]
+    json.dump(
+        render_sarif(report.diagnostics, engine_rules),
+        stream, indent=2, sort_keys=True,
+    )
     print(file=stream)
 
 
@@ -93,15 +137,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.code} {rule.name}: {rule.description}")
         return 0
 
-    engine = LintEngine(select=arguments.select, ignore=arguments.ignore)
+    if arguments.update_baseline and arguments.baseline is None:
+        print(
+            "reprolint: error: --update-baseline requires --baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = (
+        AnalysisCache(arguments.cache) if arguments.cache is not None else None
+    )
+    baseline = None
+    if arguments.baseline is not None and not arguments.update_baseline:
+        baseline = Baseline.load(arguments.baseline)
+
+    engine = LintEngine(
+        select=arguments.select,
+        ignore=arguments.ignore,
+        cache=cache,
+        baseline=baseline,
+    )
     try:
         report = engine.run(arguments.paths)
     except FileNotFoundError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
 
+    if arguments.update_baseline:
+        recorded = Baseline.update(arguments.baseline, report.diagnostics)
+        print(
+            f"reprolint: baseline updated with {recorded} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
     if arguments.format == "json":
         _render_json(report, sys.stdout)
+    elif arguments.format == "sarif":
+        _render_sarif(report, sys.stdout)
     else:
         _render_text(report, sys.stdout)
     return report.exit_code

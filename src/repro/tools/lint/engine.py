@@ -1,8 +1,25 @@
-"""File collection, rule dispatch and suppression filtering.
+"""File collection, caching, rule dispatch and filtering.
 
 The engine is deliberately dependency-free (stdlib only): it must run
 in CI images and pre-commit environments that do not have numpy/scipy
 installed, and it must never import the code it analyses.
+
+One run has two tiers:
+
+1. **per-file** — parse, suppression scan, module rules (RL001–RL004)
+   and summary extraction.  Everything in this tier is a pure function
+   of the file's bytes, so it lives in the content-hash
+   :class:`~repro.tools.lint.analysis.cache.AnalysisCache`: an
+   unchanged file is never even re-parsed on a warm run;
+2. **whole-program** — :class:`~repro.tools.lint.analysis.project.ProjectAnalysis`
+   over the summaries, then the analysis rules (RL005–RL009).  This
+   tier re-runs every time (it is cheap dict-building) because its
+   verdicts depend on the *set* of files, not any one of them.
+
+After the rules: ``--select``/``--ignore`` filtering, suppression
+matching, the unused-suppression audit (full-ruleset runs only — a
+narrowed run cannot prove a directive useless), and the accepted-
+findings baseline.
 """
 
 from __future__ import annotations
@@ -10,10 +27,26 @@ from __future__ import annotations
 import ast
 import dataclasses
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from .analysis import (
+    AnalysisCache,
+    CACHE_VERSION,
+    CacheEntry,
+    ModuleSummary,
+    ProjectAnalysis,
+    content_digest,
+    extract_summary,
+)
+from .baseline import Baseline
 from .diagnostics import TOOL_ERROR_CODE, Diagnostic
-from .rules import ALL_RULES, ModuleInfo, ProjectRule, Rule
+from .rules import (
+    ANALYSIS_RULES,
+    MODULE_RULES,
+    AnalysisRule,
+    ModuleInfo,
+    Rule,
+)
 from .suppress import Suppressions, scan_suppressions
 
 __all__ = [
@@ -42,6 +75,10 @@ class LintReport:
 
     diagnostics: List[Diagnostic]
     files_checked: int
+    #: Files served from the analysis cache (0 on cold / cacheless runs).
+    cache_hits: int = 0
+    #: Findings waived by the accepted-findings baseline.
+    baselined: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -113,24 +150,39 @@ def load_module(path: Path) -> "tuple[Optional[ModuleInfo], Optional[Diagnostic]
 
 
 class LintEngine:
-    """Runs a rule set over a set of files and filters the findings."""
+    """Runs the rule set over a set of files and filters the findings."""
 
     def __init__(
         self,
-        rules: Optional[Sequence[Rule]] = None,
+        rules: Optional[Sequence[Union[Rule, AnalysisRule]]] = None,
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
+        cache: Optional[AnalysisCache] = None,
+        baseline: Optional[Baseline] = None,
     ):
-        self._rules: List[Rule] = (
-            list(rules) if rules is not None else [rule() for rule in ALL_RULES]
-        )
+        if rules is None:
+            instantiated: List[Union[Rule, AnalysisRule]] = [
+                rule() for rule in MODULE_RULES + ANALYSIS_RULES
+            ]
+        else:
+            instantiated = list(rules)
+        self._module_rules = [r for r in instantiated if isinstance(r, Rule)]
+        self._analysis_rules = [
+            r for r in instantiated if isinstance(r, AnalysisRule)
+        ]
         self._select = frozenset(select) if select else None
         self._ignore = frozenset(ignore) if ignore else frozenset()
+        self._cache = cache
+        self._baseline = baseline
+        # The cached per-file diagnostics are exactly the module rules'
+        # output, so the key must change when that rule set does.
+        codes = ",".join(sorted(rule.code for rule in self._module_rules))
+        self._fingerprint = f"v{CACHE_VERSION}:{codes}"
 
     @property
-    def rules(self) -> Sequence[Rule]:
-        """The instantiated rule set, in registry order."""
-        return tuple(self._rules)
+    def rules(self) -> Sequence[Union[Rule, AnalysisRule]]:
+        """The instantiated rule set, module rules first."""
+        return tuple(self._module_rules) + tuple(self._analysis_rules)
 
     def _wanted(self, code: str) -> bool:
         if code == TOOL_ERROR_CODE:
@@ -139,32 +191,47 @@ class LintEngine:
             return False
         return self._select is None or code in self._select
 
+    @property
+    def _full_ruleset(self) -> bool:
+        return self._select is None and not self._ignore
+
     def run(self, paths: Sequence[str]) -> LintReport:
         """Lint ``paths`` and return the filtered, sorted report."""
         files = collect_files(paths)
-        modules: List[ModuleInfo] = []
         raw: List[Diagnostic] = []
+        summaries: List[ModuleSummary] = []
         suppressions: Dict[str, Suppressions] = {}
 
         for path in files:
-            module, error = load_module(path)
-            if error is not None:
-                raw.append(error)
+            relpath = path.as_posix()
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                raw.append(
+                    Diagnostic(
+                        relpath, 1, 0, TOOL_ERROR_CODE,
+                        f"cannot read file: {exc}",
+                    )
+                )
                 continue
-            assert module is not None
-            modules.append(module)
-            file_suppressions, problems = scan_suppressions(
-                module.relpath, module.source
-            )
-            suppressions[module.relpath] = file_suppressions
-            raw.extend(problems)
+            digest = content_digest(data)
+            entry: Optional[CacheEntry] = None
+            if self._cache is not None:
+                entry = self._cache.lookup(relpath, digest, self._fingerprint)
+            if entry is None:
+                entry = self._analyze_file(relpath, data, digest)
+                if self._cache is not None:
+                    self._cache.store(relpath, entry)
+            raw.extend(entry.tool_errors)
+            raw.extend(entry.module_diagnostics)
+            if entry.summary is not None:
+                summaries.append(entry.summary)
+            suppressions[relpath] = Suppressions.from_json(entry.suppressions)
 
-        for rule in self._rules:
-            if isinstance(rule, ProjectRule):
-                raw.extend(rule.check_project(modules))
-            else:
-                for module in modules:
-                    raw.extend(rule.check_module(module))
+        if summaries and self._analysis_rules:
+            analysis = ProjectAnalysis(summaries)
+            for rule in self._analysis_rules:
+                raw.extend(rule.check(analysis))
 
         kept = [
             diagnostic
@@ -172,8 +239,92 @@ class LintEngine:
             if self._wanted(diagnostic.code)
             and not self._suppressed(diagnostic, suppressions)
         ]
+
+        # A directive that waived nothing is dead weight — but only a
+        # full-ruleset run can tell (``--select RL004`` never even
+        # generates the findings an RL001 directive is there to waive).
+        if self._full_ruleset:
+            for relpath in sorted(suppressions):
+                for directive in suppressions[relpath].unused():
+                    kept.append(
+                        Diagnostic(
+                            relpath, directive.line, directive.column,
+                            TOOL_ERROR_CODE,
+                            "unused suppression of "
+                            f"{', '.join(directive.codes)}: no finding "
+                            "matched; delete the stale directive",
+                        )
+                    )
+
+        baselined = 0
+        if self._baseline is not None:
+            kept, baselined = self._baseline.filter(kept)
+
         kept.sort(key=Diagnostic.sort_key)
-        return LintReport(diagnostics=kept, files_checked=len(files))
+        if self._cache is not None:
+            self._cache.save()
+        return LintReport(
+            diagnostics=kept,
+            files_checked=len(files),
+            cache_hits=self._cache.hits if self._cache is not None else 0,
+            baselined=baselined,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _analyze_file(
+        self, relpath: str, data: bytes, digest: str
+    ) -> CacheEntry:
+        """The cacheable per-file tier: parse, suppressions, module
+        rules, summary."""
+
+        def failed(errors: List[Diagnostic], suppressed: List[Dict[str, object]]) -> CacheEntry:
+            return CacheEntry(
+                digest=digest,
+                fingerprint=self._fingerprint,
+                summary=None,
+                suppressions=suppressed,
+                module_diagnostics=[],
+                tool_errors=errors,
+            )
+
+        try:
+            source = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return failed(
+                [
+                    Diagnostic(
+                        relpath, 1, 0, TOOL_ERROR_CODE,
+                        f"cannot read file: {exc}",
+                    )
+                ],
+                [],
+            )
+        file_suppressions, problems = scan_suppressions(relpath, source)
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            problems.append(
+                Diagnostic(
+                    relpath, exc.lineno or 1, (exc.offset or 1) - 1,
+                    TOOL_ERROR_CODE, f"syntax error: {exc.msg}",
+                )
+            )
+            return failed(problems, file_suppressions.to_json())
+
+        file_suppressions.bind(tree)
+        module = ModuleInfo(relpath=relpath, source=source, tree=tree)
+        module_diagnostics: List[Diagnostic] = []
+        for rule in self._module_rules:
+            module_diagnostics.extend(rule.check_module(module))
+        return CacheEntry(
+            digest=digest,
+            fingerprint=self._fingerprint,
+            summary=extract_summary(relpath, tree),
+            suppressions=file_suppressions.to_json(),
+            module_diagnostics=module_diagnostics,
+            tool_errors=problems,
+        )
 
     @staticmethod
     def _suppressed(

@@ -1,12 +1,20 @@
 """reprolint rule registry.
 
-| code  | name                  | invariant                                    |
-|-------|-----------------------|----------------------------------------------|
-| RL001 | seed-discipline       | all randomness via seeded numpy Generators   |
-| RL002 | cost-accounting       | every visit charged to a CostLedger          |
-| RL003 | protocol-immutability | frozen/slots messages, never mutated         |
-| RL004 | float-equality        | no == / != between floats in src/            |
-| RL005 | batch-parity          | *_batch ↔ scalar twin + equivalence coverage |
+| code  | name                         | invariant                                    |
+|-------|------------------------------|----------------------------------------------|
+| RL001 | seed-discipline              | all randomness via seeded numpy Generators   |
+| RL002 | cost-accounting              | every visit charged to a CostLedger          |
+| RL003 | protocol-immutability        | frozen/slots messages, never mutated         |
+| RL004 | float-equality               | no == / != between floats in src/            |
+| RL005 | batch-parity                 | *_batch ↔ scalar twin + equivalence coverage |
+| RL006 | nondet-taint                 | no nondeterminism reachable from det. paths  |
+| RL007 | rng-stream-discipline        | no re-seeding / shared Generators / draws    |
+| RL008 | snapshot-immutability        | published snapshots frozen; no fork hazards  |
+| RL009 | trace-ledger-reconciliation  | every cost emission meets a ledger charge    |
+
+RL001–RL004 are per-module :class:`Rule` subclasses (their findings
+cache by file content); RL005–RL009 are whole-program
+:class:`AnalysisRule` subclasses running over module summaries.
 
 (RL000 is reserved for tool errors: parse failures and malformed
 suppression directives; see :mod:`repro.tools.lint.suppress`.)
@@ -14,31 +22,55 @@ suppression directives; see :mod:`repro.tools.lint.suppress`.)
 
 from __future__ import annotations
 
-from typing import Tuple, Type
+from typing import Tuple, Type, Union
 
-from .base import ModuleInfo, ProjectRule, Rule
+from .base import AnalysisRule, ModuleInfo, Rule
 from .rl001_seed import SeedDisciplineRule
 from .rl002_cost import CostAccountingRule
 from .rl003_protocol import ProtocolImmutabilityRule
 from .rl004_floateq import FloatEqualityRule
 from .rl005_parity import BatchParityRule
+from .rl006_nondet import GUARDED_DIRECTORIES, NondetTaintRule
+from .rl007_rng import RngDisciplineRule
+from .rl008_snapshot import SnapshotImmutabilityRule
+from .rl009_ledger import LedgerReconciliationRule
 
-ALL_RULES: Tuple[Type[Rule], ...] = (
+#: Per-module rules (cacheable by file content hash).
+MODULE_RULES: Tuple[Type[Rule], ...] = (
     SeedDisciplineRule,
     CostAccountingRule,
     ProtocolImmutabilityRule,
     FloatEqualityRule,
+)
+
+#: Whole-program rules (run from summaries on every invocation).
+ANALYSIS_RULES: Tuple[Type[AnalysisRule], ...] = (
     BatchParityRule,
+    NondetTaintRule,
+    RngDisciplineRule,
+    SnapshotImmutabilityRule,
+    LedgerReconciliationRule,
+)
+
+ALL_RULES: Tuple[Union[Type[Rule], Type[AnalysisRule]], ...] = (
+    MODULE_RULES + ANALYSIS_RULES
 )
 
 __all__ = [
     "ALL_RULES",
+    "ANALYSIS_RULES",
+    "AnalysisRule",
+    "GUARDED_DIRECTORIES",
+    "MODULE_RULES",
     "ModuleInfo",
-    "ProjectRule",
     "Rule",
     "SeedDisciplineRule",
     "CostAccountingRule",
     "ProtocolImmutabilityRule",
     "FloatEqualityRule",
     "BatchParityRule",
+    "NondetTaintRule",
+    "RngDisciplineRule",
+    "SnapshotImmutabilityRule",
+    "LedgerReconciliationRule",
 ]

@@ -2,13 +2,16 @@
 
 Two rule flavors exist:
 
-* :class:`Rule` — examines one module at a time (most rules);
-* :class:`ProjectRule` — examines the whole set of linted modules at
-  once, for cross-file invariants such as batch/scalar parity.
+* :class:`Rule` — examines one module's AST at a time (RL001–RL004);
+  its findings are cacheable per file content;
+* :class:`AnalysisRule` — examines the whole program through a
+  :class:`~repro.tools.lint.analysis.project.ProjectAnalysis` built
+  from per-module summaries (RL005–RL009); it never sees an AST,
+  which is what lets the engine skip parsing unchanged files.
 
-Both see :class:`ModuleInfo`, a parsed module plus enough path context
-to decide applicability (e.g. RL002 only constrains ``core/`` and
-``sampling/``).
+Module rules see :class:`ModuleInfo`, a parsed module plus enough path
+context to decide applicability (e.g. RL002 only constrains ``core/``
+and ``sampling/``).
 """
 
 from __future__ import annotations
@@ -16,15 +19,18 @@ from __future__ import annotations
 import ast
 import dataclasses
 from pathlib import PurePosixPath
-from typing import ClassVar, Iterator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, ClassVar, Iterator, Optional, Tuple
 
 from ..diagnostics import Diagnostic
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import ProjectAnalysis
+
 
 __all__ = [
+    "AnalysisRule",
     "ModuleInfo",
     "Rule",
-    "ProjectRule",
     "dotted_name",
     "function_parameters",
     "walk_function_body",
@@ -78,16 +84,29 @@ class Rule:
         )
 
 
-class ProjectRule(Rule):
-    """A cross-file check over every linted module at once."""
+class AnalysisRule:
+    """A whole-program check over the summary-level project view.
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Diagnostic]:
-        return iter(())
+    Analysis rules run on every lint invocation (they are cheap) and
+    must anchor their findings with :meth:`finding` — summaries carry
+    positions as plain ints, not AST nodes.
+    """
 
-    def check_project(
-        self, modules: Sequence[ModuleInfo]
-    ) -> Iterator[Diagnostic]:
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
         raise NotImplementedError
+
+    def finding(
+        self, relpath: str, lineno: int, col: int, message: str
+    ) -> Diagnostic:
+        """A finding at an explicit position."""
+        return Diagnostic(
+            path=relpath, line=lineno, column=col,
+            code=self.code, message=message,
+        )
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

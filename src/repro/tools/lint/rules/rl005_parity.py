@@ -13,15 +13,21 @@ function defined under ``src/``:
   — ``tests/test_batch_equivalence.py`` for ``*_batch``,
   ``tests/test_walk_kernel.py`` for ``*_vectorized`` (skipped when
   that suite is not part of the lint run, e.g. ``lint src`` alone).
+
+Runs entirely from module summaries (definitions + referenced-name
+sets), so a cached file never needs re-parsing to keep parity checked.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set, Tuple
 
 from ..diagnostics import Diagnostic
-from .base import ModuleInfo, ProjectRule
+from .base import AnalysisRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import ProjectAnalysis
+    from ..analysis.summary import FunctionSummary
 
 __all__ = [
     "BatchParityRule",
@@ -34,37 +40,7 @@ _PARITY_SUITES = {
 }
 
 
-def _defined_functions(
-    module: ModuleInfo,
-) -> Iterator[Tuple[str, str, ast.AST]]:
-    """Yield ``(scope, name, node)`` for every function definition.
-
-    ``scope`` is ``""`` for module level or the class name for methods
-    (nested classes use a dotted path).
-    """
-    stack: List[Tuple[str, ast.AST]] = [("", module.tree)]
-    while stack:
-        scope, node = stack.pop()
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield scope, child.name, child
-                stack.append((scope, child))  # nested defs share the scope
-            elif isinstance(child, ast.ClassDef):
-                inner = f"{scope}.{child.name}" if scope else child.name
-                stack.append((inner, child))
-
-
-def _referenced_names(module: ModuleInfo) -> Set[str]:
-    names: Set[str] = set()
-    for node in ast.walk(module.tree):
-        if isinstance(node, ast.Name):
-            names.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            names.add(node.attr)
-    return names
-
-
-class BatchParityRule(ProjectRule):
+class BatchParityRule(AnalysisRule):
     code = "RL005"
     name = "batch-parity"
     description = (
@@ -72,36 +48,36 @@ class BatchParityRule(ProjectRule):
         "counterpart and coverage in its equivalence suite"
     )
 
-    def check_project(
-        self, modules: Sequence[ModuleInfo]
-    ) -> Iterator[Diagnostic]:
-        # Per-suffix: the suite modules present in this run and the
-        # names they reference.
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
+        # Per-suffix: is the suite part of this run, and which names
+        # does it reference?
         suites_in_run: Dict[str, bool] = {}
         covered: Dict[str, Set[str]] = {}
         for suffix, suite in _PARITY_SUITES.items():
-            suite_modules = [
-                module
-                for module in modules
-                if module.relpath.endswith(suite)
-            ]
-            suites_in_run[suffix] = bool(suite_modules)
             names: Set[str] = set()
-            for module in suite_modules:
-                names |= _referenced_names(module)
+            present = False
+            for relpath, module in analysis.modules.items():
+                if relpath.endswith(suite):
+                    present = True
+                    names |= set(module.referenced_names)
+            suites_in_run[suffix] = present
             covered[suffix] = names
 
-        for module in modules:
-            if "src" not in module.parts[:-1]:
+        for relpath in sorted(analysis.modules):
+            module = analysis.module(relpath)
+            if not module.in_directory("src"):
                 continue
-            definitions: Dict[Tuple[str, str], ast.AST] = {}
-            for scope, name, node in _defined_functions(module):
-                definitions.setdefault((scope, name), node)
-            for (scope, name), node in sorted(
-                definitions.items(),
-                key=lambda item: getattr(item[1], "lineno", 0),
+            definitions: Dict[Tuple[str, str], "FunctionSummary"] = {}
+            for function in module.functions:
+                if function.name.startswith("<"):
+                    continue  # <module> / <class> pseudo-functions
+                definitions.setdefault(
+                    (function.scope, function.name), function
+                )
+            for (scope, name), function in sorted(
+                definitions.items(), key=lambda item: item[1].lineno
             ):
-                suffix = next(
+                suffix: Optional[str] = next(
                     (
                         candidate
                         for candidate in _PARITY_SUITES
@@ -115,16 +91,16 @@ class BatchParityRule(ProjectRule):
                 scalar = name[: -len(suffix)]
                 if not scalar or (scope, scalar) not in definitions:
                     where = f"class '{scope}'" if scope else "this module"
-                    yield self.diagnostic(
-                        module, node,
+                    yield self.finding(
+                        relpath, function.lineno, function.col,
                         f"{kind} function '{name}' has no scalar "
                         f"counterpart '{scalar}' in {where}; the "
                         "bit-identical contract has nothing to compare "
                         "against",
                     )
                 if suites_in_run[suffix] and name not in covered[suffix]:
-                    yield self.diagnostic(
-                        module, node,
+                    yield self.finding(
+                        relpath, function.lineno, function.col,
                         f"{kind} function '{name}' is not exercised by "
                         f"{_PARITY_SUITES[suffix]}",
                     )

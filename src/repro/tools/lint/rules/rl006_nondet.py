@@ -1,0 +1,111 @@
+"""RL006 — nondeterminism taint.
+
+Everything the replayable core computes must be a pure function of
+(config, seed, fault plan): golden traces are compared byte-for-byte,
+and the serving layer's serial==concurrent gate replays whole query
+batches.  A single wall-clock read or unseeded Generator anywhere on
+those paths breaks replay in ways the dynamic suites only catch when
+the nondeterminism happens to change an assertion.
+
+This rule statically taints every function that *directly* touches a
+nondeterminism source —
+
+* wall clock (``time.time``/``perf_counter``/``datetime.now``/...),
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*``),
+* the stdlib ``random`` module,
+* an unseeded ``numpy.random.default_rng()``,
+* iteration over a set literal / ``set(...)`` (hash-seed ordering)
+
+— then propagates the taint to transitive callers over the project
+call graph.  Findings are reported inside the deterministic
+directories (``core/``, ``network/``, ``service/``, ``obs/``,
+``data/``, ``sampling/``): once at each direct source, and once at
+each call site that reaches a tainted helper defined *outside* the
+guarded tree (the cross-module case a per-file pass cannot see).
+
+``_util.py`` is the sanctioned entropy door: ``ensure_rng`` owns the
+seed-or-entropy decision, so sources inside it are not seeds here
+(RL001 polices that file's discipline separately).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Tuple
+
+from ..diagnostics import Diagnostic
+from .base import AnalysisRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import FunctionKey, ProjectAnalysis
+
+__all__ = [
+    "GUARDED_DIRECTORIES",
+    "NondetTaintRule",
+]
+
+#: Directories whose modules must stay deterministic.
+GUARDED_DIRECTORIES = ("core", "network", "service", "obs", "data", "sampling")
+
+
+class NondetTaintRule(AnalysisRule):
+    code = "RL006"
+    name = "nondet-taint"
+    description = (
+        "no wall-clock, OS entropy, unseeded Generators or set-order "
+        "dependence reachable from deterministic paths"
+    )
+
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
+        def guarded(relpath: str) -> bool:
+            module = analysis.module(relpath)
+            return any(
+                module.in_directory(name) for name in GUARDED_DIRECTORIES
+            )
+
+        def sanctioned(relpath: str) -> bool:
+            return analysis.module(relpath).filename == "_util.py"
+
+        seeds: Dict["FunctionKey", str] = {}
+        direct: List[Diagnostic] = []
+        for key, function in analysis.iter_functions():
+            if sanctioned(key.relpath):
+                continue
+            for seed in function.seeds:
+                witness = f"{seed.detail} at {key.render()}:{seed.lineno}"
+                seeds.setdefault(key, witness)
+                if guarded(key.relpath):
+                    direct.append(
+                        self.finding(
+                            key.relpath, seed.lineno, seed.col,
+                            f"nondeterministic source in deterministic "
+                            f"path: {seed.detail} ({seed.kind}); thread "
+                            "a seeded Generator through instead",
+                        )
+                    )
+
+        yield from direct
+
+        tainted = analysis.propagate_to_callers(seeds)
+
+        # Cross-module leg: a guarded function calling a tainted helper
+        # that lives outside the guarded tree (helpers inside it were
+        # already reported at their own seed).
+        reported: Set[Tuple[str, int, int]] = set()
+        for key, function in analysis.iter_functions():
+            if not guarded(key.relpath):
+                continue
+            for target, call in analysis.callees_of(key):
+                if target not in tainted:
+                    continue
+                if guarded(target.relpath) or sanctioned(target.relpath):
+                    continue
+                anchor = (key.relpath, call.lineno, call.col)
+                if anchor in reported:
+                    continue
+                reported.add(anchor)
+                chain = "; ".join(tainted[target])
+                yield self.finding(
+                    key.relpath, call.lineno, call.col,
+                    f"deterministic path calls nondeterministic helper "
+                    f"'{call.resolved}' ({chain})",
+                )

@@ -1,0 +1,106 @@
+"""RL007 — RNG stream discipline.
+
+The estimator guarantees (ICDE 2006) price every sample as a draw from
+*one* disciplined stream per consumer: engines own a per-instance
+Generator threaded through construction, the serving layer spawns
+per-query child streams in submission order, and fault decisions use
+the splitmix64 counter hash so they consume **no** stream state at
+all.  Three static violations of that discipline:
+
+* **mid-stream re-seeding** — constructing a Generator from a literal
+  seed outside ``__init__``/``__post_init__`` resets the stream in the
+  middle of a walk, collapsing sample independence (constructor-time
+  literals are legitimate: cosmetic identity streams, default
+  configs);
+* **Generator captured in module or class state** — a stream shared
+  across query boundaries couples queries to submission order *and*
+  to process layout, the exact coupling the sharded backend must not
+  inherit (per-instance ``self._rng`` is the sanctioned pattern);
+* **stream draws inside** ``faults.py`` — fault decisions must come
+  from the counter hash (``_uniform``), never from a Generator, or
+  injecting a fault would shift every subsequent sample.
+
+Scoped to the deterministic directories; tests and benchmarks mint
+literal-seeded Generators legitimately all the time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..analysis.summary import GENERATOR_DRAW_METHODS
+from ..diagnostics import Diagnostic
+from .base import AnalysisRule
+from .rl006_nondet import GUARDED_DIRECTORIES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import ProjectAnalysis
+
+__all__ = [
+    "RngDisciplineRule",
+]
+
+_RNG_MAKERS = frozenset({"default_rng", "ensure_rng"})
+#: Function names where a literal seed is construction, not re-seeding.
+#: ``<module>``/``<class>`` level literals are already reported by the
+#: shared-state check, so double-flagging them as re-seeds is noise.
+_CONSTRUCTION_CONTEXTS = frozenset(
+    {"__init__", "__post_init__", "<module>", "<class>"}
+)
+
+
+class RngDisciplineRule(AnalysisRule):
+    code = "RL007"
+    name = "rng-stream-discipline"
+    description = (
+        "no mid-stream re-seeding, no Generators in module/class "
+        "state, no stream draws in fault decisions"
+    )
+
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
+        for relpath, module in sorted(analysis.modules.items()):
+            guarded = any(
+                module.in_directory(name) for name in GUARDED_DIRECTORIES
+            )
+            if not guarded:
+                continue
+
+            for state in module.rng_state:
+                where = (
+                    f"class '{state.scope}'" if state.scope else "module"
+                ) + " state"
+                yield self.finding(
+                    relpath, state.lineno, state.col,
+                    f"Generator '{state.name}' captured in {where} is "
+                    "shared across query boundaries; hold it per-instance "
+                    "and spawn per-query child streams",
+                )
+
+            in_faults = module.filename == "faults.py"
+            for function in module.functions:
+                reseed_ok = function.name in _CONSTRUCTION_CONTEXTS
+                for call in function.calls:
+                    if (
+                        not reseed_ok
+                        and call.tail in _RNG_MAKERS
+                        and call.literal_seed
+                    ):
+                        yield self.finding(
+                            relpath, call.lineno, call.col,
+                            f"'{call.resolved}' re-seeds a Generator from a "
+                            f"literal inside '{function.qualname}'; streams "
+                            "are fixed at construction time — accept an rng "
+                            "or spawn a child stream",
+                        )
+                    if (
+                        in_faults
+                        and call.is_attribute
+                        and call.tail in GENERATOR_DRAW_METHODS
+                    ):
+                        yield self.finding(
+                            relpath, call.lineno, call.col,
+                            f"Generator draw '.{call.tail}()' inside "
+                            "faults.py; fault decisions must use the "
+                            "counter-hash discipline (_uniform) so they "
+                            "consume no stream state",
+                        )

@@ -1,0 +1,117 @@
+"""RL008 — snapshot immutability / fork-safety (the race-detector pass).
+
+The planned sharded serving backend forks workers that share topology,
+CSR arrays and :class:`FlatDataset` columns by memory mapping.  That
+is only sound if published snapshots are *bit-frozen*: any in-place
+write after publication is a cross-worker race, and any module-level
+mutable state reachable from the serving layer is divergent state the
+workers will silently fork apart on.  This rule is the static
+precondition for that backend:
+
+* **post-publication writes** — in a *snapshot class* (one that
+  freezes arrays anywhere: ``.flags.writeable = False`` or
+  ``.setflags(write=False)``), a subscript store into an attribute
+  array outside ``__init__``, or re-thawing a frozen array, is a race
+  with every reader that already holds the snapshot;
+* **unfrozen exposure** — a snapshot class returning an
+  ``__init__``-assigned attribute (or a subscript of one) that is
+  never frozen hands callers a writable alias into shared state; the
+  sanctioned idioms are freeze-at-init (directly, or through a helper
+  whose name says so: ``*readonly*``/``*frozen*``) and
+  freeze-at-exposure (``.view()`` + ``writeable = False`` on the
+  view, which this rule does not flag because the returned name is a
+  local);
+* **module-level mutable state** — a dict/list/set at module level
+  that the module itself mutates, in any module transitively imported
+  from ``service/``, is fork-divergent shared state.  Weak-ref memo
+  caches (``WeakKeyDictionary``) keyed by immutable snapshots are
+  exempt: they rebuild per process and cannot alias across workers.
+  Constant lookup tables (never written after construction) are fine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..diagnostics import Diagnostic
+from .base import AnalysisRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import ProjectAnalysis
+
+__all__ = [
+    "SnapshotImmutabilityRule",
+]
+
+
+class SnapshotImmutabilityRule(AnalysisRule):
+    code = "RL008"
+    name = "snapshot-immutability"
+    description = (
+        "published snapshot arrays stay frozen; no mutable module "
+        "state reachable from service/ execution paths"
+    )
+
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
+        yield from self._check_snapshot_classes(analysis)
+        yield from self._check_service_reachable_state(analysis)
+
+    # ------------------------------------------------------------------
+
+    def _check_snapshot_classes(
+        self, analysis: "ProjectAnalysis"
+    ) -> Iterator[Diagnostic]:
+        for relpath, module in sorted(analysis.modules.items()):
+            for cls in module.classes:
+                if not cls.has_freeze_ops:
+                    continue  # not a snapshot class
+                for mutation in cls.mutations:
+                    verb = (
+                        "re-thaws"
+                        if mutation.op == "thaw"
+                        else "writes into"
+                    )
+                    yield self.finding(
+                        relpath, mutation.lineno, mutation.col,
+                        f"'{cls.name}.{mutation.method}' {verb} published "
+                        f"snapshot state 'self.{mutation.attr}' after "
+                        "__init__; snapshots must be rebuilt, never "
+                        "mutated in place",
+                    )
+                frozen = set(cls.frozen_attrs)
+                for exposure in cls.bare_returns:
+                    record = cls.init_attrs.get(exposure.attr)
+                    if record is None:
+                        continue  # not part of the published snapshot
+                    if record.scalar or record.frozen_at_init:
+                        continue
+                    if exposure.attr in frozen:
+                        continue
+                    yield self.finding(
+                        relpath, exposure.lineno, exposure.col,
+                        f"'{cls.name}.{exposure.method}' returns "
+                        f"'self.{exposure.attr}' without "
+                        "setflags(write=False); callers get a writable "
+                        "alias into the shared snapshot",
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _check_service_reachable_state(
+        self, analysis: "ProjectAnalysis"
+    ) -> Iterator[Diagnostic]:
+        reachable = analysis.modules_reachable_from(
+            lambda module: module.in_directory("service")
+        )
+        for relpath in sorted(reachable):
+            module = analysis.module(relpath)
+            for state in module.mutable_globals:
+                if state.scope or state.weak or not state.mutated:
+                    continue
+                yield self.finding(
+                    relpath, state.lineno, state.col,
+                    f"module-level {state.kind} '{state.name}' is mutated "
+                    "and reachable from service/ execution paths; "
+                    "fork-unsafe shared state — hold it per-instance or "
+                    "key a WeakKeyDictionary by the immutable snapshot",
+                )

@@ -1,0 +1,94 @@
+"""RL009 — static trace↔ledger reconciliation.
+
+PR 4's property suite proves, dynamically, that replaying a trace's
+cost-bearing events reproduces the CostLedger totals exactly.  That
+property holds because of a code-shape contract: **every cost-bearing
+TraceEvent construction is paired with a CostLedger charge** — either
+in the same function, or (for pure emission helpers like
+``_emit_walk`` and the walk-hops contract, where the *engine* charges
+``record_hops`` after collecting) in some charging function on every
+call path into it.  This rule checks that contract statically, so a
+new emission site cannot ship uncharged and only get caught when a
+golden trace happens to cover it.
+
+The fixed point runs over the project call graph, restricted to the
+deterministic directories (tests construct events freely to assert on
+``cost()``):
+
+* a function that constructs a cost-bearing event and also charges is
+  reconciled;
+* one that emits without charging passes the *requirement* up to its
+  callers; a caller that charges absorbs it, one that does not keeps
+  passing it up;
+* a requirement that reaches a function with **no** guarded callers
+  has escaped every charging path — that function is reported, with
+  the emission it fails to reconcile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator
+
+from ..diagnostics import Diagnostic
+from .base import AnalysisRule
+from .rl006_nondet import GUARDED_DIRECTORIES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.project import FunctionKey, ProjectAnalysis
+
+__all__ = [
+    "LedgerReconciliationRule",
+]
+
+
+class LedgerReconciliationRule(AnalysisRule):
+    code = "RL009"
+    name = "trace-ledger-reconciliation"
+    description = (
+        "every cost-bearing TraceEvent emission meets a CostLedger "
+        "charge on every call path"
+    )
+
+    def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
+        def guarded(relpath: str) -> bool:
+            module = analysis.module(relpath)
+            return any(
+                module.in_directory(name) for name in GUARDED_DIRECTORIES
+            )
+
+        def charges(key: "FunctionKey") -> bool:
+            function = analysis.function(key)
+            return function is not None and bool(function.charges)
+
+        seeds: Dict["FunctionKey", str] = {}
+        for key, function in analysis.iter_functions():
+            if not guarded(key.relpath) or not function.cost_emits:
+                continue
+            event, lineno, _ = function.cost_emits[0]
+            seeds.setdefault(
+                key, f"{event} emitted at {key.render()}:{lineno}"
+            )
+
+        requiring = analysis.propagate_to_callers(
+            seeds,
+            blocked=charges,
+            caller_filter=lambda key: guarded(key.relpath),
+        )
+
+        for key in sorted(requiring, key=lambda k: (k.relpath, k.name)):
+            guarded_callers = [
+                caller
+                for caller in analysis.callers_of(key)
+                if guarded(caller.relpath)
+            ]
+            if guarded_callers:
+                continue  # the requirement is still travelling upward
+            function = analysis.function(key)
+            assert function is not None
+            chain = "; ".join(requiring[key])
+            yield self.finding(
+                key.relpath, function.lineno, function.col,
+                f"cost-bearing emission is never reconciled with a "
+                f"CostLedger charge on any call path ({chain}); charge "
+                "in this function or in every caller",
+            )

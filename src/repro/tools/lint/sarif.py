@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering for CI annotation.
+
+GitHub's code-scanning upload turns a SARIF run into inline PR
+annotations, which is how reprolint findings surface on the diff
+instead of in a buried job log.  The emitted document is deliberately
+minimal — one run, one driver, one result per diagnostic — and every
+result is ``level: error`` because the lint gate fails on any finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .diagnostics import TOOL_ERROR_CODE, Diagnostic
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "render_sarif",
+]
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+def _rule_entries(rules: List[Any]) -> List[Dict[str, Any]]:
+    entries = [
+        {
+            "id": TOOL_ERROR_CODE,
+            "name": "tool-error",
+            "shortDescription": {
+                "text": "parse failure or malformed suppression directive"
+            },
+        }
+    ]
+    for rule in rules:
+        entries.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+    return entries
+
+
+def render_sarif(
+    diagnostics: List[Diagnostic], rules: List[Any]
+) -> Dict[str, Any]:
+    """The full SARIF document as a JSON-ready dict."""
+    rule_entries = _rule_entries(rules)
+    index = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+    results: List[Dict[str, Any]] = []
+    for diagnostic in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diagnostic.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diagnostic.line,
+                            # SARIF columns are 1-based; diagnostics
+                            # carry 0-based AST offsets.
+                            "startColumn": diagnostic.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diagnostic.code in index:
+            result["ruleIndex"] = index[diagnostic.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,0 +1,8 @@
+"""RL006 bad fixture: cross-module taint a per-file pass cannot see."""
+
+from ..helpers.clock_helper import chained
+
+
+def estimate_with_jitter(value):
+    # the helper chain bottoms out in time.time()
+    return chained(value)

@@ -1,0 +1,29 @@
+"""RL006 bad fixture: nondeterminism sources on deterministic paths."""
+
+import os
+import time
+
+from numpy.random import default_rng
+
+
+def stamped_estimate(value):
+    # wall clock leaks into an estimate
+    return value + time.time()
+
+
+def entropy_token():
+    # OS entropy instead of the seeded stream
+    return os.urandom(8)
+
+
+def fresh_stream():
+    # unseeded Generator: differs per process
+    rng = default_rng()
+    return rng.random()
+
+
+def order_dependent():
+    total = 0
+    for peer in {3, 1, 2}:  # set iteration: hash-order dependent
+        total = total * 10 + peer
+    return total

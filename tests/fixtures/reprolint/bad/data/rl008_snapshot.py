@@ -1,0 +1,17 @@
+"""RL008 bad fixture: published snapshot state mutated and leaked."""
+
+import numpy as np
+
+
+class Snapshot:
+    def __init__(self, values, weights):
+        self._values = np.asarray(values)
+        self._values.flags.writeable = False
+        self._weights = np.asarray(weights)  # never frozen
+
+    def rescale(self, factor):
+        self._values.flags.writeable = True  # re-thaw after publication
+        self._values[0] = factor  # in-place write readers will observe
+
+    def weights(self):
+        return self._weights  # writable alias into shared state

@@ -1,0 +1,11 @@
+"""Unguarded helper module: the nondeterminism hides two calls deep."""
+
+import time
+
+
+def jittered_delay(base):
+    return base + time.time()
+
+
+def chained(base):
+    return jittered_delay(base) * 2

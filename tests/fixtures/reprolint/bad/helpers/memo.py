@@ -1,0 +1,8 @@
+"""Unguarded helper with fork-divergent state, reachable from service."""
+
+_MEMO = {}
+
+
+def remember(key, value):
+    _MEMO[key] = value
+    return value

@@ -1,0 +1,7 @@
+"""RL007 bad fixture: a stream draw inside fault-decision code."""
+
+
+class FaultPlan:
+    def should_drop(self, rng, probability):
+        # consuming Generator state shifts every subsequent sample
+        return rng.random() < probability

@@ -1,0 +1,13 @@
+"""RL007 bad fixture: RNG stream discipline violations."""
+
+from numpy.random import default_rng
+
+_SHARED_RNG = default_rng(1234)  # module state shared across queries
+
+
+class WalkDriver:
+    _rng = default_rng(99)  # class state shared across queries
+
+    def resample(self, count):
+        rng = default_rng(1234)  # mid-stream re-seed from a literal
+        return rng.integers(0, count)

@@ -1,0 +1,17 @@
+"""RL009 bad fixture: cost emissions no call path ever reconciles."""
+
+
+def emit_probe(trace, peer):
+    # direct emission, no charge, no callers
+    trace.append(ProbeEvent(peer=peer, hops=1))
+    return peer
+
+
+def _emit_walk_event(trace, hops):
+    # pure emission helper: the requirement travels to callers...
+    trace.append(WalkEvent(hops=hops))
+
+
+def run_walk(trace, hops):
+    # ...and dies here: no charge, no further callers
+    return _emit_walk_event(trace, hops)

@@ -1,0 +1,11 @@
+"""RL008 bad fixture: mutable module state on the serving path."""
+
+from ..helpers.memo import remember
+
+_RESULT_CACHE = {}
+
+
+def cached_answer(query_key, compute):
+    if query_key not in _RESULT_CACHE:
+        _RESULT_CACHE[query_key] = remember(query_key, compute())
+    return _RESULT_CACHE[query_key]

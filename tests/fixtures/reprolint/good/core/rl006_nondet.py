@@ -1,0 +1,17 @@
+"""RL006 good fixture: deterministic in (config, seed, fault plan)."""
+
+
+def seeded_walk(rng, peers):
+    order = sorted(peers)  # explicit ordering, not hash order
+    picked = []
+    for peer in order:
+        if rng.random() < 0.5:  # the threaded, seeded stream
+            picked.append(peer)
+    return picked
+
+
+def measured_total(values):
+    total = 0.0
+    for value in values:  # list iteration is order-stable
+        total += value
+    return total

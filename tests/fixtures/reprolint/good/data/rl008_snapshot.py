@@ -1,0 +1,35 @@
+"""RL008 good fixture: every sanctioned publication idiom."""
+
+import numpy as np
+
+
+def _readonly_view(data):
+    view = data.view()
+    view.setflags(write=False)
+    return view
+
+
+class Snapshot:
+    def __init__(self, values, weights, label: str):
+        self._values = np.asarray(values)
+        self._values.flags.writeable = False  # freeze-at-init, direct
+        self._weights = _readonly_view(np.asarray(weights))  # via helper
+        self._label = label  # annotated scalar
+        self._count = int(np.asarray(values).size)  # scalar factory
+
+    def values(self):
+        return self._values
+
+    def weights(self):
+        return self._weights
+
+    def label(self):
+        return self._label
+
+    def count(self):
+        return self._count
+
+    def window(self):
+        view = self._values.view()
+        view.setflags(write=False)  # freeze-at-exposure on a local
+        return view

@@ -1,0 +1,11 @@
+"""RL007 good fixture: fault decisions via the counter-hash discipline."""
+
+
+def _uniform(counter, salt):
+    mixed = (counter * 2654435761 + salt) % 2**32
+    return mixed / 2**32
+
+
+class FaultPlan:
+    def should_drop(self, counter, salt, probability):
+        return _uniform(counter, salt) < probability

@@ -1,0 +1,16 @@
+"""RL007 good fixture: per-instance streams fixed at construction."""
+
+from numpy.random import default_rng
+
+
+class Engine:
+    def __init__(self, seed):
+        self._rng = default_rng(seed)  # constructor-time, per-instance
+
+    def sample(self, count):
+        return self._rng.integers(0, 10, size=count)
+
+
+def spawn_child(rng):
+    child = rng.spawn(1)[0]  # child streams, never re-seeding
+    return child

@@ -1,0 +1,19 @@
+"""RL009 good fixture: both sanctioned reconciliation shapes."""
+
+
+def direct_probe(trace, ledger, peer):
+    # emission and charge in the same function
+    trace.append(ProbeEvent(peer=peer, hops=1))
+    ledger.record_hops(1)
+    return peer
+
+
+def _emit_walk_event(trace, hops):
+    # pure emission helper: every caller charges
+    trace.append(WalkEvent(hops=hops))
+
+
+def charged_walk(trace, ledger, hops):
+    _emit_walk_event(trace, hops)
+    ledger.record_hops(hops)
+    return hops

@@ -1,0 +1,19 @@
+"""RL008 good fixture: fork-safe serving-path state."""
+
+from weakref import WeakKeyDictionary
+
+#: Weak memo keyed by immutable snapshots: rebuilds per process.
+_PLAN_CACHE = WeakKeyDictionary()
+
+#: Constant lookup table, never written after construction.
+_CODES = {"count": 0, "sum": 1, "avg": 2}
+
+
+def plan_for(snapshot, build):
+    if snapshot not in _PLAN_CACHE:
+        _PLAN_CACHE[snapshot] = build(snapshot)
+    return _PLAN_CACHE[snapshot]
+
+
+def code_of(kind):
+    return _CODES[kind]

@@ -1,0 +1,68 @@
+"""FlatDataset snapshot-immutability regression tests.
+
+The flat view is shared by reference with every engine (and, in the
+planned sharded backend, across forked workers), so the columns it
+hands out must be read-only.  These tests pin the RL008 fix: before
+``FlatDataset.__init__`` froze its column views, ``column()`` returned
+a writable alias into the shared snapshot and every assertion here
+failed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.flat import FlatDataset
+from repro.data.localdb import LocalDatabase
+
+
+def _dataset():
+    values = np.arange(6, dtype=np.float64)
+    return values, FlatDataset(
+        {"v": values}, np.array([0, 3, 6], dtype=np.int64)
+    )
+
+
+def test_column_is_read_only():
+    _, dataset = _dataset()
+    column = dataset.column("v")
+    assert column.flags.writeable is False
+    with pytest.raises(ValueError):
+        column[0] = 99.0
+
+
+def test_scan_views_are_read_only():
+    _, dataset = _dataset()
+    for column in dataset.scan().values():
+        assert column.flags.writeable is False
+
+
+def test_offsets_and_counts_stay_frozen():
+    _, dataset = _dataset()
+    assert dataset.offsets.flags.writeable is False
+    assert dataset.peer_tuple_counts.flags.writeable is False
+
+
+def test_freezing_does_not_touch_the_callers_array():
+    values, dataset = _dataset()
+    # the dataset freezes *views*; the caller's own array is untouched
+    assert values.flags.writeable is True
+    values[0] = 42.0
+    assert dataset.column("v")[0] == pytest.approx(42.0)
+
+
+def test_from_databases_columns_are_read_only():
+    databases = [
+        LocalDatabase({"v": np.arange(4, dtype=np.float64)}),
+        LocalDatabase({"v": np.arange(4, 9, dtype=np.float64)}),
+    ]
+    dataset = FlatDataset.from_databases(databases)
+    assert dataset.column("v").flags.writeable is False
+
+
+def test_gather_returns_fresh_writable_copies():
+    values, dataset = _dataset()
+    gathered = dataset.gather(np.array([0, 2], dtype=np.int64))
+    # fancy indexing copies: the result is writable and detached
+    gathered["v"][0] = -1.0
+    assert values[0] == pytest.approx(0.0)
+    assert dataset.column("v")[0] == pytest.approx(0.0)

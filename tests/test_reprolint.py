@@ -15,10 +15,12 @@ from pathlib import Path
 
 from repro.tools.lint import (
     ALL_RULES,
+    Baseline,
     LintEngine,
     TOOL_ERROR_CODE,
     collect_files,
 )
+from repro.tools.lint.analysis import AnalysisCache
 from repro.tools.lint.cli import main as lint_main
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
@@ -126,6 +128,52 @@ def test_rl005_reference_check_needs_equivalence_suite_in_run():
     assert not any("not exercised" in m for m in messages)
 
 
+def test_rl006_direct_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    # time.time, os.urandom, unseeded default_rng, set-literal iteration
+    assert mapping["bad/core/rl006_nondet.py"].count("RL006") == 4
+
+
+def test_rl006_cross_module_taint():
+    report = run_lint(BAD)
+    [finding] = [
+        d for d in report.diagnostics
+        if d.code == "RL006" and "rl006_cross" in d.path
+    ]
+    # the taint travelled helpers/clock_helper.py -> core/rl006_cross.py;
+    # the witness chain must name both the carrier and the original sink
+    assert "clock_helper" in finding.message
+    assert "time.time" in finding.message
+
+
+def test_rl007_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    # module-state rng, class-state rng, literal re-seed inside a method
+    assert mapping["bad/network/rl007_rng.py"].count("RL007") == 3
+    assert mapping["bad/network/faults.py"].count("RL007") == 1
+
+
+def test_rl008_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    # re-thaw + subscript store + unfrozen exposure
+    assert mapping["bad/data/rl008_snapshot.py"].count("RL008") == 3
+    assert mapping["bad/service/rl008_state.py"].count("RL008") == 1
+    # the memo dict lives in helpers/ but is reachable from service/
+    assert mapping["bad/helpers/memo.py"].count("RL008") == 1
+
+
+def test_rl009_findings():
+    report = run_lint(BAD)
+    findings = [
+        d for d in report.diagnostics
+        if d.code == "RL009" and "rl009_ledger" in d.path
+    ]
+    # one direct emitter, one flagged after propagating through a helper
+    assert sorted(d.line for d in findings) == [4, 15]
+    for finding in findings:
+        assert "emitted at" in finding.message
+
+
 # ----------------------------------------------------------------------
 # suppression semantics
 
@@ -162,6 +210,158 @@ def test_syntax_errors_surface_as_tool_errors(tmp_path):
     report = run_lint(broken)
     assert [d.code for d in report.diagnostics] == [TOOL_ERROR_CODE]
     assert "syntax error" in report.diagnostics[0].message
+
+
+def _src_file(tmp_path, name, text):
+    source_dir = tmp_path / "src"
+    source_dir.mkdir(exist_ok=True)
+    target = source_dir / name
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+def test_suppression_covers_multiline_statement(tmp_path):
+    # the directive sits on the statement's head line; the finding is
+    # anchored on a continuation line and must still be waived
+    target = _src_file(
+        tmp_path,
+        "wrapped.py",
+        "def wrapped(fraction):\n"
+        "    return (  # reprolint: disable=RL004 -- exact by construction\n"
+        "        fraction\n"
+        "        == 0.5\n"
+        "    )\n",
+    )
+    report = run_lint(target)
+    assert report.diagnostics == []
+
+
+def test_suppression_covers_decorated_def(tmp_path):
+    # comment-line directive above the decorator; the RL005 finding is
+    # anchored at the ``def`` line below it
+    target = _src_file(
+        tmp_path,
+        "decorated.py",
+        "def identity(fn):\n"
+        "    return fn\n"
+        "\n"
+        "\n"
+        "# reprolint: disable=RL005 -- scalar twin pending extraction\n"
+        "@identity\n"
+        "def lift_batch(rows):\n"
+        "    return rows\n",
+    )
+    report = run_lint(target)
+    assert report.diagnostics == []
+
+
+def test_suppression_does_not_leak_into_compound_bodies(tmp_path):
+    # a directive on an ``if`` head line must not blanket the body;
+    # the unmatched directive is itself reported by the audit
+    target = _src_file(
+        tmp_path,
+        "gate.py",
+        "def gate(x):\n"
+        "    if x > 0:  # reprolint: disable=RL004 -- head line only\n"
+        "        return x == 0.5\n"
+        "    return False\n",
+    )
+    report = run_lint(target)
+    codes = [d.code for d in report.diagnostics]
+    assert codes.count("RL004") == 1
+    assert codes.count(TOOL_ERROR_CODE) == 1
+    [audit] = [d for d in report.diagnostics if d.code == TOOL_ERROR_CODE]
+    assert "unused suppression" in audit.message
+
+
+def test_unused_suppression_audit_only_runs_on_full_ruleset(tmp_path):
+    target = _src_file(
+        tmp_path,
+        "stale.py",
+        "# reprolint: disable=RL001 -- nothing here actually seeds\n"
+        "VALUE = 3\n",
+    )
+    full = run_lint(target)
+    assert [d.code for d in full.diagnostics] == [TOOL_ERROR_CODE]
+    assert "unused suppression of RL001" in full.diagnostics[0].message
+    partial = run_lint(target, select=["RL004"])
+    assert partial.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# analysis cache
+
+
+def test_cache_warm_run_replays_identical_diagnostics(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cold = run_lint(BAD, cache=AnalysisCache(cache_path))
+    assert cold.cache_hits == 0
+    warm = run_lint(BAD, cache=AnalysisCache(cache_path))
+    assert warm.cache_hits == warm.files_checked
+    assert warm.diagnostics == cold.diagnostics
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    target = _src_file(tmp_path, "edited.py", "EXACT = 1 == 1.0\n")
+    run_lint(target, cache=AnalysisCache(cache_path))
+    target.write_text("EXACT = 2 == 2.0\n", encoding="utf-8")
+    changed = run_lint(target, cache=AnalysisCache(cache_path))
+    assert changed.cache_hits == 0
+    assert [d.code for d in changed.diagnostics] == ["RL004"]
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json", encoding="utf-8")
+    report = run_lint(GOOD, cache=AnalysisCache(cache_path))
+    assert report.cache_hits == 0
+    assert report.diagnostics == []
+    # ...and the run repaired the file for the next one
+    warm = run_lint(GOOD, cache=AnalysisCache(cache_path))
+    assert warm.cache_hits == warm.files_checked
+
+
+# ----------------------------------------------------------------------
+# baseline
+
+
+def test_baseline_accepts_recorded_findings(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    target = BAD / "src" / "rl004.py"
+    recorded = Baseline.update(baseline_path, run_lint(target).diagnostics)
+    assert recorded == 4
+    report = run_lint(target, baseline=Baseline.load(baseline_path))
+    assert report.diagnostics == []
+    assert report.baselined == 4
+    assert report.exit_code == 0
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    target = _src_file(tmp_path, "pair.py", "A = 1 == 1.0\n")
+    Baseline.update(baseline_path, run_lint(target).diagnostics)
+    # a second identical violation exceeds the recorded budget of one
+    target.write_text("A = 1 == 1.0\nB = 2 == 2.0\n", encoding="utf-8")
+    report = run_lint(target, baseline=Baseline.load(baseline_path))
+    assert report.baselined == 1
+    assert [d.code for d in report.diagnostics] == ["RL004"]
+
+
+def test_baseline_never_absorbs_tool_errors(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    target = BAD / "suppressed.py"
+    first = run_lint(target)
+    Baseline.update(baseline_path, first.diagnostics)
+    report = run_lint(target, baseline=Baseline.load(baseline_path))
+    codes = [d.code for d in report.diagnostics]
+    assert codes.count(TOOL_ERROR_CODE) == 3  # still reported
+    assert "RL001" not in codes  # the real findings were baselined
+
+
+def test_missing_baseline_file_acts_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "never-written.json")
+    assert len(baseline) == 0
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +427,61 @@ def test_cli_missing_path_exits_2(capsys):
     status = lint_main([str(FIXTURES / "does-not-exist")])
     assert status == 2
     assert "reprolint:" in capsys.readouterr().err
+
+
+def test_cli_sarif_output(capsys):
+    status = lint_main(["--format", "sarif", str(BAD / "src" / "rl004.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 1
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    declared = {rule["id"] for rule in driver["rules"]}
+    assert TOOL_ERROR_CODE in declared
+    assert set(RULE_CODES) <= declared
+    results = run["results"]
+    assert len(results) == 4
+    for result in results:
+        assert result["ruleId"] in declared
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+
+def test_cli_cache_flag(tmp_path, capsys):
+    cache_path = tmp_path / "cache.json"
+    lint_main(["--format", "json", "--cache", str(cache_path), str(GOOD)])
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache_hits"] == 0
+    lint_main(["--format", "json", "--cache", str(cache_path), str(GOOD)])
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["cache_hits"] == warm["files_checked"]
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    target = str(BAD / "src" / "rl004.py")
+    status = lint_main(
+        ["--baseline", str(baseline_path), "--update-baseline", target]
+    )
+    captured = capsys.readouterr()
+    assert status == 0
+    assert "baseline updated with 4 finding(s)" in captured.err
+    status = lint_main(
+        ["--format", "json", "--baseline", str(baseline_path), target]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 0
+    assert payload["findings"] == 0
+    assert payload["baselined"] == 4
+
+
+def test_cli_update_baseline_requires_baseline_path(capsys):
+    status = lint_main(["--update-baseline", str(GOOD)])
+    assert status == 2
+    assert "--update-baseline requires --baseline" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------
