@@ -29,12 +29,15 @@ from .errors import (
     BudgetExceededError,
     ChurnError,
     ConfigurationError,
+    DeadlineExceededError,
+    PeerDepartedError,
     ProtocolError,
     QueryError,
     QueryParseError,
     ReproError,
     SamplingError,
     ServiceError,
+    StaleReplyError,
     TopologyError,
 )
 from .network import (
@@ -128,6 +131,17 @@ from .service import (
     ServiceStats,
 )
 from .metrics import CostModel, QueryCost
+from .sim import (
+    ChurnTimeline,
+    ConstantLatency,
+    EventDrivenSimulator,
+    ExponentialLatency,
+    LatencyModel,
+    QueryTiming,
+    TimelineEntry,
+    UniformLatency,
+    VirtualClock,
+)
 from .obs import (
     MetricsRegistry,
     RunManifest,
@@ -160,6 +174,9 @@ __all__ = [
     "SamplingError",
     "ProtocolError",
     "ChurnError",
+    "DeadlineExceededError",
+    "PeerDepartedError",
+    "StaleReplyError",
     # network
     "Topology",
     "TopologyConfig",
@@ -248,6 +265,16 @@ __all__ = [
     # metrics
     "CostModel",
     "QueryCost",
+    # simulated time
+    "EventDrivenSimulator",
+    "VirtualClock",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "ChurnTimeline",
+    "TimelineEntry",
+    "QueryTiming",
     # observability
     "Tracer",
     "tracing",

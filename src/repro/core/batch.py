@@ -97,7 +97,9 @@ class BatchEngine:
             query_text="; ".join(q.to_sql() for q in queries),
             tuples_per_peer=self._config.tuples_per_peer,
         )
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+        self._simulator.walk_hops(
+            walk.hops, ledger, message_bytes=probe.size_bytes()
+        )
         per_query: List[List[AggregateReply]] = [[] for _ in queries]
         for peer in walk.peers:
             try:

@@ -185,6 +185,7 @@ class BiasedSamplingEngine:
         if sink is None:
             sink = int(self._rng.integers(self._simulator.num_peers))
         ledger = self._simulator.new_ledger()
+        timing_token = self._simulator.begin_timing()
 
         walk = self._walker.sample_peers(sink, self._config.peers_to_visit)
         probe = WalkerProbe(
@@ -192,7 +193,9 @@ class BiasedSamplingEngine:
             query_text=query.to_sql(),
             tuples_per_peer=self._config.tuples_per_peer,
         )
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+        self._simulator.walk_hops(
+            walk.hops, ledger, message_bytes=probe.size_bytes()
+        )
 
         probabilities = self._walker.stationary_probabilities()
         observations = []
@@ -245,6 +248,7 @@ class BiasedSamplingEngine:
             phase_one=phase,
             phase_two=None,
             cost=ledger.snapshot(),
+            timing=self._simulator.finish_timing(timing_token),
         )
 
 

@@ -186,7 +186,9 @@ class GroupByEngine:
             query_text=query.to_sql(),
             tuples_per_peer=self._config.tuples_per_peer,
         )
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+        self._simulator.walk_hops(
+            walk.hops, ledger, message_bytes=probe.size_bytes()
+        )
         probabilities = self._walker.stationary_probabilities()
         observations: List[_GroupObservation] = []
         for peer in walk.peers:

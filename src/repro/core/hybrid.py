@@ -504,6 +504,7 @@ class HybridEngine:
         if sink is None:
             sink = int(self._rng.integers(self._simulator.num_peers))
         ledger = self._simulator.new_ledger()
+        timing_token = self._simulator.begin_timing()
 
         # The scale the walk is sized with is the scale the result
         # reports — captured *before* the post-run refresh mutates the
@@ -608,6 +609,7 @@ class HybridEngine:
             requested_sample_size=peers,
             effective_sample_size=effective,
             degraded=effective < peers,
+            timing=self._simulator.finish_timing(timing_token),
         )
 
     def _delta_stepwise(
@@ -638,6 +640,7 @@ class HybridEngine:
         plan.uses += 1
         topology = self._simulator.topology
         ledger = self._simulator.new_ledger()
+        timing_token = self._simulator.begin_timing()
 
         # Filter the retained sample against the new epoch's live set
         # and remap survivors onto the new vertex ids.  The remapped
@@ -776,4 +779,5 @@ class HybridEngine:
             requested_sample_size=peers,
             effective_sample_size=effective,
             degraded=effective < peers,
+            timing=self._simulator.finish_timing(timing_token),
         )

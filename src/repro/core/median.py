@@ -207,7 +207,9 @@ class MedianEngine:
             hops = stats.walk_hops
         else:
             walk = self._walker.sample_peers(sink, count)
-            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            self._simulator.walk_hops(
+                walk.hops, ledger, message_bytes=probe.size_bytes()
+            )
             hops = walk.hops
             replies = self._simulator.visit_values_batch(
                 walk.peers,
@@ -305,6 +307,7 @@ class MedianEngine:
             sink = int(self._rng.integers(self._simulator.num_peers))
         fraction = query.quantile_fraction
         ledger = self._simulator.new_ledger()
+        timing_token = self._simulator.begin_timing()
 
         # Phase I ---------------------------------------------------------
         _emit(
@@ -429,4 +432,5 @@ class MedianEngine:
             requested_sample_size=requested,
             effective_sample_size=received,
             degraded=received < requested,
+            timing=self._simulator.finish_timing(timing_token),
         )

@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..metrics.cost import QueryCost
 from ..query.model import AggregationQuery
+from ..sim.timing import QueryTiming
 from .confidence import ConfidenceInterval
 
 
@@ -71,6 +72,11 @@ class ApproximateResult:
         the estimate is still unbiased but the confidence interval
         was built from fewer observations than requested.  Zero for
         both sizes (legacy constructors) leaves this False.
+    timing:
+        Virtual-time execution report when the query ran on an
+        event-driven simulator with time armed; ``None`` on the
+        synchronous simulator (and in zero-latency passthrough, which
+        keeps results bit-identical across execution modes).
     """
 
     query: AggregationQuery
@@ -85,6 +91,7 @@ class ApproximateResult:
     requested_sample_size: int = 0
     effective_sample_size: int = 0
     degraded: bool = False
+    timing: Optional[QueryTiming] = None
 
     @property
     def total_peers_visited(self) -> int:
@@ -139,6 +146,8 @@ class MedianResult:
         :class:`ApproximateResult`).
     degraded:
         True when faults shrank the sample below what was requested.
+    timing:
+        Virtual-time execution report (see :class:`ApproximateResult`).
     """
 
     query: AggregationQuery
@@ -151,6 +160,7 @@ class MedianResult:
     requested_sample_size: int = 0
     effective_sample_size: int = 0
     degraded: bool = False
+    timing: Optional[QueryTiming] = None
 
     @property
     def total_peers_visited(self) -> int:

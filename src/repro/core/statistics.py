@@ -224,7 +224,9 @@ class StatisticsEngine:
             query_text=f"HISTOGRAM({column})",
             tuples_per_peer=self._config.tuples_per_peer,
         )
-        ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+        self._simulator.walk_hops(
+            walk.hops, ledger, message_bytes=probe.size_bytes()
+        )
         probabilities = self._walker.stationary_probabilities()
         samples: List[_PeerValueSample] = []
         for peer in walk.peers:

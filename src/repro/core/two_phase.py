@@ -362,7 +362,9 @@ class TwoPhaseEngine:
             return replies
         if chunk_peers is None or chunk_peers >= count:
             walk = self._walker.sample_peers(sink, count)
-            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            self._simulator.walk_hops(
+                walk.hops, ledger, message_bytes=probe.size_bytes()
+            )
             # The batch fast path visits all selected peers in one
             # vectorized pass; under fault injection it degrades to the
             # per-peer loop internally, dropping lost replies either way.
@@ -383,7 +385,9 @@ class TwoPhaseEngine:
         while remaining > 0:
             take = min(chunk_peers, remaining)
             walk = cursor.take(take)
-            ledger.record_hops(walk.hops, message_bytes=probe.size_bytes())
+            self._simulator.walk_hops(
+                walk.hops, ledger, message_bytes=probe.size_bytes()
+            )
             replies.extend(
                 self._simulator.visit_aggregate_batch(
                     walk.peers,
@@ -536,6 +540,7 @@ class TwoPhaseEngine:
         if sink is None:
             sink = int(self._rng.integers(self._simulator.num_peers))
         ledger = self._simulator.new_ledger()
+        timing_token = self._simulator.begin_timing()
 
         # Phase I --------------------------------------------------------
         phase_one_hops_before = 0
@@ -678,6 +683,7 @@ class TwoPhaseEngine:
             requested_sample_size=requested,
             effective_sample_size=effective,
             degraded=effective < requested,
+            timing=self._simulator.finish_timing(timing_token),
         )
 
     def analyze_only(

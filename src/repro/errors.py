@@ -17,11 +17,14 @@ __all__ = [
     "ProtocolError",
     "PeerUnavailableError",
     "PeerCrashedError",
+    "PeerDepartedError",
     "ProbeTimeoutError",
+    "StaleReplyError",
     "ChurnError",
     "ServiceError",
     "AdmissionError",
     "BudgetExceededError",
+    "DeadlineExceededError",
 ]
 
 
@@ -80,11 +83,33 @@ class PeerCrashedError(PeerUnavailableError):
     """
 
 
+class PeerDepartedError(PeerCrashedError):
+    """The contacted peer left the network on the churn timeline.
+
+    Under the discrete-event kernel a departure can happen *mid-flight*
+    — the request was sent, but the peer is gone before the reply
+    lands.  Like a crash, retrying the same peer is futile, so
+    resilient walkers substitute instead of retrying.
+    """
+
+
 class ProbeTimeoutError(PeerUnavailableError):
     """A probe's reply latency exceeded the configured probe timeout.
 
     The peer is alive but slow (latency spike); a bounded retry with
-    backoff is the appropriate recovery.
+    backoff is the appropriate recovery.  Under the discrete-event
+    kernel the late reply still *delivers* on the virtual clock and is
+    traced as a late-delivery event — slow is not lost.
+    """
+
+
+class StaleReplyError(PeerUnavailableError):
+    """A reply arrived after the churn epoch moved past its send epoch.
+
+    Raised only when the event-driven simulator runs with
+    ``stale_mode="reject"``; engines treat it as a lost observation
+    (the sample shrinks), which is the degraded-or-typed-error
+    contract for queries racing churn.
     """
 
 
@@ -109,4 +134,13 @@ class BudgetExceededError(ServiceError):
 
     Budgets are enforced at chunk boundaries, so the recorded cost can
     exceed the ceiling by at most one chunk's worth of work.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A query's virtual-time deadline passed before it finished.
+
+    Deadlines are enforced at chunk boundaries on the session's
+    virtual clock (they require an event-driven simulator), so like
+    budgets the overshoot is bounded by one chunk's worth of work.
     """

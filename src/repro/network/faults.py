@@ -58,6 +58,9 @@ __all__ = [
     "FaultDecision",
     "FaultPlan",
     "FaultState",
+    "counter_uniform",
+    "kind_code",
+    "splitmix64",
 ]
 
 #: Probe kinds a plan can schedule faults for, with their hash codes.
@@ -95,6 +98,24 @@ def _uniform(seed: int, *parts: int) -> float:
     for part in parts:
         x = _splitmix64(x ^ (part & _MASK64))
     return _splitmix64(x) / 2.0**64
+
+
+#: Public names for the counter-hash discipline, so other subsystems
+#: (the discrete-event kernel's latency draws, churn timelines) can
+#: key their own decisions off the same primitive instead of minting a
+#: Generator stream.
+splitmix64 = _splitmix64
+counter_uniform = _uniform
+
+
+def kind_code(kind: str) -> int:
+    """The stable hash code for a probe ``kind`` (raises on unknown)."""
+    code = _KIND_CODES.get(kind)
+    if code is None:
+        raise ConfigurationError(
+            f"unknown message kind {kind!r}; expected one of {MESSAGE_KINDS}"
+        )
+    return code
 
 
 def _check_rate(name: str, value: float) -> None:

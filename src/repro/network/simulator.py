@@ -21,7 +21,7 @@ accounted exactly where the paper's cost model says they arise:
 from __future__ import annotations
 
 import dataclasses
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -58,6 +58,10 @@ from .protocol import (
     TupleReply,
 )
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (obs/sim layering)
+    from ..sim.clock import VirtualClock
+    from ..sim.timing import QueryTiming, TimingToken
 
 
 __all__ = [
@@ -439,6 +443,58 @@ class NetworkSimulator:
         """A fresh cost ledger bound to this network's cost model."""
         return CostLedger(self._cost_model)
 
+    # ------------------------------------------------------------------
+    # Time-domain hooks (no-ops here; the event-driven subclass in
+    # ``repro.sim`` overrides them).  Keeping the hooks on the base
+    # class lets engines and the serving layer stay simulator-agnostic
+    # without importing the sim package.
+    # ------------------------------------------------------------------
+
+    def walk_hops(
+        self, hops: int, ledger: CostLedger, message_bytes: int
+    ) -> None:
+        """Charge one walk segment's forwarding to ``ledger``.
+
+        Engines and walkers route every post-walk ``record_hops``
+        charge through here so a time-aware simulator can advance its
+        virtual clock alongside the charge.  The base class charges
+        and nothing more — bit-identical to the direct call it
+        replaces.
+        """
+        ledger.record_hops(hops, message_bytes=message_bytes)
+
+    @property
+    def virtual_clock(self) -> Optional["VirtualClock"]:
+        """The session's virtual clock, when time is armed (else None)."""
+        return None
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        """The armed virtual-time deadline, if any."""
+        return None
+
+    def arm_deadline(self, deadline_ms: float) -> None:
+        """Arm a virtual-time deadline for this session's queries.
+
+        Deadlines are meaningless without a virtual clock, so the
+        synchronous simulator refuses them loudly rather than letting
+        a service silently run un-deadlined.
+        """
+        raise ConfigurationError(
+            "deadlines need virtual time: use an EventDrivenSimulator "
+            "(repro.sim) with latency, a timeline or a probe timeout"
+        )
+
+    def begin_timing(self) -> Optional["TimingToken"]:
+        """Capture the start of a query's timing window (None here)."""
+        return None
+
+    def finish_timing(
+        self, token: Optional["TimingToken"]
+    ) -> Optional["QueryTiming"]:
+        """Close a timing window opened by :meth:`begin_timing`."""
+        return None
+
     def session(
         self,
         seed: SeedLike = None,
@@ -719,6 +775,20 @@ class NetworkSimulator:
             np.cumsum(processed[:-1], out=starts[1:])
         return columns, starts, processed, totals
 
+    def _batch_fallback_needed(self) -> bool:
+        """Whether batch visits must take the exact per-peer path.
+
+        Loss draws and fault-clock steps interleave with the visit
+        stream, so any armed failure source forces the fallback; the
+        event-driven subclass adds "virtual time armed" (per-probe
+        latency draws interleave the same way).
+        """
+        return self.faults_active
+
+    def _batch_fallback_reason(self) -> str:
+        """Why :meth:`_batch_fallback_needed` returned True (traced)."""
+        return "faults-active"
+
     def visit_aggregate_batch(
         self,
         peer_ids: ArrayLike,
@@ -753,12 +823,14 @@ class NetworkSimulator:
         peers = self._validate_batch_peers(peer_ids)
         if peers.size == 0:
             return []
-        if self.faults_active:
+        if self._batch_fallback_needed():
             tracer = active_tracer()
             if tracer is not None:
                 tracer.emit(
                     BatchFallbackEvent(
-                        probe_kind="aggregate", requested=int(peers.size)
+                        probe_kind="aggregate",
+                        requested=int(peers.size),
+                        reason=self._batch_fallback_reason(),
                     )
                 )
             replies = []
@@ -855,12 +927,14 @@ class NetworkSimulator:
         peers = self._validate_batch_peers(peer_ids)
         if peers.size == 0:
             return []
-        if self.faults_active:
+        if self._batch_fallback_needed():
             tracer = active_tracer()
             if tracer is not None:
                 tracer.emit(
                     BatchFallbackEvent(
-                        probe_kind="values", requested=int(peers.size)
+                        probe_kind="values",
+                        requested=int(peers.size),
+                        reason=self._batch_fallback_reason(),
                     )
                 )
             replies = []
@@ -1183,6 +1257,19 @@ class NetworkSimulator:
     # Gnutella flooding (the naive BFS baseline)
     # ------------------------------------------------------------------
 
+    def _flood_down_peers(self) -> FrozenSet[int]:
+        """Peers that neither respond nor forward during a flood.
+
+        Consumes one fault-clock step when a plan is bound (the whole
+        flood is one scheduled decision); the event-driven subclass
+        unions in the timeline's currently departed set.
+        """
+        if self._fault_state is not None:
+            return self._fault_state.crashed_peers(
+                self._fault_state.next_step()
+            )
+        return frozenset()
+
     def flood(
         self,
         start: int,
@@ -1206,11 +1293,7 @@ class NetworkSimulator:
         self.node(start)  # validates the id
         if ttl < 0:
             raise ConfigurationError("ttl must be >= 0")
-        down: FrozenSet[int] = frozenset()
-        if self._fault_state is not None:
-            down = self._fault_state.crashed_peers(
-                self._fault_state.next_step()
-            )
+        down = self._flood_down_peers()
         probe = Query(source=start, destination=start, ttl=ttl, text="agg")
         message_bytes = probe.size_bytes()
         visited = {start}

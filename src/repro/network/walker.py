@@ -873,7 +873,9 @@ class ResilientCollector:
         visit: Callable[[int], _R],
     ) -> Tuple[List[_R], CollectionStats]:
         walk = self._walker.sample_peers(sink, count)
-        ledger.record_hops(walk.hops, message_bytes=probe_bytes)
+        self._simulator.walk_hops(
+            walk.hops, ledger, message_bytes=probe_bytes
+        )
         policy = self._policy
         jump = self._walker.config.effective_jump
         substitutions_left = (
@@ -911,7 +913,9 @@ class ResilientCollector:
                     counters["substitutions"] += 1
                     failed = peer
                     peer = self._walker.endpoint_after(last_good, jump)
-                    ledger.record_hops(jump, message_bytes=probe_bytes)
+                    self._simulator.walk_hops(
+                        jump, ledger, message_bytes=probe_bytes
+                    )
                     walk_hops += jump
                     tracer = active_tracer()
                     if tracer is not None:

@@ -29,6 +29,9 @@ substitute           jump        jump   0       0
 fault                0           0      0       0
 flood                messages    0      0       0
 delta-reuse          0           0      0       0
+timeline             0           0      0       0
+late-delivery        0           0      0       0
+stale-reply          0           0      0       0
 phase/estimate/...   0           0      0       0
 ===================  ==========  =====  ======  ========
 
@@ -65,6 +68,9 @@ __all__ = [
     "ChurnEpochEvent",
     "DeltaReuseEvent",
     "QueryLifecycleEvent",
+    "TimelineEvent",
+    "LateDeliveryEvent",
+    "StaleReplyEvent",
 ]
 
 
@@ -399,6 +405,86 @@ class DeltaReuseEvent(TraceEvent):
             "survivors": self.survivors,
             "dropped": self.dropped,
             "deficit": self.deficit,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineEvent(TraceEvent):
+    """A scheduled churn-timeline entry fired on the virtual clock.
+
+    Emitted by the discrete-event kernel when a ``depart``/``join``/
+    ``epoch`` entry comes due.  Zero countable cost: reachability
+    changes are free, their consequences are charged by the probes
+    that run into them.
+    """
+
+    kind: ClassVar[str] = "timeline"
+
+    action: str = ""  # depart | join | epoch
+    at_ms: float = 0.0
+    peer: Optional[int] = None
+    epoch: int = 0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "action": self.action,
+            "at_ms": self.at_ms,
+            "peer": self.peer,
+            "epoch": self.epoch,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class LateDeliveryEvent(TraceEvent):
+    """A reply arrived after its sink had already given up waiting.
+
+    This is the observable difference between "slow" and "lost": the
+    probe's own event reported a timeout (and charged it), but the
+    message was still in flight and lands here when the kernel drains
+    past its delivery time.  Zero countable cost — the timeout charge
+    was recorded by the probe event.
+    """
+
+    kind: ClassVar[str] = "late-delivery"
+
+    peer: int = 0
+    probe_kind: str = ""
+    sent_ms: float = 0.0
+    delivered_ms: float = 0.0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "peer": self.peer,
+            "probe_kind": self.probe_kind,
+            "sent_ms": self.sent_ms,
+            "delivered_ms": self.delivered_ms,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class StaleReplyEvent(TraceEvent):
+    """A reply was delivered after the network's epoch moved on.
+
+    The reply answers from the snapshot of ``sent_epoch`` but arrived
+    in ``delivered_epoch``; whether the engine keeps it is the
+    simulator's ``stale_mode`` policy.  Zero countable cost (the
+    accepted visit is charged by its probe event; a rejected one is
+    charged like a loss by its probe event).
+    """
+
+    kind: ClassVar[str] = "stale-reply"
+
+    peer: int = 0
+    probe_kind: str = ""
+    sent_epoch: int = 0
+    delivered_epoch: int = 0
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "peer": self.peer,
+            "probe_kind": self.probe_kind,
+            "sent_epoch": self.sent_epoch,
+            "delivered_epoch": self.delivered_epoch,
         }
 
 

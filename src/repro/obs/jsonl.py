@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..errors import ConfigurationError
 from .events import TraceCost, TraceEvent
@@ -33,9 +33,20 @@ __all__ = [
 ]
 
 
-def event_line(seq: int, event: TraceEvent) -> str:
-    """The canonical JSONL line for ``event`` at sequence ``seq``."""
+def event_line(
+    seq: int, event: TraceEvent, vt: Optional[float] = None
+) -> str:
+    """The canonical JSONL line for ``event`` at sequence ``seq``.
+
+    ``vt`` is the virtual timestamp (milliseconds) the emitting run's
+    clock read when the event fired.  It is stamped only when positive:
+    synchronous runs (no clock) and event-driven runs whose clock never
+    leaves zero produce byte-identical lines, which is what lets one
+    golden digest pin both execution modes.
+    """
     record: Dict[str, object] = {"seq": seq, "kind": event.kind}
+    if vt is not None and vt > 0.0:
+        record["vt"] = vt
     cost = event.cost().nonzero()
     if cost:
         record["cost"] = cost

@@ -23,14 +23,17 @@ from __future__ import annotations
 
 import contextlib
 from contextvars import ContextVar
-from typing import IO, Iterator, List, Optional, Tuple
+from typing import IO, Callable, Iterator, List, Optional, Tuple
 
 from .events import (
     ChurnEpochEvent,
     EstimateEvent,
+    LateDeliveryEvent,
     ProbeEvent,
     QueryLifecycleEvent,
     RetryEvent,
+    StaleReplyEvent,
+    TimelineEvent,
     TraceCost,
     TraceEvent,
     WalkEvent,
@@ -59,6 +62,13 @@ class Tracer:
     capture:
         Keep events and lines in memory (default).  Disable for
         stream-only tracing of very long runs.
+    time_source:
+        Optional zero-argument callable returning the current virtual
+        time in milliseconds (e.g. an event-driven simulator clock's
+        ``read``).  When set, each emitted line is stamped with a
+        ``vt`` field — but only while the reading is positive, so a
+        clock that never advances leaves the lines byte-identical to
+        an untimed run's.
     """
 
     def __init__(
@@ -66,14 +76,25 @@ class Tracer:
         stream: Optional[IO[str]] = None,
         registry: Optional[MetricsRegistry] = None,
         capture: bool = True,
+        time_source: Optional[Callable[[], float]] = None,
     ):
         self._stream = stream
         self._registry = registry if registry is not None else MetricsRegistry()
         self._capture = capture
+        self._time_source = time_source
         self._events: List[Tuple[int, TraceEvent]] = []
         self._lines: List[str] = []
         self._seq = 0
         self._cost = TraceCost()
+
+    @property
+    def time_source(self) -> Optional[Callable[[], float]]:
+        """The virtual-clock reader stamping ``vt``, if any."""
+        return self._time_source
+
+    @time_source.setter
+    def time_source(self, source: Optional[Callable[[], float]]) -> None:
+        self._time_source = source
 
     # ------------------------------------------------------------------
 
@@ -113,7 +134,12 @@ class Tracer:
         """Record one event; returns its sequence number."""
         seq = self._seq
         self._seq = seq + 1
-        line = event_line(seq, event)
+        vt = (
+            self._time_source()
+            if self._time_source is not None
+            else None
+        )
+        line = event_line(seq, event, vt=vt)
         if self._capture:
             self._events.append((seq, event))
             self._lines.append(line)
@@ -154,6 +180,16 @@ class Tracer:
             registry.gauge(f"estimate.{event.engine}").set(event.estimate)
         elif isinstance(event, QueryLifecycleEvent):
             registry.counter(f"query.{event.status}").inc()
+        elif isinstance(event, TimelineEvent):
+            registry.counter(f"sim.timeline.{event.action}").inc()
+            registry.gauge("sim.epoch").set(float(event.epoch))
+        elif isinstance(event, LateDeliveryEvent):
+            registry.counter("sim.late_deliveries").inc()
+            registry.histogram("sim.late_by_ms").observe(
+                event.delivered_ms - event.sent_ms
+            )
+        elif isinstance(event, StaleReplyEvent):
+            registry.counter("sim.stale_replies").inc()
 
     # ------------------------------------------------------------------
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 from collections import deque
-from typing import ContextManager, Deque, List, Optional, Set
+from typing import Callable, ContextManager, Deque, List, Optional, Set
 
 from ..core.hybrid import HybridEngine
 from ..core.result import ApproximateResult
@@ -64,6 +64,11 @@ class ScheduledQuery:
     engine: HybridEngine
     budget: Optional[CostBudget]
     tracer: Optional[Tracer]
+    #: Virtual-time deadline and the session clock that measures it.
+    #: Both set (by the service) only for event-driven sessions;
+    #: enforcement happens at chunk boundaries like budgets.
+    deadline_ms: Optional[float] = None
+    clock: Optional[Callable[[], float]] = None
     started: bool = False
     chunks: int = 0
     last_checkpoint: Optional[StepCheckpoint] = None
@@ -74,7 +79,7 @@ class Completion:
     """How one task left the scheduler."""
 
     task: ScheduledQuery
-    status: str  # done | failed | budget-exceeded
+    status: str  # done | failed | budget-exceeded | deadline-exceeded
     result: Optional[ApproximateResult] = None
     error: Optional[ReproError] = None
     detail: str = ""
@@ -187,6 +192,20 @@ class RoundRobinScheduler:
                 self._emit_lifecycle(task, "budget-exceeded", detail=violation)
                 return Completion(
                     task=task, status="budget-exceeded", detail=violation
+                )
+        if task.deadline_ms is not None and task.clock is not None:
+            now_ms = task.clock()
+            if now_ms > task.deadline_ms:
+                detail = (
+                    f"virtual time {now_ms:.3f} ms passed the "
+                    f"{task.deadline_ms:.3f} ms deadline"
+                )
+                task.steps.close()
+                self._emit_lifecycle(
+                    task, "deadline-exceeded", detail=detail
+                )
+                return Completion(
+                    task=task, status="deadline-exceeded", detail=detail
                 )
         return None
 

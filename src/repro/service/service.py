@@ -51,6 +51,7 @@ from ..errors import (
     AdmissionError,
     BudgetExceededError,
     ConfigurationError,
+    DeadlineExceededError,
     ReproError,
     ServiceError,
 )
@@ -80,8 +81,10 @@ class QueryOutcome:
     """How one submitted query ended.
 
     ``status`` is ``"done"`` (``result`` is set), ``"failed"``
-    (``error`` holds the :class:`~repro.errors.ReproError`) or
-    ``"budget-exceeded"`` (``detail`` names the tripped ceiling).
+    (``error`` holds the :class:`~repro.errors.ReproError`),
+    ``"budget-exceeded"`` (``detail`` names the tripped ceiling) or
+    ``"deadline-exceeded"`` (the session's virtual clock passed the
+    query's deadline at a chunk boundary).
     ``cost`` is the query's ledger snapshot at the end, whichever way
     it ended; ``chunks`` is how many scheduling steps it consumed.
     """
@@ -108,6 +111,7 @@ class ServiceStats:
     completed: int
     failed: int
     budget_stopped: int
+    deadline_stopped: int
     rejected: int
     queued: int
     in_flight: int
@@ -208,6 +212,7 @@ class QueryService:
         self._completed = 0
         self._failed = 0
         self._budget_stopped = 0
+        self._deadline_stopped = 0
         self._rejected = 0
         self._warm_runs = 0
         self._cold_runs = 0
@@ -248,6 +253,7 @@ class QueryService:
             completed=self._completed,
             failed=self._failed,
             budget_stopped=self._budget_stopped,
+            deadline_stopped=self._deadline_stopped,
             rejected=self._rejected,
             queued=self._scheduler.backlog,
             in_flight=self._scheduler.in_flight,
@@ -298,6 +304,7 @@ class QueryService:
         delta_req: float,
         sink: Optional[int] = None,
         budget: Optional[CostBudget] = None,
+        deadline_ms: Optional[float] = None,
     ) -> QueryTicket:
         """Admit one query; returns its ticket.
 
@@ -305,6 +312,14 @@ class QueryService:
         queries are already outstanding.  The query's RNG streams are
         spawned *here*, so results depend only on submission order —
         never on scheduling.
+
+        ``deadline_ms`` is a virtual-time deadline measured on the
+        query's own session clock; it requires serving from an
+        event-driven simulator (``repro.sim``) and is enforced at
+        chunk boundaries, like budgets.  Passing it against a plain
+        synchronous snapshot raises
+        :class:`~repro.errors.ConfigurationError` — there is no clock
+        to measure it on.
         """
         outstanding = self._scheduler.backlog + self._scheduler.in_flight
         if outstanding >= self._max_queue:
@@ -319,6 +334,8 @@ class QueryService:
         signature = query.to_sql()
         session_seed, engine_seed = self._rng.spawn(2)
         session = self._base.session(seed=session_seed)
+        if deadline_ms is not None:
+            session.arm_deadline(deadline_ms)
         engine = HybridEngine(
             session,
             config=self._config,
@@ -334,9 +351,12 @@ class QueryService:
             delta_req=delta_req,
             signature=signature,
         )
+        clock = session.virtual_clock
         tracer: Optional[Tracer] = None
         if self._capture_traces:
-            tracer = Tracer()
+            tracer = Tracer(
+                time_source=clock.read if clock is not None else None
+            )
             tracer.emit(
                 QueryLifecycleEvent(
                     query_id=query_id,
@@ -352,6 +372,8 @@ class QueryService:
             engine=engine,
             budget=budget if budget is not None else self._default_budget,
             tracer=tracer,
+            deadline_ms=deadline_ms,
+            clock=clock.read if clock is not None else None,
         )
         self._scheduler.enqueue(task)
         self._submitted += 1
@@ -386,7 +408,8 @@ class QueryService:
 
         Raises the query's own :class:`~repro.errors.ReproError` for
         failed queries, :class:`~repro.errors.BudgetExceededError` for
-        budget stops, and :class:`~repro.errors.ServiceError` for a
+        budget stops, :class:`~repro.errors.DeadlineExceededError` for
+        deadline stops, and :class:`~repro.errors.ServiceError` for a
         ticket this service never admitted.
         """
         while (
@@ -401,6 +424,10 @@ class QueryService:
             )
         if outcome.status == "budget-exceeded":
             raise BudgetExceededError(
+                f"query {ticket.query_id} stopped: {outcome.detail}"
+            )
+        if outcome.status == "deadline-exceeded":
+            raise DeadlineExceededError(
                 f"query {ticket.query_id} stopped: {outcome.detail}"
             )
         if outcome.error is not None:
@@ -451,6 +478,9 @@ class QueryService:
         elif completion.status == "failed":
             self._failed += 1
             self._registry.counter("service.failed").inc()
+        elif completion.status == "deadline-exceeded":
+            self._deadline_stopped += 1
+            self._registry.counter("service.deadline_stopped").inc()
         else:
             self._budget_stopped += 1
             self._registry.counter("service.budget_stopped").inc()

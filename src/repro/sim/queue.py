@@ -1,0 +1,101 @@
+"""Priority event queue with total-order tie-breaking.
+
+Entries are ordered by ``(time_ms, seq)`` where ``seq`` is a monotone
+per-queue counter assigned at scheduling time.  Two entries can never
+tie, so the pop order of any schedule is a pure function of the
+schedule itself — the property suite drives arbitrary interleavings of
+``schedule``/``cancel``/``pop`` against this invariant.
+
+Cancellation is lazy: a cancelled handle stays in the heap and is
+skipped when it surfaces, which keeps ``cancel`` O(1) while ``pop``
+stays amortized O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["EventHandle", "EventQueue"]
+
+T = TypeVar("T")
+
+
+class EventHandle(Generic[T]):
+    """One scheduled entry; returned by :meth:`EventQueue.schedule`.
+
+    ``late`` is kernel bookkeeping: a delivery whose sink gave up
+    waiting is marked late and stays queued, so draining the queue
+    later surfaces it as an observable late arrival instead of
+    silently conflating "slow" with "lost".
+    """
+
+    __slots__ = ("time_ms", "seq", "payload", "cancelled", "late")
+
+    def __init__(self, time_ms: float, seq: int, payload: T):
+        self.time_ms = time_ms
+        self.seq = seq
+        self.payload = payload
+        self.cancelled = False
+        self.late = False
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        """The total order: time first, scheduling sequence breaks ties."""
+        return (self.time_ms, self.seq)
+
+
+class EventQueue(Generic[T]):
+    """Deterministic min-heap of :class:`EventHandle` entries."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle[T]]] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time_ms: float, payload: T) -> EventHandle[T]:
+        """Enqueue ``payload`` at ``time_ms``; returns its handle."""
+        if not math.isfinite(time_ms) or time_ms < 0.0:
+            raise ConfigurationError(
+                f"event time must be finite and >= 0, got {time_ms}"
+            )
+        handle = EventHandle(time_ms, self._next_seq, payload)
+        self._next_seq += 1
+        heapq.heappush(self._heap, (time_ms, handle.seq, handle))
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle[T]) -> bool:
+        """Mark ``handle`` cancelled; returns whether it was still live."""
+        if handle.cancelled:
+            return False
+        handle.cancelled = True
+        self._live -= 1
+        return True
+
+    def peek(self) -> Optional[EventHandle[T]]:
+        """The earliest live entry without removing it (or ``None``)."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0][2]
+
+    def pop(self) -> Optional[EventHandle[T]]:
+        """Remove and return the earliest live entry (or ``None``)."""
+        head = self.peek()
+        if head is None:
+            return None
+        heapq.heappop(self._heap)
+        self._live -= 1
+        return head

@@ -1,0 +1,138 @@
+"""Churn as a frozen schedule of virtual-time events.
+
+The epoch-granular churn model (:mod:`repro.network.churn`,
+:mod:`repro.network.live`) rebuilds whole snapshots between queries; a
+:class:`ChurnTimeline` complements it *within* a snapshot: departures,
+(re)joins and epoch advances happen at virtual-time instants that
+interleave with in-flight messages through the kernel's event queue.
+A probed peer can therefore depart after the request was sent but
+before the reply lands — the "crash mid-flight" scenario the
+synchronous simulator cannot express.
+
+Timelines are frozen and shared across query sessions: each session
+replays the same schedule on its own kernel, so per-query determinism
+holds regardless of how sessions interleave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..network.faults import counter_uniform
+
+__all__ = ["ChurnTimeline", "TimelineEntry"]
+
+_ACTIONS = ("depart", "join", "epoch")
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled churn event.
+
+    ``depart``/``join`` toggle a vertex's reachability (a rejoin makes
+    a departed vertex probe-able again); ``epoch`` marks the network
+    moving on from the snapshot the queries are answering over, which
+    is what the staleness accounting measures against.
+    """
+
+    time_ms: float
+    action: str
+    peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown timeline action {self.action!r}; "
+                f"expected one of {_ACTIONS}"
+            )
+        if not math.isfinite(self.time_ms) or self.time_ms < 0.0:
+            raise ConfigurationError(
+                f"time_ms must be finite and >= 0, got {self.time_ms}"
+            )
+        if self.action == "epoch":
+            if self.peer is not None:
+                raise ConfigurationError("epoch entries carry no peer")
+        elif self.peer is None or self.peer < 0:
+            raise ConfigurationError(
+                f"{self.action} entries need a peer id >= 0, "
+                f"got {self.peer}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnTimeline:
+    """A frozen, time-sorted schedule of :class:`TimelineEntry` items.
+
+    Entries are stably sorted by time at construction, so declaration
+    order breaks same-instant ties deterministically.
+    """
+
+    entries: Tuple[TimelineEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.entries, key=lambda entry: entry.time_ms)
+        )
+        object.__setattr__(self, "entries", ordered)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the timeline schedules nothing at all."""
+        return not self.entries
+
+    @classmethod
+    def sampled(
+        cls,
+        seed: int,
+        num_peers: int,
+        horizon_ms: float,
+        departure_rate_per_s: float = 0.0,
+        epoch_every_ms: Optional[float] = None,
+    ) -> "ChurnTimeline":
+        """A seeded timeline: memoryless departures plus epoch marks.
+
+        Each peer's departure instant is drawn from an exponential
+        with the given rate via the counter hash (pure function of
+        ``(seed, peer)``), kept when it falls inside the horizon.
+        Epoch entries are placed every ``epoch_every_ms``.
+        """
+        if num_peers < 0:
+            raise ConfigurationError(
+                f"num_peers must be >= 0, got {num_peers}"
+            )
+        if not math.isfinite(horizon_ms) or horizon_ms < 0.0:
+            raise ConfigurationError(
+                f"horizon_ms must be finite and >= 0, got {horizon_ms}"
+            )
+        if departure_rate_per_s < 0.0:
+            raise ConfigurationError(
+                f"departure_rate_per_s must be >= 0, "
+                f"got {departure_rate_per_s}"
+            )
+        entries: List[TimelineEntry] = []
+        if departure_rate_per_s > 0.0:
+            rate_per_ms = departure_rate_per_s / 1000.0
+            for peer in range(num_peers):
+                u = counter_uniform(seed, peer, 0)
+                departure_ms = -math.log1p(-u) / rate_per_ms
+                if departure_ms < horizon_ms:
+                    entries.append(
+                        TimelineEntry(
+                            time_ms=departure_ms,
+                            action="depart",
+                            peer=peer,
+                        )
+                    )
+        if epoch_every_ms is not None:
+            if not epoch_every_ms > 0.0:
+                raise ConfigurationError(
+                    f"epoch_every_ms must be positive, got {epoch_every_ms}"
+                )
+            mark = epoch_every_ms
+            while mark < horizon_ms:
+                entries.append(TimelineEntry(time_ms=mark, action="epoch"))
+                mark += epoch_every_ms
+        return cls(entries=tuple(entries))

@@ -42,7 +42,7 @@ __all__ = [
 
 #: Bump when the summary schema or any cached rule's semantics change;
 #: every entry written under another version is discarded wholesale.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def content_digest(data: bytes) -> str:

@@ -47,9 +47,13 @@ COST_EVENT_TYPES = frozenset(
 )
 
 #: CostLedger mutators; calling any of these counts as charging.
+#: ``walk_hops`` is the simulator's charging hook for walk segments
+#: (it forwards to ``record_hops`` and, under virtual time, advances
+#: the clock) — calling it is charging, same as the direct mutator.
 LEDGER_CHARGE_METHODS = frozenset(
     {
         "record_hops",
+        "walk_hops",
         "record_visit",
         "record_visit_replies",
         "record_timeout",

@@ -44,7 +44,9 @@ __all__ = [
 ]
 
 #: Directories whose modules must stay deterministic.
-GUARDED_DIRECTORIES = ("core", "network", "service", "obs", "data", "sampling")
+GUARDED_DIRECTORIES = (
+    "core", "network", "service", "obs", "data", "sampling", "sim",
+)
 
 
 class NondetTaintRule(AnalysisRule):

@@ -47,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("left", help="baseline JSONL trace")
     diff.add_argument("right", help="candidate JSONL trace")
+    diff.add_argument(
+        "--ignore-virtual-time", action="store_true",
+        dest="ignore_virtual_time",
+        help=(
+            "strip 'vt' stamps before comparing (virtual timestamps "
+            "are significant by default: an event-driven run only "
+            "matches a synchronous one when its clock never advanced)"
+        ),
+    )
 
     filter_ = commands.add_parser(
         "filter", help="reprint selected events as JSONL"
@@ -81,14 +90,20 @@ def summarize_records(
     kinds: Dict[str, int] = {}
     outcomes: Dict[str, int] = {}
     total = TraceCost()
+    timed = 0
+    makespan_ms = 0.0
     for record in records:
         kind = str(record["kind"])
         kinds[kind] = kinds.get(kind, 0) + 1
         if kind == "probe":
             outcome = str(record.get("outcome", "ok"))
             outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        vt = record.get("vt")
+        if isinstance(vt, (int, float)):
+            timed += 1
+            makespan_ms = max(makespan_ms, float(vt))
         total = total + line_cost(record)
-    return {
+    summary: Dict[str, object] = {
         "events": len(records),
         "kinds": dict(sorted(kinds.items())),
         "probe_outcomes": dict(sorted(outcomes.items())),
@@ -99,6 +114,12 @@ def summarize_records(
             "timeouts": total.timeouts,
         },
     }
+    if timed:
+        summary["virtual_time"] = {
+            "stamped_events": timed,
+            "makespan_ms": makespan_ms,
+        }
+    return summary
 
 
 def _render_summary(summary: Dict[str, object], stream: TextIO) -> None:
@@ -121,9 +142,24 @@ def _render_summary(summary: Dict[str, object], stream: TextIO) -> None:
     )
     for field in ("messages", "hops", "visits", "timeouts"):
         print(f"  {field}: {cost[field]}", file=stream)
+    virtual = summary.get("virtual_time")
+    if isinstance(virtual, dict):
+        print(
+            f"virtual time: {virtual['stamped_events']} stamped "
+            f"event(s), makespan {virtual['makespan_ms']} ms",
+            file=stream,
+        )
 
 
-def _canonical_lines(records: Sequence[Dict[str, object]]) -> List[str]:
+def _canonical_lines(
+    records: Sequence[Dict[str, object]],
+    ignore_virtual_time: bool = False,
+) -> List[str]:
+    if ignore_virtual_time:
+        records = [
+            {key: value for key, value in record.items() if key != "vt"}
+            for record in records
+        ]
     return [
         json.dumps(record, sort_keys=True, separators=(",", ":"))
         for record in records
@@ -141,8 +177,13 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
 
 
 def _command_diff(arguments: argparse.Namespace) -> int:
-    left = _canonical_lines(read_trace(arguments.left))
-    right = _canonical_lines(read_trace(arguments.right))
+    strip = arguments.ignore_virtual_time
+    left = _canonical_lines(
+        read_trace(arguments.left), ignore_virtual_time=strip
+    )
+    right = _canonical_lines(
+        read_trace(arguments.right), ignore_virtual_time=strip
+    )
     if digest_of_lines(left) == digest_of_lines(right):
         print(f"identical: {len(left)} event(s)")
         return 0

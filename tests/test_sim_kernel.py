@@ -1,0 +1,245 @@
+"""Unit tests for the simulation kernel's time domain.
+
+Covers the latency models (counter-hash draws: same key, same draw),
+churn timelines, and ``SimulationKernel.await_delivery`` — the one
+primitive that interleaves message deliveries with churn through the
+``(time, seq)`` total order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.events import LateDeliveryEvent, TimelineEvent
+from repro.obs.tracer import Tracer, tracing
+from repro.sim import (
+    DELIVERED,
+    DEPARTED,
+    TIMED_OUT,
+    ChurnTimeline,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    SimulationKernel,
+    TimelineEntry,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_constant_is_constant(self):
+        model = LatencyModel(seed=1, request=ConstantLatency(10.0),
+                             reply=ConstantLatency(5.0))
+        assert model.probe_delay_ms(0, peer=3, kind="aggregate") == 15.0
+        assert model.probe_delay_ms(99, peer=8, kind="values") == 15.0
+
+    def test_draws_are_keyed_by_message_and_peer(self):
+        model = LatencyModel(seed=1, request=UniformLatency(1.0, 9.0),
+                             reply=UniformLatency(1.0, 9.0))
+        base = model.probe_delay_ms(0, peer=3, kind="aggregate")
+        # Same key: identical draw.  Different message or peer: the
+        # counter-hash re-keys, so the draw (almost surely) differs.
+        assert model.probe_delay_ms(0, peer=3, kind="aggregate") == base
+        assert model.probe_delay_ms(1, peer=3, kind="aggregate") != base
+        assert model.probe_delay_ms(0, peer=4, kind="aggregate") != base
+
+    def test_hop_delay_sums_per_hop_draws(self):
+        model = LatencyModel(seed=2, hop=ConstantLatency(2.0))
+        assert model.hop_delay_ms(0, hops=5) == 10.0
+        assert model.hop_delay_ms(0, hops=0) == 0.0
+
+    def test_exponential_mean_is_roughly_right(self):
+        model = LatencyModel(seed=3, request=ExponentialLatency(20.0))
+        draws = [
+            model.probe_delay_ms(message, peer=0, kind="aggregate")
+            for message in range(4000)
+        ]
+        assert all(d >= 0.0 for d in draws)
+        assert 17.0 < sum(draws) / len(draws) < 23.0
+
+    def test_is_null_detects_zero_latency(self):
+        assert LatencyModel(seed=1).is_null
+        assert not LatencyModel(seed=1, reply=ConstantLatency(1.0)).is_null
+
+    def test_uniform_validates_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialLatency(-1.0)
+
+
+class TestChurnTimeline:
+    def test_entries_sort_by_time(self):
+        timeline = ChurnTimeline(entries=(
+            TimelineEntry(50.0, "depart", peer=2),
+            TimelineEntry(10.0, "join", peer=1),
+            TimelineEntry(30.0, "epoch"),
+        ))
+        assert [e.time_ms for e in timeline.entries] == [10.0, 30.0, 50.0]
+        assert not timeline.is_empty
+        assert ChurnTimeline().is_empty
+
+    def test_entry_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimelineEntry(1.0, "explode")
+        with pytest.raises(ConfigurationError):
+            TimelineEntry(1.0, "depart")  # departure needs a peer
+        with pytest.raises(ConfigurationError):
+            TimelineEntry(1.0, "epoch", peer=3)  # epoch marks don't
+
+    def test_sampled_is_deterministic(self):
+        kwargs = dict(
+            seed=9, num_peers=50, horizon_ms=10_000.0,
+            departure_rate_per_s=0.1, epoch_every_ms=2_000.0,
+        )
+        first = ChurnTimeline.sampled(**kwargs)
+        second = ChurnTimeline.sampled(**kwargs)
+        assert first == second
+        assert any(e.action == "depart" for e in first.entries)
+        assert sum(e.action == "epoch" for e in first.entries) == 4
+
+
+class TestAwaitDelivery:
+    def test_plain_delivery_advances_clock(self):
+        kernel = SimulationKernel()
+        outcome = kernel.await_delivery(
+            peer=1, kind="aggregate", delay_ms=12.0, patience_ms=100.0
+        )
+        assert outcome.status == DELIVERED
+        assert not outcome.stale
+        assert kernel.now_ms == 12.0
+
+    def test_patience_expiry_marks_delivery_late(self):
+        kernel = SimulationKernel()
+        outcome = kernel.await_delivery(
+            peer=1, kind="aggregate", delay_ms=500.0, patience_ms=100.0
+        )
+        assert outcome.status == TIMED_OUT
+        assert outcome.delivered_ms == 500.0  # still scheduled to land
+        assert kernel.now_ms == 100.0
+        assert kernel.pending_events == 1
+        tracer = Tracer()
+        with tracing(tracer):
+            kernel.drain()
+        assert kernel.now_ms == 500.0
+        late = [e for e in tracer.events
+                if isinstance(e, LateDeliveryEvent)]
+        assert len(late) == 1
+        assert late[0].delivered_ms == 500.0
+
+    def test_departure_mid_flight_loses_message(self):
+        timeline = ChurnTimeline(entries=(
+            TimelineEntry(10.0, "depart", peer=1),
+        ))
+        kernel = SimulationKernel(timeline=timeline)
+        outcome = kernel.await_delivery(
+            peer=1, kind="aggregate", delay_ms=50.0, patience_ms=80.0
+        )
+        assert outcome.status == DEPARTED
+        # The sink cannot observe the departure — it waits out its
+        # whole patience before declaring the peer gone.
+        assert kernel.now_ms == 80.0
+        assert kernel.is_departed(1)
+        assert kernel.pending_events == 0  # cancelled, never late
+
+    def test_departure_of_other_peer_does_not_interfere(self):
+        timeline = ChurnTimeline(entries=(
+            TimelineEntry(10.0, "depart", peer=7),
+        ))
+        kernel = SimulationKernel(timeline=timeline)
+        outcome = kernel.await_delivery(
+            peer=1, kind="aggregate", delay_ms=50.0, patience_ms=80.0
+        )
+        assert outcome.status == DELIVERED
+        assert kernel.departed_peers() == frozenset({7})
+
+    def test_rejoin_clears_departure(self):
+        timeline = ChurnTimeline(entries=(
+            TimelineEntry(10.0, "depart", peer=1),
+            TimelineEntry(20.0, "join", peer=1),
+        ))
+        kernel = SimulationKernel(timeline=timeline)
+        kernel.advance_by(25.0)
+        assert not kernel.is_departed(1)
+
+    def test_epoch_mid_flight_marks_reply_stale(self):
+        timeline = ChurnTimeline(entries=(TimelineEntry(10.0, "epoch"),))
+        kernel = SimulationKernel(timeline=timeline)
+        outcome = kernel.await_delivery(
+            peer=1, kind="aggregate", delay_ms=50.0, patience_ms=None
+        )
+        assert outcome.status == DELIVERED
+        assert outcome.stale
+        assert outcome.sent_epoch == 0
+        assert outcome.delivered_epoch == 1
+        assert kernel.stale_replies == 1
+        assert kernel.epoch_started_ms == 10.0
+
+    def test_timeline_events_are_traced(self):
+        timeline = ChurnTimeline(entries=(
+            TimelineEntry(5.0, "depart", peer=2),
+            TimelineEntry(15.0, "epoch"),
+        ))
+        kernel = SimulationKernel(timeline=timeline)
+        tracer = Tracer()
+        with tracing(tracer):
+            kernel.advance_by(20.0)
+        actions = [e.action for e in tracer.events
+                   if isinstance(e, TimelineEvent)]
+        assert actions == ["depart", "epoch"]
+
+    def test_message_counter_ticks_without_latency(self):
+        # The counter discipline is unconditional so that adding a
+        # latency model never re-keys an existing schedule's draws.
+        kernel = SimulationKernel()
+        assert kernel.probe_delay_ms(peer=1, kind="aggregate") == 0.0
+        assert kernel.hop_delay_ms(hops=4) == 0.0
+        assert kernel.messages == 2
+
+    def test_rejects_negative_delays(self):
+        kernel = SimulationKernel()
+        with pytest.raises(ConfigurationError):
+            kernel.advance_by(-1.0)
+        with pytest.raises(ConfigurationError):
+            kernel.await_delivery(0, "aggregate", -1.0, None)
+        with pytest.raises(ConfigurationError):
+            kernel.await_delivery(0, "aggregate", 1.0, -1.0)
+
+
+class TestKernelReplay:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        peers=st.lists(
+            st.integers(min_value=0, max_value=19),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_schedule_replays_bit_identical(self, seed, peers):
+        """Any (seed, probe sequence) pair resolves identically on
+        replay: same outcomes, same clock, same stale counts."""
+        latency = LatencyModel(
+            seed=seed,
+            request=UniformLatency(1.0, 20.0),
+            reply=ExponentialLatency(8.0),
+        )
+        timeline = ChurnTimeline.sampled(
+            seed=seed, num_peers=20, horizon_ms=500.0,
+            departure_rate_per_s=1.0, epoch_every_ms=100.0,
+        )
+
+        def run():
+            kernel = SimulationKernel(latency=latency, timeline=timeline)
+            trail = []
+            for peer in peers:
+                delay = kernel.probe_delay_ms(peer, "aggregate")
+                outcome = kernel.await_delivery(
+                    peer, "aggregate", delay, patience_ms=30.0
+                )
+                trail.append((outcome, kernel.now_ms))
+            kernel.drain()
+            return trail, kernel.now_ms, kernel.stale_replies
+
+        assert run() == run()

@@ -30,6 +30,13 @@ from repro.network.generators import power_law_topology
 from repro.network.simulator import NetworkSimulator
 from repro.obs import Tracer, tracing
 from repro.query.parser import parse_query
+from repro.sim import (
+    ChurnTimeline,
+    EventDrivenSimulator,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
 
 GOLDENS = Path(__file__).resolve().parent / "goldens"
 
@@ -45,7 +52,8 @@ FAULT_PLAN = FaultPlan(
 )
 
 
-def _build_network(fault_plan=None):
+def _build_network(fault_plan=None, simulator_class=NetworkSimulator,
+                   **extra):
     """A fresh canonical network: never share simulator RNG state
     with other tests (session fixtures would make digests depend on
     execution order)."""
@@ -55,19 +63,56 @@ def _build_network(fault_plan=None):
         DatasetConfig(num_tuples=10_000, cluster_level=0.25, skew=0.2),
         seed=7,
     )
-    return NetworkSimulator(
-        topology, dataset.databases, seed=7, fault_plan=fault_plan
+    return simulator_class(
+        topology, dataset.databases, seed=7, fault_plan=fault_plan,
+        **extra,
     )
 
 
-def _run_two_phase(fault_plan=None):
-    network = _build_network(fault_plan)
+#: The canonical timed scenario: latency on every leg and a churn
+#: timeline whose epoch mark lands mid-run, so the golden pins the
+#: event queue's (time, seq) order, the counter-hash latency draws
+#: and the ``vt`` stamping all at once.
+TIMED_LATENCY = LatencyModel(
+    seed=13,
+    request=UniformLatency(5.0, 25.0),
+    reply=ExponentialLatency(10.0),
+    hop=UniformLatency(0.5, 2.0),
+)
+TIMED_TIMELINE = ChurnTimeline.sampled(
+    seed=21,
+    num_peers=200,
+    horizon_ms=20_000.0,
+    departure_rate_per_s=0.05,
+    epoch_every_ms=5_000.0,
+)
+
+
+def _run_two_phase(fault_plan=None, simulator_class=NetworkSimulator):
+    network = _build_network(fault_plan, simulator_class)
     engine = TwoPhaseEngine(
         network, TwoPhaseConfig(phase_one_peers=30), seed=42
     )
     tracer = Tracer()
     with tracing(tracer):
         result = engine.execute(COUNT_30, 0.1, sink=0)
+    return tracer, result
+
+
+def _run_two_phase_timed():
+    """The canonical event-driven run: nonzero latency + timeline."""
+    network = _build_network(
+        simulator_class=EventDrivenSimulator,
+        latency=TIMED_LATENCY,
+        timeline=TIMED_TIMELINE,
+    )
+    engine = TwoPhaseEngine(
+        network, TwoPhaseConfig(phase_one_peers=30), seed=42
+    )
+    tracer = Tracer(time_source=network.virtual_clock.read)
+    with tracing(tracer):
+        result = engine.execute(COUNT_30, 0.1, sink=0)
+        network.drain()
     return tracer, result
 
 
@@ -84,7 +129,7 @@ def _run_median():
 
 def _payload(tracer, result):
     cost = tracer.cost_total
-    return {
+    payload = {
         "digest": tracer.digest(),
         "events": tracer.num_events,
         "kinds": dict(sorted(Counter(e.kind for e in tracer.events).items())),
@@ -96,6 +141,15 @@ def _payload(tracer, result):
         },
         "estimate": result.estimate,
     }
+    # Virtual time is significant golden content: the stamp count and
+    # makespan change whenever event ordering or latency draws do.
+    stamped = sum(1 for line in tracer.lines if '"vt"' in line)
+    if stamped:
+        payload["virtual_time"] = {
+            "stamped_events": stamped,
+            "finished_ms": result.timing.finished_ms,
+        }
+    return payload
 
 
 def _check_golden(name, payload, update):
@@ -129,6 +183,30 @@ class TestGoldenTraces:
         _check_golden("trace_two_phase_faulty",
                       _payload(tracer, result), update_goldens)
 
+    def test_event_driven_timed_golden(self, update_goldens):
+        """Pin the virtual-timestamped trace of the canonical timed
+        run (latency + churn timeline on the event-driven kernel)."""
+        tracer, result = _run_two_phase_timed()
+        assert result.timing is not None
+        _check_golden("trace_two_phase_timed",
+                      _payload(tracer, result), update_goldens)
+
+    def test_passthrough_matches_synchronous_golden(self, update_goldens):
+        """A zero-latency event-driven run reproduces the *synchronous*
+        goldens byte for byte — the parity invariant applied to the
+        pinned digests themselves (no separate passthrough golden can
+        drift away from the synchronous one)."""
+        if update_goldens:
+            pytest.skip("the synchronous tests own these goldens")
+        for fault_plan, name in (
+            (None, "trace_two_phase"),
+            (FAULT_PLAN, "trace_two_phase_faulty"),
+        ):
+            tracer, result = _run_two_phase(
+                fault_plan, simulator_class=EventDrivenSimulator
+            )
+            _check_golden(name, _payload(tracer, result), update_goldens)
+
 
 class TestDeterminism:
     def test_two_phase_digest_is_reproducible(self):
@@ -141,6 +219,13 @@ class TestDeterminism:
         first, _ = _run_two_phase(FAULT_PLAN)
         second, _ = _run_two_phase(FAULT_PLAN)
         assert first.digest() == second.digest()
+
+    def test_timed_digest_is_reproducible(self):
+        first, first_result = _run_two_phase_timed()
+        second, second_result = _run_two_phase_timed()
+        assert first.digest() == second.digest()
+        assert first.lines == second.lines
+        assert first_result.timing == second_result.timing
 
 
 class TestSensitivity:
