@@ -25,6 +25,7 @@ __all__ = [
     "AdmissionError",
     "BudgetExceededError",
     "DeadlineExceededError",
+    "WorkerPoolError",
 ]
 
 
@@ -143,4 +144,15 @@ class DeadlineExceededError(ServiceError):
     Deadlines are enforced at chunk boundaries on the session's
     virtual clock (they require an event-driven simulator), so like
     budgets the overshoot is bounded by one chunk's worth of work.
+    """
+
+
+class WorkerPoolError(ServiceError):
+    """A forked worker pool failed operationally.
+
+    Raised when a worker process dies with jobs outstanding, when the
+    pool is used after :meth:`~repro._pool.ForkPool.close`, or when
+    workers go silent past the liveness budget.  Distinct from errors
+    *computed by* a worker, which are shipped back and re-raised with
+    their original type.
     """

@@ -21,15 +21,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import multiprocessing
 import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import _pool
 from ..core.median import MedianConfig, MedianEngine
 from ..core.two_phase import TwoPhaseConfig, TwoPhaseEngine
 from ..errors import ConfigurationError
@@ -148,28 +146,6 @@ def _run_single_trial(
         messages=cost.messages,
         latency_ms=cost.latency_ms,
     )
-
-
-# Worker processes are forked, so the (large, unpicklable-in-practice)
-# trial context travels to them via copy-on-write memory instead of the
-# pickle pipe; only the per-trial seed and the TrialOutcome cross it.
-_TRIAL_CONTEXT: Optional[tuple] = None
-
-# One warning per process when the worker pool is capped below the
-# requested size — bench sweeps call run_trials hundreds of times and
-# the cap is a property of the machine, not the call.
-_WORKER_CAP_WARNED = False
-
-
-def _run_trial_from_context(trial_seed: int) -> TrialOutcome:
-    bundle, query, delta_req, engine, config, truth = _TRIAL_CONTEXT
-    return _run_single_trial(
-        bundle, query, delta_req, engine, config, truth, trial_seed
-    )
-
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def build_manifest(
@@ -316,27 +292,18 @@ def run_trials(
     seeds = [seed + trial for trial in range(trials)]
 
     # Forking more workers than cores only adds overhead (results are
-    # identical either way), so the pool is capped at the machine size.
-    # The cap used to be silent, which made REPRO_WORKERS=4 on a 1-core
-    # box *look* parallel in bench logs while running the serial path —
-    # say so once per process.
-    cores = os.cpu_count() or 1
-    effective_workers = min(workers, trials, cores)
-    global _WORKER_CAP_WARNED
-    if workers > cores and not _WORKER_CAP_WARNED:
-        _WORKER_CAP_WARNED = True
-        warnings.warn(
-            f"run_trials: {workers} workers requested but only {cores} "
-            f"CPU core(s) are available; capping the pool at "
-            f"{effective_workers} worker(s)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    # identical either way), so the pool is capped at the machine size
+    # — with the shared once-per-process warning (repro._pool), the
+    # same one the sharded QueryService backend emits, so REPRO_WORKERS
+    # oversubscription never *looks* parallel silently.
+    effective_workers = _pool.effective_workers(
+        workers, jobs=trials, cap=True, label="run_trials"
+    )
+    serial_reason = _pool.shared_fault_serial_reason(bundle.simulator)
     parallel = (
         effective_workers > 1
-        and bundle.simulator.reply_loss_rate <= 0.0
-        and bundle.simulator.fault_plan is None
-        and _fork_available()
+        and serial_reason is None
+        and _pool.fork_available()
     )
     if not parallel:
         outcomes = [
@@ -346,18 +313,18 @@ def run_trials(
             for s in seeds
         ]
     else:
-        global _TRIAL_CONTEXT
-        _TRIAL_CONTEXT = (
-            bundle, query, delta_req, engine, engine_config, truth
+        # The big trial context (bundle, query, config) is captured by
+        # the closure and travels to the forked workers copy-on-write;
+        # only seeds and TrialOutcomes cross the queues.
+        def trial_handler(trial_seed: int) -> TrialOutcome:
+            return _run_single_trial(
+                bundle, query, delta_req, engine, engine_config, truth,
+                trial_seed,
+            )
+
+        outcomes = _pool.run_forked_map(
+            trial_handler, seeds, effective_workers, name="repro-trials"
         )
-        try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=effective_workers, mp_context=context
-            ) as pool:
-                outcomes = list(pool.map(_run_trial_from_context, seeds))
-        finally:
-            _TRIAL_CONTEXT = None
 
     target = _manifest_target(manifest_path, engine, engine_config, seed)
     if target is not None:

@@ -425,6 +425,23 @@ class NetworkSimulator:
             )
         return self._flat
 
+    def adopt_flat_dataset(self, flat: FlatDataset) -> None:
+        """Install a pre-built flat view instead of concatenating.
+
+        Forked workers attach the parent's columns from shared memory
+        (:mod:`repro.service.shm`) and hand the resulting
+        :class:`FlatDataset` to their simulator here, so the flat view
+        is mapped, never copied.  The adopted view must describe this
+        network's peers exactly.
+        """
+        if flat.num_peers != self.num_peers:
+            raise ConfigurationError(
+                f"flat view has {flat.num_peers} peers, "
+                f"network has {self.num_peers}"
+            )
+        self._flat = flat
+        self._total_tuples = flat.num_tuples
+
     def node(self, peer_id: int) -> PeerNode:
         """The runtime node for ``peer_id``."""
         if not 0 <= peer_id < self.num_peers:
@@ -472,6 +489,18 @@ class NetworkSimulator:
     def deadline_ms(self) -> Optional[float]:
         """The armed virtual-time deadline, if any."""
         return None
+
+    @property
+    def supports_deadlines(self) -> bool:
+        """Whether :meth:`arm_deadline` can succeed on this simulator.
+
+        The serving layer's sharded backend checks this *before*
+        shipping a job to a worker so a deadline on a clockless
+        simulator fails at submit time in the parent — same error,
+        same call site as the inline backend — instead of surfacing
+        from a worker process.
+        """
+        return False
 
     def arm_deadline(self, deadline_ms: float) -> None:
         """Arm a virtual-time deadline for this session's queries.

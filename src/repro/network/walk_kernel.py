@@ -62,6 +62,7 @@ __all__ = [
     "KernelTables",
     "WalkKernel",
     "kernel_tables",
+    "prime_kernel_tables",
     "stationary_alias",
 ]
 
@@ -198,6 +199,49 @@ def kernel_tables(topology: Topology) -> KernelTables:
     indices = topology.indices.tolist()
     neighbors = [
         indices[indptr[p]: indptr[p + 1]]
+        for p in range(topology.num_peers)
+    ]
+    tables = KernelTables(
+        neighbors=neighbors,
+        degrees=[float(len(row)) for row in neighbors],
+    )
+    _TABLE_CACHE[topology] = tables
+    return tables
+
+
+def prime_kernel_tables(
+    topology: Topology,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> KernelTables:
+    """Build and memoize ``topology``'s tables from external CSR arrays.
+
+    Sharded-service workers attach the parent's CSR arrays from shared
+    memory (:mod:`repro.service.shm`) and prime the table cache from
+    *those* instead of re-reading ``topology``'s own (fork-inherited,
+    copy-on-write) arrays — the resulting nested python lists are
+    necessarily per-process either way, but the source pages stay
+    shared.  The arrays must be the same CSR the topology describes;
+    the tables are keyed on the topology object exactly like
+    :func:`kernel_tables`, so subsequent kernel lookups hit this cache.
+    """
+    cached = _TABLE_CACHE.get(topology)
+    if cached is not None:
+        return cached
+    if indptr.size != topology.num_peers + 1:
+        raise ConfigurationError(
+            f"indptr has {indptr.size} entries, topology needs "
+            f"{topology.num_peers + 1}"
+        )
+    if indices.size != int(indptr[-1]):
+        raise ConfigurationError(
+            f"indices has {indices.size} entries, indptr ends at "
+            f"{int(indptr[-1])}"
+        )
+    indptr_list = indptr.tolist()
+    indices_list = indices.tolist()
+    neighbors = [
+        indices_list[indptr_list[p]: indptr_list[p + 1]]
         for p in range(topology.num_peers)
     ]
     tables = KernelTables(

@@ -1,0 +1,617 @@
+"""Execution backends for :class:`~repro.service.service.QueryService`.
+
+The service front-end (admission, RNG spawning, outcome bookkeeping)
+is backend-agnostic.  A backend receives fully-seeded
+:class:`QueryJob`\\ s and resolves them into :class:`QueryReply`\\ s:
+
+* :class:`InlineBackend` — the original single-process path: builds a
+  :class:`~repro.service.scheduler.ScheduledQuery` per job and
+  interleaves them on a
+  :class:`~repro.service.scheduler.RoundRobinScheduler` with one
+  shared :class:`~repro.core.hybrid.PlanCache`.
+* :class:`ForkedBackend` — the sharded path: ``N`` forked worker
+  processes (:class:`~repro._pool.ForkPool`) over the same read-only
+  snapshot, its big arrays pinned in shared memory
+  (:mod:`repro.service.shm`).
+
+Why serial == sharded holds bit for bit
+---------------------------------------
+
+Both backends build the per-query session/engine/tracer with the same
+function (:func:`build_task`) and advance it with the same chunk step
+(:func:`~repro.service.scheduler.advance_task`), so a query's entire
+computation is a function of its job alone — the seeds are spawned by
+the service in submission order before the backend ever sees the job.
+What remains is the plan cache, the only cross-query state.  The cache
+is keyed purely by query signature: a lookup's outcome depends only on
+the history of *same-signature* traffic.  The sharded backend
+therefore routes jobs by ``sha256(signature) mod workers`` — every
+signature has one owner — and each worker's FIFO inbox preserves
+submission order, so every signature sees exactly the cache history it
+would have seen inline (where the scheduler serializes same-signature
+tasks in submission order for the same reason).  Per-worker caches are
+then a partition of the inline shared cache by signature: same
+entries, same hit/miss/invalidation counts, summed.
+
+Budgets and deadlines are enforced inside :func:`advance_task` at
+chunk boundaries on the query's own ledger and session clock, and the
+tracer is created worker-side around the session clock, so replies
+carry byte-identical trace lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .. import _pool
+from ..core.hybrid import HybridEngine, PlanCache
+from ..core.result import ApproximateResult
+from ..core.two_phase import TwoPhaseConfig
+from ..errors import ConfigurationError, ReproError, ServiceError
+from ..metrics.cost import QueryCost
+from ..network.simulator import NetworkSimulator
+from ..network.walk_kernel import prime_kernel_tables
+from ..obs.events import QueryLifecycleEvent
+from ..obs.tracer import Tracer
+from ..query.model import AggregationQuery
+from .budget import CostBudget
+from .scheduler import (
+    Completion,
+    QueryTicket,
+    RoundRobinScheduler,
+    ScheduledQuery,
+    advance_task,
+)
+from .shm import (
+    PackManifest,
+    SharedArrayPack,
+    SnapshotView,
+    attach_snapshot,
+    export_snapshot,
+)
+
+__all__ = [
+    "CacheStats",
+    "EngineSettings",
+    "ExecutionBackend",
+    "ForkedBackend",
+    "InlineBackend",
+    "QueryJob",
+    "QueryReply",
+    "build_task",
+    "drive_task",
+    "shard_for_signature",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSettings:
+    """Per-service engine knobs every backend must apply identically."""
+
+    config: TwoPhaseConfig
+    chunk_peers: Optional[int]
+    max_age: int
+    decay: float
+    delta_reestimation: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryJob:
+    """One admitted query, fully seeded — everything a backend needs.
+
+    The RNG generators are spawned by the service in submission order
+    *before* the job reaches any backend, so where the job executes
+    cannot change what it computes.  Small and picklable by design:
+    the snapshot itself never rides along.
+    """
+
+    query_id: int
+    query: AggregationQuery
+    delta_req: float
+    signature: str
+    sink: Optional[int]
+    budget: Optional[CostBudget]
+    deadline_ms: Optional[float]
+    session_seed: np.random.Generator
+    engine_seed: np.random.Generator
+    capture_trace: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryReply:
+    """How one job resolved, backend-independent.
+
+    ``cache_*`` fields are the plan-cache counter *deltas* this job
+    produced (the sharded backend sums them parent-side; the inline
+    backend reads its shared cache directly and leaves them zero).
+    """
+
+    ticket: QueryTicket
+    status: str
+    result: Optional[ApproximateResult]
+    error: Optional[ReproError]
+    detail: str
+    cost: Optional[QueryCost]
+    chunks: int
+    tracer: Optional[Tracer]
+    warm_runs: int
+    cold_runs: int
+    delta_runs: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_churn_invalidations: int = 0
+    cache_delta_hits: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Plan-cache counters as the service's ``stats()`` reports them."""
+
+    hits: int
+    misses: int
+    churn_invalidations: int
+    delta_hits: int
+
+
+def shard_for_signature(signature: str, workers: int) -> int:
+    """The worker that owns ``signature``'s plan-cache traffic.
+
+    sha256 so the routing is stable across processes and runs
+    (``hash(str)`` is salted per interpreter) — the owner of a
+    signature must be a pure function of the query text.
+    """
+    digest = hashlib.sha256(signature.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+def build_task(
+    simulator: NetworkSimulator,
+    settings: EngineSettings,
+    cache: PlanCache,
+    job: QueryJob,
+) -> ScheduledQuery:
+    """Construct one query's session, engine, tracer and stepwise run.
+
+    This is the single definition of "what a submitted query is" —
+    the inline backend calls it in the parent at submit time, the
+    sharded backend calls it in the owning worker — so both paths
+    produce bit-identical executions from the same job.
+    """
+    session = simulator.session(seed=job.session_seed)
+    if job.deadline_ms is not None:
+        session.arm_deadline(job.deadline_ms)
+    engine = HybridEngine(
+        session,
+        config=settings.config,
+        seed=job.engine_seed,
+        max_age=settings.max_age,
+        decay=settings.decay,
+        cache=cache,
+        delta_reestimation=settings.delta_reestimation,
+    )
+    ticket = QueryTicket(
+        query_id=job.query_id,
+        query=job.query,
+        delta_req=job.delta_req,
+        signature=job.signature,
+    )
+    clock = session.virtual_clock
+    tracer: Optional[Tracer] = None
+    if job.capture_trace:
+        tracer = Tracer(
+            time_source=clock.read if clock is not None else None
+        )
+        tracer.emit(
+            QueryLifecycleEvent(
+                query_id=job.query_id,
+                status="submitted",
+                signature=job.signature,
+            )
+        )
+    return ScheduledQuery(
+        ticket=ticket,
+        steps=engine.run_stepwise(
+            job.query,
+            job.delta_req,
+            sink=job.sink,
+            chunk_peers=settings.chunk_peers,
+        ),
+        engine=engine,
+        budget=job.budget,
+        tracer=tracer,
+        deadline_ms=job.deadline_ms,
+        clock=clock.read if clock is not None else None,
+    )
+
+
+def drive_task(task: ScheduledQuery) -> Completion:
+    """Advance ``task`` chunk by chunk until it completes.
+
+    The same chunk boundaries the round-robin scheduler would hit, so
+    budget/deadline enforcement is unchanged — only the interleaving
+    with *other* queries differs, which per-query isolation makes
+    unobservable.
+    """
+    while True:
+        completion = advance_task(task)
+        if completion is not None:
+            return completion
+
+
+def _reply_from_completion(completion: Completion) -> QueryReply:
+    """Fold one completion into the backend-independent reply shape."""
+    task = completion.task
+    cost: Optional[QueryCost] = None
+    if completion.result is not None:
+        cost = completion.result.cost
+    elif task.last_checkpoint is not None:
+        cost = task.last_checkpoint.ledger.snapshot()
+    return QueryReply(
+        ticket=task.ticket,
+        status=completion.status,
+        result=completion.result,
+        error=completion.error,
+        detail=completion.detail,
+        cost=cost,
+        chunks=task.chunks,
+        tracer=task.tracer,
+        warm_runs=task.engine.warm_runs,
+        cold_runs=task.engine.cold_runs,
+        delta_runs=task.engine.delta_runs,
+    )
+
+
+class ExecutionBackend:
+    """What the service front-end requires of an execution strategy."""
+
+    #: Human-readable backend name (``"inline"`` / ``"forked"``).
+    kind: str = "abstract"
+
+    def submit(self, job: QueryJob) -> None:
+        """Accept one admitted job."""
+        raise NotImplementedError
+
+    def pump(self) -> List[QueryReply]:
+        """One scheduling round; returns the jobs that resolved.
+
+        Guarantees progress: while any job is outstanding, a pump
+        either resolves at least one job or advances every running
+        one, so driving ``pump`` in a loop always terminates.
+        """
+        raise NotImplementedError
+
+    @property
+    def idle(self) -> bool:
+        """Whether no accepted job is unresolved."""
+        raise NotImplementedError
+
+    @property
+    def backlog(self) -> int:
+        """Accepted jobs not yet running."""
+        raise NotImplementedError
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently being advanced."""
+        raise NotImplementedError
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The shared plan cache, when one exists in this process."""
+        return None
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated plan-cache counters across the whole backend."""
+        raise NotImplementedError
+
+    def rebind(self, simulator: NetworkSimulator) -> None:
+        """Serve subsequent jobs from a new snapshot (idle only)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InlineBackend(ExecutionBackend):
+    """Single-process round-robin interleaving (reference semantics)."""
+
+    kind = "inline"
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        settings: EngineSettings,
+        *,
+        max_in_flight: int = 4,
+    ):
+        self._simulator = simulator
+        self._settings = settings
+        self._scheduler = RoundRobinScheduler(max_in_flight)
+        self._cache = PlanCache()
+
+    def submit(self, job: QueryJob) -> None:
+        task = build_task(self._simulator, self._settings, self._cache, job)
+        self._scheduler.enqueue(task)
+
+    def pump(self) -> List[QueryReply]:
+        return [
+            _reply_from_completion(completion)
+            for completion in self._scheduler.tick()
+        ]
+
+    @property
+    def idle(self) -> bool:
+        return self._scheduler.idle
+
+    @property
+    def backlog(self) -> int:
+        return self._scheduler.backlog
+
+    @property
+    def in_flight(self) -> int:
+        return self._scheduler.in_flight
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        return self._cache
+
+    def cache_stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._cache.hits,
+            misses=self._cache.misses,
+            churn_invalidations=self._cache.churn_invalidations,
+            delta_hits=self._cache.delta_hits,
+        )
+
+    def rebind(self, simulator: NetworkSimulator) -> None:
+        self._simulator = simulator
+
+
+# ---------------------------------------------------------------------------
+# Sharded (forked) backend
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _Rebind:
+    """Control message: swap the worker's snapshot (and shm view)."""
+
+    simulator: NetworkSimulator
+    manifest: Optional[PackManifest]
+
+
+class _ShardWorker:
+    """The per-worker job handler (constructed pre-fork, runs post-fork).
+
+    Holds the snapshot (inherited copy-on-write), the engine settings
+    and a *private* :class:`PlanCache`.  On the first job after the
+    fork it attaches the parent's shared-memory snapshot — adopting
+    the flat view and priming the kernel tables from the mapped CSR
+    arrays — so the worker reads the big arrays from genuinely shared
+    pages instead of its COW copies.
+    """
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        settings: EngineSettings,
+        manifest: Optional[PackManifest],
+    ):
+        self._simulator = simulator
+        self._settings = settings
+        self._manifest = manifest
+        self._cache = PlanCache()
+        self._view: Optional[SnapshotView] = None
+        self._attached = False
+
+    def _attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        if self._manifest is None:
+            return
+        self._view = attach_snapshot(self._manifest)
+        self._simulator.adopt_flat_dataset(self._view.flat)
+        prime_kernel_tables(
+            self._simulator.topology,
+            self._view.indptr,
+            self._view.indices,
+        )
+
+    def _rebind(self, control: _Rebind) -> str:
+        if self._view is not None:
+            self._view.close()
+            self._view = None
+        self._simulator = control.simulator
+        self._manifest = control.manifest
+        self._attached = False
+        return "rebound"
+
+    def __call__(self, item: Union[QueryJob, _Rebind]) -> object:
+        if isinstance(item, _Rebind):
+            return self._rebind(item)
+        self._attach()
+        cache = self._cache
+        hits = cache.hits
+        misses = cache.misses
+        churn = cache.churn_invalidations
+        delta = cache.delta_hits
+        task = build_task(self._simulator, self._settings, cache, item)
+        completion = drive_task(task)
+        reply = _reply_from_completion(completion)
+        if reply.tracer is not None:
+            # The vt stamps are already baked into the lines; the
+            # clock itself must not cross the process boundary.
+            reply.tracer.time_source = None
+        return dataclasses.replace(
+            reply,
+            cache_hits=cache.hits - hits,
+            cache_misses=cache.misses - misses,
+            cache_churn_invalidations=cache.churn_invalidations - churn,
+            cache_delta_hits=cache.delta_hits - delta,
+        )
+
+
+class ForkedBackend(ExecutionBackend):
+    """``workers`` forked shard owners over one shared snapshot.
+
+    Jobs route by :func:`shard_for_signature`; each worker drains its
+    FIFO to completion per job.  The parent only spawns seeds, routes,
+    and folds replies — no query computation happens here.
+    """
+
+    kind = "forked"
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        settings: EngineSettings,
+        workers: int,
+        *,
+        share_arrays: bool = True,
+    ):
+        _pool.effective_workers(workers, cap=False, label="QueryService")
+        self._settings = settings
+        self._workers = workers
+        self._simulator = simulator
+        self._pack = self._export(simulator, share_arrays)
+        self._share_arrays = share_arrays
+        manifest = self._pack.manifest if self._pack is not None else None
+        self._handler = _ShardWorker(simulator, settings, manifest)
+        self._fork_pool = _pool.ForkPool(
+            workers, self._handler, name="repro-shard"
+        )
+        self._outstanding = 0
+        self._cache_stats = CacheStats(
+            hits=0, misses=0, churn_invalidations=0, delta_hits=0
+        )
+        self._closed = False
+
+    @staticmethod
+    def _export(
+        simulator: NetworkSimulator, share_arrays: bool
+    ) -> Optional[SharedArrayPack]:
+        # Fault plans force the per-peer visit path, which never reads
+        # the flat view — mirror the service's _prime and skip the
+        # segment rather than materialize a view nobody maps.
+        if not share_arrays or simulator.faults_active:
+            return None
+        return export_snapshot(simulator)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of shard-owner processes."""
+        return self._workers
+
+    def submit(self, job: QueryJob) -> None:
+        if self._closed:
+            raise ServiceError("the sharded backend is closed")
+        if job.deadline_ms is not None:
+            # Fail at submit in the parent, with the same errors the
+            # inline backend's arm_deadline would raise — not from a
+            # worker at drain time.
+            if not self._simulator.supports_deadlines:
+                raise ConfigurationError(
+                    "deadlines need virtual time: use an "
+                    "EventDrivenSimulator (repro.sim) with latency, a "
+                    "timeline or a probe timeout"
+                )
+            if job.deadline_ms <= 0:
+                raise ConfigurationError(
+                    f"deadline_ms must be positive, got {job.deadline_ms}"
+                )
+        worker = shard_for_signature(job.signature, self._workers)
+        self._fork_pool.send(worker, job.query_id, job)
+        self._outstanding += 1
+
+    def _fold(self, payload: object) -> QueryReply:
+        if not isinstance(payload, QueryReply):
+            raise ServiceError(
+                f"unexpected worker payload {type(payload).__name__}"
+            )
+        self._outstanding -= 1
+        self._cache_stats = CacheStats(
+            hits=self._cache_stats.hits + payload.cache_hits,
+            misses=self._cache_stats.misses + payload.cache_misses,
+            churn_invalidations=(
+                self._cache_stats.churn_invalidations
+                + payload.cache_churn_invalidations
+            ),
+            delta_hits=(
+                self._cache_stats.delta_hits + payload.cache_delta_hits
+            ),
+        )
+        return payload
+
+    def pump(self) -> List[QueryReply]:
+        if self._outstanding == 0:
+            return []
+        _, _, payload = self._fork_pool.recv()
+        replies = [self._fold(payload)]
+        while self._outstanding > 0:
+            extra = self._fork_pool.try_recv()
+            if extra is None:
+                break
+            replies.append(self._fold(extra[2]))
+        return replies
+
+    @property
+    def idle(self) -> bool:
+        return self._outstanding == 0
+
+    @property
+    def backlog(self) -> int:
+        return self._outstanding
+
+    @property
+    def in_flight(self) -> int:
+        # Shipped jobs are indistinguishably queued-or-running from
+        # the parent; they are all accounted in backlog.
+        return 0
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache_stats
+
+    def rebind(self, simulator: NetworkSimulator) -> None:
+        if self._outstanding:
+            raise ServiceError(
+                "cannot rebind while queries are outstanding"
+            )
+        old_pack = self._pack
+        self._simulator = simulator
+        self._pack = self._export(simulator, self._share_arrays)
+        manifest = self._pack.manifest if self._pack is not None else None
+        self._fork_pool.broadcast(-1, _Rebind(simulator, manifest))
+        acks = 0
+        while acks < self._workers:
+            _, _, payload = self._fork_pool.recv()
+            if payload != "rebound":
+                raise ServiceError(
+                    f"unexpected rebind acknowledgement {payload!r}"
+                )
+            acks += 1
+        if old_pack is not None:
+            old_pack.close()
+            old_pack.unlink()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fork_pool.close()
+        if self._pack is not None:
+            self._pack.close()
+            self._pack.unlink()
+            self._pack = None

@@ -42,6 +42,8 @@ __all__ = [
     "ScheduledQuery",
     "Completion",
     "RoundRobinScheduler",
+    "advance_task",
+    "emit_lifecycle",
 ]
 
 
@@ -83,6 +85,80 @@ class Completion:
     result: Optional[ApproximateResult] = None
     error: Optional[ReproError] = None
     detail: str = ""
+
+
+def emit_lifecycle(
+    task: ScheduledQuery, status: str, detail: str = ""
+) -> None:
+    """Record a lifecycle transition in the task's trace (if any)."""
+    if task.tracer is not None:
+        task.tracer.emit(
+            QueryLifecycleEvent(
+                query_id=task.ticket.query_id,
+                status=status,
+                signature=task.ticket.signature,
+                detail=detail,
+            )
+        )
+
+
+def advance_task(task: ScheduledQuery) -> Optional[Completion]:
+    """Run ``task`` one chunk forward; a completion ends it.
+
+    This is the single definition of "one chunk of service work" —
+    the round-robin scheduler calls it once per running task per tick,
+    and the sharded backend's workers call it in a drain loop — so
+    budget and deadline enforcement at chunk boundaries is the same
+    code on every execution path.
+
+    The task's tracer (if any) is activated only for the duration of
+    the generator frame, so every engine event lands in the query's
+    own trace regardless of interleaving; lifecycle events are emitted
+    outside that scope.
+    """
+    if not task.started:
+        task.started = True
+        emit_lifecycle(task, "started")
+    scope: ContextManager[Optional[Tracer]] = (
+        tracing(task.tracer)
+        if task.tracer is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with scope:
+            checkpoint = next(task.steps)
+    except StopIteration as stop:
+        result: ApproximateResult = stop.value
+        emit_lifecycle(task, "done")
+        return Completion(task=task, status="done", result=result)
+    except ReproError as error:
+        emit_lifecycle(task, "failed", detail=str(error))
+        return Completion(
+            task=task, status="failed", error=error, detail=str(error)
+        )
+    task.chunks += 1
+    task.last_checkpoint = checkpoint
+    if task.budget is not None:
+        violation = task.budget.violation(checkpoint.ledger.snapshot())
+        if violation is not None:
+            task.steps.close()
+            emit_lifecycle(task, "budget-exceeded", detail=violation)
+            return Completion(
+                task=task, status="budget-exceeded", detail=violation
+            )
+    if task.deadline_ms is not None and task.clock is not None:
+        now_ms = task.clock()
+        if now_ms > task.deadline_ms:
+            detail = (
+                f"virtual time {now_ms:.3f} ms passed the "
+                f"{task.deadline_ms:.3f} ms deadline"
+            )
+            task.steps.close()
+            emit_lifecycle(task, "deadline-exceeded", detail=detail)
+            return Completion(
+                task=task, status="deadline-exceeded", detail=detail
+            )
+    return None
 
 
 class RoundRobinScheduler:
@@ -143,79 +219,13 @@ class RoundRobinScheduler:
         while blocked:
             self._pending.appendleft(blocked.pop())
 
-    def _emit_lifecycle(
-        self, task: ScheduledQuery, status: str, detail: str = ""
-    ) -> None:
-        if task.tracer is not None:
-            task.tracer.emit(
-                QueryLifecycleEvent(
-                    query_id=task.ticket.query_id,
-                    status=status,
-                    signature=task.ticket.signature,
-                    detail=detail,
-                )
-            )
-
-    def _advance(self, task: ScheduledQuery) -> Optional[Completion]:
-        """Run ``task`` one chunk forward; a completion ends it.
-
-        The task's tracer (if any) is activated only for the duration
-        of the generator frame, so every engine event lands in the
-        query's own trace regardless of interleaving.
-        """
-        if not task.started:
-            task.started = True
-            self._emit_lifecycle(task, "started")
-        scope: ContextManager[Optional[Tracer]] = (
-            tracing(task.tracer)
-            if task.tracer is not None
-            else contextlib.nullcontext()
-        )
-        try:
-            with scope:
-                checkpoint = next(task.steps)
-        except StopIteration as stop:
-            result: ApproximateResult = stop.value
-            self._emit_lifecycle(task, "done")
-            return Completion(task=task, status="done", result=result)
-        except ReproError as error:
-            self._emit_lifecycle(task, "failed", detail=str(error))
-            return Completion(
-                task=task, status="failed", error=error, detail=str(error)
-            )
-        task.chunks += 1
-        task.last_checkpoint = checkpoint
-        if task.budget is not None:
-            violation = task.budget.violation(checkpoint.ledger.snapshot())
-            if violation is not None:
-                task.steps.close()
-                self._emit_lifecycle(task, "budget-exceeded", detail=violation)
-                return Completion(
-                    task=task, status="budget-exceeded", detail=violation
-                )
-        if task.deadline_ms is not None and task.clock is not None:
-            now_ms = task.clock()
-            if now_ms > task.deadline_ms:
-                detail = (
-                    f"virtual time {now_ms:.3f} ms passed the "
-                    f"{task.deadline_ms:.3f} ms deadline"
-                )
-                task.steps.close()
-                self._emit_lifecycle(
-                    task, "deadline-exceeded", detail=detail
-                )
-                return Completion(
-                    task=task, status="deadline-exceeded", detail=detail
-                )
-        return None
-
     def tick(self) -> List[Completion]:
         """One fairness round: admit, then advance every running task
         one chunk.  Returns the tasks that finished this round."""
         self._admit()
         completions: List[Completion] = []
         for task in list(self._running):
-            completion = self._advance(task)
+            completion = advance_task(task)
             if completion is not None:
                 self._running.remove(task)
                 self._active_signatures.discard(task.ticket.signature)

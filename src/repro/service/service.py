@@ -44,7 +44,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from .._util import SeedLike, ensure_rng
-from ..core.hybrid import HybridEngine, PlanCache
+from ..core.hybrid import PlanCache
 from ..core.result import ApproximateResult
 from ..core.two_phase import TwoPhaseConfig
 from ..errors import (
@@ -57,17 +57,19 @@ from ..errors import (
 )
 from ..metrics.cost import QueryCost
 from ..network.simulator import NetworkSimulator
-from ..obs.events import QueryLifecycleEvent
 from ..obs.registry import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..query.model import AggregationQuery
-from .budget import CostBudget
-from .scheduler import (
-    Completion,
-    QueryTicket,
-    RoundRobinScheduler,
-    ScheduledQuery,
+from .backend import (
+    EngineSettings,
+    ExecutionBackend,
+    ForkedBackend,
+    InlineBackend,
+    QueryJob,
+    QueryReply,
 )
+from .budget import CostBudget
+from .scheduler import QueryTicket
 
 __all__ = [
     "QueryOutcome",
@@ -169,6 +171,19 @@ class QueryService:
         snapshot carries stable peer labels, churn-invalidated plans
         are topped up incrementally from their retained sample instead
         of re-running cold (counted in ``delta_runs``/``delta_hits``).
+    workers:
+        ``None`` (default) serves inline in this process.  An integer
+        ``N >= 1`` serves through the sharded
+        :class:`~repro.service.backend.ForkedBackend`: ``N`` forked
+        worker processes over the shared snapshot, jobs routed by
+        query signature.  Results, costs and traces are bit-identical
+        either way (the serial==sharded invariant); a sharded service
+        should be closed (:meth:`close`, or use it as a context
+        manager) to reap its workers and shared memory.
+    backend:
+        Advanced: a pre-built
+        :class:`~repro.service.backend.ExecutionBackend` to serve on,
+        mutually exclusive with ``workers``.
     """
 
     def __init__(
@@ -186,23 +201,23 @@ class QueryService:
         capture_traces: bool = False,
         registry: Optional[MetricsRegistry] = None,
         delta_reestimation: bool = False,
+        workers: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         if max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
         if chunk_peers is not None and chunk_peers < 1:
             raise ConfigurationError("chunk_peers must be >= 1")
+        if workers is not None and backend is not None:
+            raise ConfigurationError(
+                "pass either workers or backend, not both"
+            )
         self._base = simulator
         self._config = config or TwoPhaseConfig()
         self._rng = ensure_rng(seed)
-        self._scheduler = RoundRobinScheduler(max_in_flight)
         self._max_queue = max_queue
-        self._chunk_peers = chunk_peers
         self._default_budget = default_budget
-        self._max_age = max_age
-        self._decay = decay
         self._capture_traces = capture_traces
-        self._delta_reestimation = delta_reestimation
-        self._cache = PlanCache()
         self._registry = registry if registry is not None else MetricsRegistry()
         self._outcomes: Dict[int, QueryOutcome] = {}
         self._tracers: Dict[int, Tracer] = {}
@@ -218,6 +233,21 @@ class QueryService:
         self._cold_runs = 0
         self._delta_runs = 0
         self._prime(simulator)
+        settings = EngineSettings(
+            config=self._config,
+            chunk_peers=chunk_peers,
+            max_age=max_age,
+            decay=decay,
+            delta_reestimation=delta_reestimation,
+        )
+        if backend is not None:
+            self._backend: ExecutionBackend = backend
+        elif workers is not None:
+            self._backend = ForkedBackend(simulator, settings, workers)
+        else:
+            self._backend = InlineBackend(
+                simulator, settings, max_in_flight=max_in_flight
+            )
 
     @staticmethod
     def _prime(simulator: NetworkSimulator) -> None:
@@ -237,17 +267,34 @@ class QueryService:
         return self._registry
 
     @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend serving this service's queries."""
+        return self._backend
+
+    @property
     def cache(self) -> PlanCache:
-        """The plan cache shared by every query's engine."""
-        return self._cache
+        """The plan cache shared by every query's engine.
+
+        Only the inline backend has one cache in this process; a
+        sharded service's caches live in its worker processes
+        (aggregated counters are still in :meth:`stats`).
+        """
+        cache = self._backend.plan_cache
+        if cache is None:
+            raise ServiceError(
+                "a sharded service's plan caches live in its worker "
+                "processes; read the aggregated counters via stats()"
+            )
+        return cache
 
     @property
     def idle(self) -> bool:
         """Whether no admitted query is unfinished."""
-        return self._scheduler.idle
+        return self._backend.idle
 
     def stats(self) -> ServiceStats:
         """A snapshot of the service's counters."""
+        cache_stats = self._backend.cache_stats()
         return ServiceStats(
             submitted=self._submitted,
             completed=self._completed,
@@ -255,16 +302,16 @@ class QueryService:
             budget_stopped=self._budget_stopped,
             deadline_stopped=self._deadline_stopped,
             rejected=self._rejected,
-            queued=self._scheduler.backlog,
-            in_flight=self._scheduler.in_flight,
+            queued=self._backend.backlog,
+            in_flight=self._backend.in_flight,
             ticks=self._ticks,
             warm_runs=self._warm_runs,
             cold_runs=self._cold_runs,
             delta_runs=self._delta_runs,
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            churn_invalidations=self._cache.churn_invalidations,
-            delta_hits=self._cache.delta_hits,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            churn_invalidations=cache_stats.churn_invalidations,
+            delta_hits=cache_stats.delta_hits,
         )
 
     def outcome(self, ticket: QueryTicket) -> Optional[QueryOutcome]:
@@ -321,7 +368,7 @@ class QueryService:
         :class:`~repro.errors.ConfigurationError` — there is no clock
         to measure it on.
         """
-        outstanding = self._scheduler.backlog + self._scheduler.in_flight
+        outstanding = self._backend.backlog + self._backend.in_flight
         if outstanding >= self._max_queue:
             self._rejected += 1
             self._registry.counter("service.rejected").inc()
@@ -333,49 +380,29 @@ class QueryService:
         self._next_id += 1
         signature = query.to_sql()
         session_seed, engine_seed = self._rng.spawn(2)
-        session = self._base.session(seed=session_seed)
-        if deadline_ms is not None:
-            session.arm_deadline(deadline_ms)
-        engine = HybridEngine(
-            session,
-            config=self._config,
-            seed=engine_seed,
-            max_age=self._max_age,
-            decay=self._decay,
-            cache=self._cache,
-            delta_reestimation=self._delta_reestimation,
+        job = QueryJob(
+            query_id=query_id,
+            query=query,
+            delta_req=delta_req,
+            signature=signature,
+            sink=sink,
+            budget=budget if budget is not None else self._default_budget,
+            deadline_ms=deadline_ms,
+            session_seed=session_seed,
+            engine_seed=engine_seed,
+            capture_trace=self._capture_traces,
         )
+        # The backend may refuse the job (e.g. a deadline against a
+        # clockless snapshot); the spawn above already happened, which
+        # is exactly what the inline path did when arm_deadline raised
+        # mid-submit — stream consumption stays identical.
+        self._backend.submit(job)
         ticket = QueryTicket(
             query_id=query_id,
             query=query,
             delta_req=delta_req,
             signature=signature,
         )
-        clock = session.virtual_clock
-        tracer: Optional[Tracer] = None
-        if self._capture_traces:
-            tracer = Tracer(
-                time_source=clock.read if clock is not None else None
-            )
-            tracer.emit(
-                QueryLifecycleEvent(
-                    query_id=query_id,
-                    status="submitted",
-                    signature=signature,
-                )
-            )
-        task = ScheduledQuery(
-            ticket=ticket,
-            steps=engine.run_stepwise(
-                query, delta_req, sink=sink, chunk_peers=self._chunk_peers
-            ),
-            engine=engine,
-            budget=budget if budget is not None else self._default_budget,
-            tracer=tracer,
-            deadline_ms=deadline_ms,
-            clock=clock.read if clock is not None else None,
-        )
-        self._scheduler.enqueue(task)
         self._submitted += 1
         self._registry.counter("service.submitted").inc()
         self._update_gauges()
@@ -386,7 +413,7 @@ class QueryService:
         self._ticks += 1
         self._registry.counter("service.ticks").inc()
         outcomes = [
-            self._finish(completion) for completion in self._scheduler.tick()
+            self._finish(reply) for reply in self._backend.pump()
         ]
         self._update_gauges()
         return outcomes
@@ -398,7 +425,7 @@ class QueryService:
         submission order.
         """
         finished: List[QueryOutcome] = []
-        while not self._scheduler.idle:
+        while not self._backend.idle:
             finished.extend(self.tick())
         return sorted(finished, key=lambda o: o.ticket.query_id)
 
@@ -414,7 +441,7 @@ class QueryService:
         """
         while (
             ticket.query_id not in self._outcomes
-            and not self._scheduler.idle
+            and not self._backend.idle
         ):
             self.tick()
         outcome = self._outcomes.get(ticket.query_id)
@@ -444,49 +471,59 @@ class QueryService:
         in ``churn_invalidations``), so no manual invalidation is
         needed across churn epochs.
         """
-        if not self._scheduler.idle:
+        if not self._backend.idle:
             raise ServiceError(
                 "cannot rebind while queries are outstanding"
             )
         self._base = simulator
         self._prime(simulator)
+        self._backend.rebind(simulator)
+
+    def close(self) -> None:
+        """Release the backend (worker processes, shared memory).
+
+        A no-op for the inline backend; a sharded service must be
+        closed — or used as a context manager — to reap its workers
+        and unlink its shared-memory segment.  Idempotent.
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
-    def _finish(self, completion: Completion) -> QueryOutcome:
-        task = completion.task
-        cost: Optional[QueryCost] = None
-        if completion.result is not None:
-            cost = completion.result.cost
-        elif task.last_checkpoint is not None:
-            cost = task.last_checkpoint.ledger.snapshot()
+    def _finish(self, reply: QueryReply) -> QueryOutcome:
         outcome = QueryOutcome(
-            ticket=task.ticket,
-            status=completion.status,
-            result=completion.result,
-            error=completion.error,
-            detail=completion.detail,
-            cost=cost,
-            chunks=task.chunks,
+            ticket=reply.ticket,
+            status=reply.status,
+            result=reply.result,
+            error=reply.error,
+            detail=reply.detail,
+            cost=reply.cost,
+            chunks=reply.chunks,
         )
-        self._outcomes[task.ticket.query_id] = outcome
-        if task.tracer is not None:
-            self._tracers[task.ticket.query_id] = task.tracer
-        if completion.status == "done":
+        self._outcomes[reply.ticket.query_id] = outcome
+        if reply.tracer is not None:
+            self._tracers[reply.ticket.query_id] = reply.tracer
+        if reply.status == "done":
             self._completed += 1
             self._registry.counter("service.completed").inc()
-        elif completion.status == "failed":
+        elif reply.status == "failed":
             self._failed += 1
             self._registry.counter("service.failed").inc()
-        elif completion.status == "deadline-exceeded":
+        elif reply.status == "deadline-exceeded":
             self._deadline_stopped += 1
             self._registry.counter("service.deadline_stopped").inc()
         else:
             self._budget_stopped += 1
             self._registry.counter("service.budget_stopped").inc()
-        warm = task.engine.warm_runs
-        cold = task.engine.cold_runs
-        delta = task.engine.delta_runs
+        warm = reply.warm_runs
+        cold = reply.cold_runs
+        delta = reply.delta_runs
         self._warm_runs += warm
         self._cold_runs += cold
         self._delta_runs += delta
@@ -500,8 +537,8 @@ class QueryService:
 
     def _update_gauges(self) -> None:
         self._registry.gauge("service.queue_depth").set(
-            float(self._scheduler.backlog)
+            float(self._backend.backlog)
         )
         self._registry.gauge("service.in_flight").set(
-            float(self._scheduler.in_flight)
+            float(self._backend.in_flight)
         )

@@ -178,6 +178,11 @@ class EventDrivenSimulator(NetworkSimulator):
     def deadline_ms(self) -> Optional[float]:
         return self._deadline_ms_value
 
+    @property
+    def supports_deadlines(self) -> bool:
+        """Deadlines always work here: arming one arms the time domain."""
+        return True
+
     def arm_deadline(self, deadline_ms: float) -> None:
         if deadline_ms <= 0:
             raise ConfigurationError(

@@ -27,6 +27,15 @@ precondition for that backend:
   caches (``WeakKeyDictionary``) keyed by immutable snapshots are
   exempt: they rebuild per process and cannot alias across workers.
   Constant lookup tables (never written after construction) are fine.
+* **fork surface** — process control must stay centralized in
+  :mod:`repro._pool` (one audited fork-context implementation with
+  crash detection, sentinel shutdown and the once-per-process
+  oversubscription warning).  Any other module reachable from
+  ``service/`` or ``experiments/`` that imports ``multiprocessing``
+  or ``concurrent.futures``, or calls ``os.fork``/``os.forkpty``
+  directly, is growing a second, unaudited fork surface.
+  ``multiprocessing.shared_memory`` is exempt: it is the data plane
+  (segment mapping), not process control.
 """
 
 from __future__ import annotations
@@ -49,12 +58,23 @@ class SnapshotImmutabilityRule(AnalysisRule):
     name = "snapshot-immutability"
     description = (
         "published snapshot arrays stay frozen; no mutable module "
-        "state reachable from service/ execution paths"
+        "state or stray fork surfaces reachable from service/ "
+        "execution paths"
     )
+
+    #: Import roots that mean "this module manages processes itself".
+    _FORK_IMPORT_ROOTS = ("multiprocessing", "concurrent.futures")
+    #: The data-plane exemption: segment mapping is not process control.
+    _FORK_IMPORT_EXEMPT = "multiprocessing.shared_memory"
+    #: Raw fork syscalls — never acceptable outside the pool module.
+    _FORK_CALLS = frozenset({"os.fork", "os.forkpty"})
+    #: The one sanctioned process-control module.
+    _POOL_FILENAME = "_pool.py"
 
     def check(self, analysis: "ProjectAnalysis") -> Iterator[Diagnostic]:
         yield from self._check_snapshot_classes(analysis)
         yield from self._check_service_reachable_state(analysis)
+        yield from self._check_fork_surface(analysis)
 
     # ------------------------------------------------------------------
 
@@ -115,3 +135,50 @@ class SnapshotImmutabilityRule(AnalysisRule):
                     "fork-unsafe shared state — hold it per-instance or "
                     "key a WeakKeyDictionary by the immutable snapshot",
                 )
+
+    # ------------------------------------------------------------------
+
+    def _is_fork_import(self, target: str) -> bool:
+        exempt = self._FORK_IMPORT_EXEMPT
+        if target == exempt or target.startswith(exempt + "."):
+            return False
+        return any(
+            target == root or target.startswith(root + ".")
+            for root in self._FORK_IMPORT_ROOTS
+        )
+
+    def _check_fork_surface(
+        self, analysis: "ProjectAnalysis"
+    ) -> Iterator[Diagnostic]:
+        reachable = analysis.modules_reachable_from(
+            lambda module: (
+                module.in_directory("service")
+                or module.in_directory("experiments")
+            )
+        )
+        for relpath in sorted(reachable):
+            module = analysis.module(relpath)
+            if module.filename == self._POOL_FILENAME:
+                continue  # the sanctioned process-control module
+            for record in module.imports:
+                if not self._is_fork_import(record.target):
+                    continue
+                yield self.finding(
+                    relpath, 1, 0,
+                    f"import of '{record.target}' in a module reachable "
+                    "from service/ or experiments/ execution paths; "
+                    "process control is centralized in repro._pool — "
+                    "route worker fan-out through ForkPool "
+                    "(multiprocessing.shared_memory is exempt)",
+                )
+            for function in module.functions:
+                for call in function.calls:
+                    if call.resolved not in self._FORK_CALLS:
+                        continue
+                    yield self.finding(
+                        relpath, call.lineno, call.col,
+                        f"direct '{call.resolved}()' call reachable from "
+                        "service/ or experiments/ execution paths; raw "
+                        "forks bypass the pool's crash detection and "
+                        "shutdown protocol — use repro._pool.ForkPool",
+                    )

@@ -1,0 +1,8 @@
+"""RL008 bad fixture: experiments/ growing its own pool of workers."""
+
+import multiprocessing as mp
+
+
+def trial_pool(handler, seeds):
+    with mp.Pool(2) as pool:
+        return pool.map(handler, seeds)

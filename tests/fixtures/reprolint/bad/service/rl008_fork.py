@@ -1,0 +1,22 @@
+"""RL008 bad fixture: a second fork surface on the serving path."""
+
+import multiprocessing
+import os
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def spawn_answer_worker(handler):
+    pid = os.fork()
+    if pid == 0:
+        handler()
+    return pid
+
+
+def pool_answers(handler, items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(handler, items))
+
+
+def worker_inbox():
+    return multiprocessing.Queue()

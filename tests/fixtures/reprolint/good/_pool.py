@@ -1,0 +1,21 @@
+"""RL008 good fixture: the sanctioned process-control module.
+
+The fork-surface check exempts ``_pool.py`` by filename — process
+control is *supposed* to be centralized here, so the imports below
+are the one sanctioned occurrence.
+"""
+
+import multiprocessing
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_forked_map(handler, items, workers):
+    context = multiprocessing.get_context("fork")
+    with context.Pool(workers) as pool:
+        return pool.map(handler, items)
+
+
+def run_threaded_map(handler, items, workers):
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(handler, items))

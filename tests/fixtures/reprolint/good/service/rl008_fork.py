@@ -1,0 +1,18 @@
+"""RL008 good fixture: fan-out routed through the sanctioned pool.
+
+``multiprocessing.shared_memory`` is the data plane (segment
+mapping), so importing it here is fine; process control goes through
+the ``_pool`` module, which the fork-surface check exempts.
+"""
+
+from multiprocessing import shared_memory
+
+from .._pool import run_forked_map
+
+
+def export_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def pool_answers(handler, items):
+    return run_forked_map(handler, items, workers=2)

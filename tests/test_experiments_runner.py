@@ -75,10 +75,12 @@ class TestRunTrials:
             run_trials(bundle, COUNT_30, 0.1, trials=0)
 
     def test_worker_cap_warns_once_per_process(self, bundle, monkeypatch):
-        import repro.experiments.runner as runner_module
+        # The cap/warning now lives in the shared pool module so
+        # run_trials and the sharded QueryService behave identically.
+        import repro._pool as pool_module
 
-        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 1)
-        monkeypatch.setattr(runner_module, "_WORKER_CAP_WARNED", False)
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(pool_module, "_WORKER_CAP_WARNED", False)
         with pytest.warns(RuntimeWarning, match="capping the pool"):
             run_trials(
                 bundle, COUNT_30, 0.1, trials=2, seed=1, workers=4
@@ -93,11 +95,12 @@ class TestRunTrials:
             )
 
     def test_workers_within_cores_stay_silent(self, bundle, monkeypatch):
-        import repro.experiments.runner as runner_module
         import warnings as warnings_module
 
-        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 8)
-        monkeypatch.setattr(runner_module, "_WORKER_CAP_WARNED", False)
+        import repro._pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(pool_module, "_WORKER_CAP_WARNED", False)
         with warnings_module.catch_warnings():
             warnings_module.simplefilter("error", RuntimeWarning)
             run_trials(

@@ -162,6 +162,18 @@ def test_rl008_findings():
     assert mapping["bad/helpers/memo.py"].count("RL008") == 1
 
 
+def test_rl008_fork_surface_findings():
+    mapping = codes_by_file(run_lint(BAD))
+    # two fork imports (multiprocessing, concurrent.futures) + os.fork
+    assert mapping["bad/service/rl008_fork.py"].count("RL008") == 3
+    # experiments/ is part of the guarded surface too
+    assert mapping["bad/experiments/rl008_fork.py"].count("RL008") == 1
+    report = run_lint(BAD / "service" / "rl008_fork.py")
+    messages = [d.message for d in report.diagnostics]
+    assert any("repro._pool" in m for m in messages)
+    assert any("os.fork" in m for m in messages)
+
+
 def test_rl009_findings():
     report = run_lint(BAD)
     findings = [

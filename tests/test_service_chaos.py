@@ -11,12 +11,15 @@ wrong answer.
 
 import pytest
 
+import repro._pool as pool
 from repro.core.two_phase import TwoPhaseConfig
-from repro.network.faults import CrashWindow, FaultPlan
+from repro.errors import DeadlineExceededError
+from repro.network.faults import CrashWindow, FaultPlan, LatencySpike
 from repro.network.simulator import NetworkSimulator
 from repro.network.walker import RetryPolicy
 from repro.query.parser import parse_query
 from repro.service import QueryService
+from repro.sim import ConstantLatency, EventDrivenSimulator, LatencyModel
 
 pytestmark = pytest.mark.chaos
 
@@ -118,3 +121,159 @@ class TestServiceUnderFaults:
                     == b.result.effective_sample_size
                 )
             assert serial_svc.trace(st).lines == conc_svc.trace(ct).lines
+
+
+def run_workload_sharded(simulator, workers):
+    with QueryService(
+        simulator,
+        CONFIG,
+        seed=99,
+        workers=workers,
+        chunk_peers=8,
+        capture_traces=True,
+    ) as service:
+        tickets = [service.submit(query, 0.1) for query in WORKLOAD]
+        service.run()
+    return service, tickets
+
+
+class TestShardedUnderChaos:
+    """Fault plans, churn epochs and deadlines with ``workers > 1``
+    uphold the degraded-or-typed-error contract and stay byte-for-byte
+    equal to the serial reference.  Fault plans force the per-peer
+    visit path, so the backend skips the shared-memory segment — the
+    invariant must hold on plain copy-on-write snapshots too."""
+
+    @pytest.fixture(autouse=True)
+    def _quiet_oversubscription(self, monkeypatch):
+        monkeypatch.setattr(pool, "_WORKER_CAP_WARNED", True)
+
+    def test_sharded_faulty_outcomes_uphold_contract(self, small_network):
+        service, tickets = run_workload_sharded(
+            faulty_simulator(small_network), workers=4
+        )
+        for ticket in tickets:
+            outcome = service.outcome(ticket)
+            assert outcome is not None
+            assert outcome.status in ("done", "failed")
+            if outcome.ok:
+                result = outcome.result
+                assert (
+                    result.effective_sample_size
+                    <= result.requested_sample_size
+                )
+                if (
+                    result.effective_sample_size
+                    < result.requested_sample_size
+                ):
+                    assert result.degraded
+            else:
+                assert outcome.error is not None
+        stats = service.stats()
+        assert stats.completed + stats.failed == len(WORKLOAD)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_sharded_faulty_workload_matches_serial(
+        self, small_network, workers
+    ):
+        """The *same* probes fail in a worker process as inline: each
+        job carries its session's failure RNG and fault clock."""
+        serial_svc, serial_tickets = run_workload(
+            faulty_simulator(small_network), max_in_flight=1
+        )
+        shard_svc, shard_tickets = run_workload_sharded(
+            faulty_simulator(small_network), workers=workers
+        )
+        for st, ct in zip(serial_tickets, shard_tickets):
+            a = serial_svc.outcome(st)
+            b = shard_svc.outcome(ct)
+            assert a.status == b.status
+            if a.ok:
+                assert a.result.estimate == b.result.estimate
+                assert a.result.cost == b.result.cost
+                assert a.result.degraded == b.result.degraded
+                assert (
+                    a.result.effective_sample_size
+                    == b.result.effective_sample_size
+                )
+            assert serial_svc.trace(st).lines == shard_svc.trace(ct).lines
+
+    def test_sharded_churn_epoch_matches_serial(self, small_network):
+        """A rebind mid-service (churn epoch) re-exports the snapshot
+        to the workers; post-churn traffic still matches serial."""
+
+        def epochs(**backend_kwargs):
+            with QueryService(
+                small_network, CONFIG, seed=99,
+                chunk_peers=8, capture_traces=True, **backend_kwargs,
+            ) as service:
+                first = [service.submit(q, 0.1) for q in WORKLOAD[:2]]
+                service.run()
+                churned = NetworkSimulator(
+                    small_network.topology,
+                    small_network.databases(),
+                    seed=23,
+                    fault_plan=PLAN,
+                )
+                service.rebind(churned)
+                second = [service.submit(q, 0.1) for q in WORKLOAD[2:]]
+                service.run()
+                outcomes = [
+                    service.outcome(t) for t in first + second
+                ]
+                stats = service.stats()
+            return outcomes, stats
+
+        serial, serial_stats = epochs(max_in_flight=1)
+        sharded, sharded_stats = epochs(workers=3)
+        for a, b in zip(serial, sharded):
+            assert a.status == b.status
+            if a.ok:
+                assert a.result.estimate == b.result.estimate
+                assert a.result.cost == b.result.cost
+        assert serial_stats.cold_runs == sharded_stats.cold_runs
+        assert serial_stats.warm_runs == sharded_stats.warm_runs
+        assert (
+            serial_stats.churn_invalidations
+            == sharded_stats.churn_invalidations
+        )
+
+    def test_sharded_deadline_stop_matches_serial(self, small_network):
+        """A latency spike past the deadline stops the query with the
+        typed error at the same chunk boundary, worker or not."""
+
+        def build():
+            return EventDrivenSimulator(
+                small_network.topology,
+                small_network.databases(),
+                seed=7,
+                latency=LatencyModel(
+                    seed=3,
+                    request=ConstantLatency(5.0),
+                    reply=ConstantLatency(5.0),
+                ),
+                fault_plan=FaultPlan(
+                    seed=5,
+                    latency_spike=LatencySpike(rate=0.5, extra_ms=400.0),
+                ),
+            )
+
+        def stop(**backend_kwargs):
+            with QueryService(
+                build(), CONFIG, seed=3, chunk_peers=8, **backend_kwargs
+            ) as service:
+                ticket = service.submit(
+                    WORKLOAD[0], 0.2, deadline_ms=150.0
+                )
+                with pytest.raises(DeadlineExceededError):
+                    service.await_result(ticket)
+                outcome = service.outcome(ticket)
+                assert outcome.status == "deadline-exceeded"
+                assert service.stats().deadline_stopped == 1
+            return outcome
+
+        serial = stop(max_in_flight=1)
+        sharded = stop(workers=2)
+        assert serial.detail == sharded.detail
+        assert serial.cost == sharded.cost
+        assert serial.chunks == sharded.chunks

@@ -1,0 +1,475 @@
+"""Parity suite for the sharded multi-process serving backend.
+
+The headline assertion is the serial==sharded invariant: a workload
+served by ``QueryService(workers=N)`` — N forked shard owners over a
+shared-memory snapshot — is bit-identical to the same workload served
+inline: every estimate, cost ledger, plan-cache counter and trace
+digest.  The argument (documented on :mod:`repro.service.backend`):
+jobs are fully seeded at submit in submission order, and plan-cache
+traffic is partitioned by signature with one shard owner per
+signature, so every signature sees exactly the cache history it would
+have seen inline.
+
+Around that: worker-pool lifecycle (clean close, crash detection,
+shared oversubscription warning with ``run_trials``) and a slow soak
+test driving 500+ queries through admission backpressure.
+"""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._pool as pool
+from repro.core.two_phase import TwoPhaseConfig
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceError,
+    WorkerPoolError,
+)
+from repro.network.generators import power_law_topology
+from repro.network.simulator import NetworkSimulator
+from repro.query.parser import parse_query
+from repro.service import QueryService
+from repro.service.backend import shard_for_signature
+from repro.tools.trace.cli import main as trace_main
+
+COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
+SUM_50 = parse_query("SELECT SUM(A) FROM T WHERE A BETWEEN 1 AND 50")
+AVG_ALL = parse_query("SELECT AVG(A) FROM T")
+
+#: Same shape as the inline determinism gate: mixed signatures with
+#: repeats, so warm cache traffic is part of what must shard cleanly.
+WORKLOAD = [
+    COUNT_30, SUM_50, AVG_ALL, COUNT_30,
+    SUM_50, AVG_ALL, COUNT_30, parse_query("SELECT SUM(A) FROM T"),
+]
+
+CONFIG = TwoPhaseConfig(max_phase_two_peers=200)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_oversubscription(monkeypatch):
+    # The CI container may expose a single core; QueryService(workers=N)
+    # then warns (once per process) without capping.  Pre-mark the
+    # shared flag so parity tests stay quiet; warning-behaviour tests
+    # reset it explicitly.
+    monkeypatch.setattr(pool, "_WORKER_CAP_WARNED", True)
+
+
+def run_inline(small_network, max_in_flight, **kwargs):
+    service = QueryService(
+        small_network, CONFIG, seed=99,
+        max_in_flight=max_in_flight, capture_traces=True, **kwargs,
+    )
+    tickets = [service.submit(query, 0.1) for query in WORKLOAD]
+    outcomes = service.run()
+    return service, tickets, outcomes
+
+
+def run_sharded(small_network, workers, **kwargs):
+    with QueryService(
+        small_network, CONFIG, seed=99,
+        workers=workers, capture_traces=True, **kwargs,
+    ) as service:
+        tickets = [service.submit(query, 0.1) for query in WORKLOAD]
+        outcomes = service.run()
+    return service, tickets, outcomes
+
+
+def assert_outcomes_identical(reference, candidate):
+    assert len(reference) == len(candidate) == len(WORKLOAD)
+    for a, b in zip(reference, candidate):
+        assert a.ticket.query_id == b.ticket.query_id
+        assert a.status == b.status == "done"
+        assert a.result.estimate == b.result.estimate
+        assert a.result.scale == b.result.scale
+        assert a.result.cost == b.result.cost
+        assert (
+            a.result.confidence_interval.half_width
+            == b.result.confidence_interval.half_width
+        )
+
+
+class TestShardedParity:
+    """serial == sharded, pinned on the full mixed workload."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sharded_results_equal_inline(self, small_network, workers):
+        _, _, inline = run_inline(small_network, 1)
+        _, _, sharded = run_sharded(small_network, workers)
+        assert_outcomes_identical(inline, sharded)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_sharded_traces_equal_inline(self, small_network, workers):
+        inline_svc, inline_tickets, _ = run_inline(small_network, 1)
+        shard_svc, shard_tickets, _ = run_sharded(small_network, workers)
+        for it, st_ in zip(inline_tickets, shard_tickets):
+            inline_trace = inline_svc.trace(it)
+            sharded_trace = shard_svc.trace(st_)
+            assert inline_trace.lines == sharded_trace.lines
+            assert inline_trace.digest() == sharded_trace.digest()
+
+    def test_sharded_stats_equal_inline(self, small_network):
+        # The per-worker caches partition the inline cache by
+        # signature: the *summed* counters must be identical.  Ticks
+        # are a scheduling artifact and legitimately differ.
+        inline_svc, _, _ = run_inline(small_network, 4)
+        shard_svc, _, _ = run_sharded(small_network, 4)
+        a, b = inline_svc.stats(), shard_svc.stats()
+        for field in (
+            "submitted", "completed", "failed", "rejected",
+            "warm_runs", "cold_runs", "delta_runs",
+            "cache_hits", "cache_misses",
+            "churn_invalidations", "delta_hits",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+        assert b.warm_runs == b.cache_hits == 4
+        assert b.cold_runs == b.cache_misses == 4
+
+    def test_trace_diff_tool_sees_identical_runs(
+        self, small_network, tmp_path
+    ):
+        inline_svc, _, _ = run_inline(small_network, 1)
+        shard_svc, _, _ = run_sharded(small_network, 4)
+        inline_paths = inline_svc.write_traces(tmp_path / "inline")
+        shard_paths = shard_svc.write_traces(tmp_path / "sharded")
+        assert len(inline_paths) == len(shard_paths) == len(WORKLOAD)
+        for left, right in zip(inline_paths, shard_paths):
+            assert trace_main(["diff", str(left), str(right)]) == 0
+
+    def test_trace_diff_subprocess_entry_point(
+        self, small_network, tmp_path
+    ):
+        """The documented CLI agrees: a sharded run's trace diffs
+        clean against the inline serial reference."""
+        inline_svc, _, _ = run_inline(small_network, 1)
+        shard_svc, _, _ = run_sharded(small_network, 4)
+        left = inline_svc.write_traces(tmp_path / "inline")[0]
+        right = shard_svc.write_traces(tmp_path / "sharded")[0]
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.tools.trace", "diff",
+                str(left), str(right),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_sharding_is_deterministic_routing(self):
+        for query in WORKLOAD:
+            signature = query.to_sql()
+            owner = shard_for_signature(signature, 4)
+            assert owner == shard_for_signature(signature, 4)
+            assert 0 <= owner < 4
+        assert shard_for_signature("anything", 1) == 0
+
+
+class TestPropertyParity:
+    """Random small workloads: sharding never changes answers."""
+
+    POOL = [COUNT_30, SUM_50, AVG_ALL]
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=2, max_size=5
+        ),
+        workers=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_sharded_equals_inline(
+        self, small_network, picks, workers, seed
+    ):
+        queries = [self.POOL[i] for i in picks]
+        config = TwoPhaseConfig(max_phase_two_peers=60)
+
+        def run(**backend_kwargs):
+            with QueryService(
+                small_network, config, seed=seed,
+                chunk_peers=5, capture_traces=True, **backend_kwargs,
+            ) as service:
+                tickets = [service.submit(q, 0.15) for q in queries]
+                service.run()
+                outcomes = [service.outcome(t) for t in tickets]
+                digests = [service.trace(t).digest() for t in tickets]
+            return outcomes, digests
+
+        inline, inline_digests = run(max_in_flight=1)
+        sharded, sharded_digests = run(workers=workers)
+        assert inline_digests == sharded_digests
+        for a, b in zip(inline, sharded):
+            assert a.status == b.status
+            assert a.result.estimate == b.result.estimate
+            assert a.result.cost == b.result.cost
+
+
+class TestShardedLifecycle:
+    def test_close_is_idempotent_and_reaps_workers(self, small_network):
+        service = QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        )
+        service.await_result(service.submit(COUNT_30, 0.1))
+        service.close()
+        service.close()  # idempotent
+        assert service.backend._fork_pool.alive_workers() == []
+
+    def test_submit_after_close_raises(self, small_network):
+        service = QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        )
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(COUNT_30, 0.1)
+
+    def test_cache_lives_in_the_workers(self, small_network):
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        ) as service:
+            service.await_result(service.submit(COUNT_30, 0.1))
+            service.await_result(service.submit(COUNT_30, 0.1))
+            with pytest.raises(ServiceError, match="worker"):
+                service.cache
+            stats = service.stats()
+            assert stats.cache_misses == 1
+            assert stats.cache_hits == 1
+            assert stats.warm_runs == 1
+
+    def test_rebind_churn_invalidates_sharded(
+        self, small_network, small_dataset
+    ):
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        ) as service:
+            service.await_result(service.submit(COUNT_30, 0.1))
+            assert service.stats().cold_runs == 1
+
+            other_topology = power_law_topology(150, 600, seed=11)
+            other = NetworkSimulator(
+                other_topology,
+                small_dataset.databases[:150],
+                seed=13,
+            )
+            service.rebind(other)
+            service.await_result(service.submit(COUNT_30, 0.1))
+            stats = service.stats()
+            assert stats.cold_runs == 2
+            assert stats.warm_runs == 0
+            assert stats.churn_invalidations == 1
+
+    def test_rebind_requires_idle(self, small_network):
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        ) as service:
+            service.submit(COUNT_30, 0.1)
+            with pytest.raises(ServiceError):
+                service.rebind(small_network)
+            service.run()
+
+    def test_deadline_validation_matches_inline(self, small_network):
+        """A deadline against a clockless snapshot fails at submit
+        with the same error either way — and burns a query id either
+        way, so submission-order seeding stays aligned."""
+
+        def probe(**backend_kwargs):
+            with QueryService(
+                small_network, CONFIG, seed=99, **backend_kwargs
+            ) as service:
+                with pytest.raises(ConfigurationError) as err:
+                    service.submit(COUNT_30, 0.1, deadline_ms=100.0)
+                follow_up = service.submit(COUNT_30, 0.1)
+                service.run()
+            return str(err.value), follow_up.query_id
+
+        # The id after the failed submit is 1 in both backends.
+        inline_msg, inline_id = probe(max_in_flight=2)
+        sharded_msg, sharded_id = probe(workers=2)
+        assert inline_msg == sharded_msg
+        assert inline_id == sharded_id == 1
+
+    def test_workers_and_backend_are_exclusive(self, small_network):
+        from repro.service.backend import EngineSettings, InlineBackend
+
+        settings_ = EngineSettings(
+            config=CONFIG, chunk_peers=8, max_age=25, decay=0.7,
+            delta_reestimation=False,
+        )
+        backend = InlineBackend(small_network, settings_)
+        with pytest.raises(ConfigurationError):
+            QueryService(
+                small_network, CONFIG, workers=2, backend=backend
+            )
+
+    def test_workers_validation(self, small_network):
+        with pytest.raises(ConfigurationError):
+            QueryService(small_network, CONFIG, workers=0)
+
+
+class TestSharedPoolBehaviour:
+    """run_trials and QueryService(workers=N) share one pool layer."""
+
+    def test_oversubscription_warning_is_shared_once_per_process(
+        self, small_network, monkeypatch
+    ):
+        import warnings as warnings_module
+
+        from repro.experiments.configs import synthetic_bundle
+        from repro.experiments.runner import run_trials
+
+        monkeypatch.setattr(pool.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(pool, "_WORKER_CAP_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="QueryService"):
+            QueryService(
+                small_network, CONFIG, seed=99, workers=4
+            ).close()
+        # The flag is process-wide: the *other* entry point stays
+        # silent now that the warning has fired once.
+        bundle = synthetic_bundle(scale=0.02, seed=5)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            run_trials(bundle, COUNT_30, 0.1, trials=2, seed=1, workers=4)
+            QueryService(
+                small_network, CONFIG, seed=99, workers=4
+            ).close()
+
+    def test_service_does_not_cap_workers(self, small_network, monkeypatch):
+        # run_trials caps at the core count (work is embarrassingly
+        # parallel); the sharded service must NOT cap — signature
+        # routing needs exactly the requested shard count.
+        monkeypatch.setattr(pool.os, "cpu_count", lambda: 1)
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=3
+        ) as service:
+            assert service.backend.workers == 3
+
+    def test_fault_plans_force_the_serial_trial_path(self, small_network):
+        from repro.network.faults import FaultPlan
+
+        faulty = NetworkSimulator(
+            small_network.topology,
+            small_network.databases(),
+            seed=7,
+            fault_plan=FaultPlan(seed=11, reply_loss=0.2),
+        )
+        reason = pool.shared_fault_serial_reason(faulty)
+        assert reason is not None and "fault" in reason
+        lossy = NetworkSimulator(
+            small_network.topology,
+            small_network.databases(),
+            seed=7,
+            reply_loss_rate=0.1,
+        )
+        reason = pool.shared_fault_serial_reason(lossy)
+        assert reason is not None and "reply loss" in reason
+        assert pool.shared_fault_serial_reason(small_network) is None
+
+
+def _double(value):
+    return value * 2
+
+
+def _explode(value):
+    raise ValueError(f"boom on {value}")
+
+
+def _die(value):
+    import os
+
+    os._exit(3)
+
+
+class TestForkPool:
+    def test_run_forked_map_preserves_order(self):
+        items = list(range(23))
+        results = pool.run_forked_map(_double, items, 3, name="t-map")
+        assert results == [value * 2 for value in items]
+
+    def test_worker_exception_propagates(self):
+        with pool.ForkPool(2, _explode, name="t-raise") as fork_pool:
+            fork_pool.send(0, 0, 7)
+            with pytest.raises(ValueError, match="boom on 7"):
+                fork_pool.recv()
+
+    def test_worker_crash_is_detected(self):
+        with pool.ForkPool(2, _die, name="t-crash") as fork_pool:
+            fork_pool.send(1, 0, "job")
+            with pytest.raises(WorkerPoolError):
+                fork_pool.recv(poll_s=0.01, max_polls=500)
+
+    def test_close_is_idempotent_and_reaps(self):
+        fork_pool = pool.ForkPool(2, _double, name="t-close")
+        fork_pool.send(0, 0, 21)
+        assert fork_pool.recv()[2] == 42
+        fork_pool.close()
+        fork_pool.close()
+        assert fork_pool.closed
+        assert fork_pool.alive_workers() == []
+
+    def test_effective_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            pool.effective_workers(0)
+
+
+@pytest.mark.slow
+class TestShardedSoak:
+    """500+ queries through a 4-worker service under backpressure."""
+
+    BATCHES = 5
+    BATCH_SIZE = 104  # 5 x 104 = 520 queries
+
+    @staticmethod
+    def _rss_kib():
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+        raise RuntimeError("VmRSS not found")
+
+    def test_soak_no_deadlock_no_orphans_stable_rss(self, small_network):
+        queries = [COUNT_30, SUM_50, AVG_ALL,
+                   parse_query("SELECT SUM(A) FROM T")]
+        service = QueryService(
+            small_network, CONFIG, seed=99, workers=4, max_queue=32,
+        )
+        rss_per_batch = []
+        completed = 0
+        try:
+            for _ in range(self.BATCHES):
+                tickets = []
+                for index in range(self.BATCH_SIZE):
+                    query = queries[index % len(queries)]
+                    while True:
+                        try:
+                            tickets.append(service.submit(query, 0.1))
+                            break
+                        except AdmissionError:
+                            # Backpressure: drain some replies, retry.
+                            service.tick()
+                service.run()
+                outcomes = [service.outcome(t) for t in tickets]
+                assert all(o is not None and o.ok for o in outcomes)
+                completed += len(outcomes)
+                rss_per_batch.append(self._rss_kib())
+        finally:
+            service.close()
+        assert completed == self.BATCHES * self.BATCH_SIZE
+        assert service.idle
+        stats = service.stats()
+        assert stats.completed == completed
+        assert stats.rejected > 0  # backpressure actually engaged
+        # Repeat signatures serve warm, modulo max_age re-planning.
+        assert stats.warm_runs + stats.cold_runs == completed
+        assert stats.warm_runs > completed * 0.9
+        # Clean shutdown: close() reaped every worker, twice is safe.
+        service.close()
+        assert service.backend._fork_pool.alive_workers() == []
+        # Steady state: RSS after the first batch may include lazily
+        # built caches; later batches must not grow it materially.
+        assert rss_per_batch[-1] - rss_per_batch[0] < 64 * 1024, (
+            f"RSS grew across batches: {rss_per_batch} KiB"
+        )
