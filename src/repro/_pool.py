@@ -27,13 +27,14 @@ signature-owner protocol).
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import multiprocessing
 import os
 import queue
 import warnings
 from multiprocessing.context import BaseContext
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .errors import ConfigurationError, WorkerPoolError
 from .network.simulator import NetworkSimulator
@@ -137,6 +138,26 @@ class _Raised:
     where: str
 
 
+@dataclasses.dataclass(frozen=True)
+class _JobBatch:
+    """Several tagged jobs shipped as one inbox message (one pickle)."""
+
+    pairs: Tuple[Tuple[int, Any], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class _ReplyBatch:
+    """One batch's replies, coalesced into one outbox message."""
+
+    pairs: Tuple[Tuple[int, Any], ...]
+
+
+#: Worker-slot tag on a batched outbox message; the real per-job tags
+#: live inside the :class:`_ReplyBatch` and reappear when the parent
+#: flattens it, so this value is never visible to callers.
+_BATCH_TAG = -1
+
+
 def _worker_main(
     index: int,
     handler: Callable[[Any], Any],
@@ -147,14 +168,27 @@ def _worker_main(
 
     Handler exceptions are shipped back as :class:`_Raised` rather
     than killing the worker — the parent re-raises them at ``recv``.
+    A :class:`_JobBatch` runs in order and answers with one
+    :class:`_ReplyBatch` (per-job failures fill their slot without
+    aborting the rest of the batch).
     """
     while True:
         message = inbox.get()
         if message is None:
             return
+        if isinstance(message, _JobBatch):
+            replies: List[Tuple[int, Any]] = []
+            for tag, item in message.pairs:
+                try:
+                    payload: Any = handler(item)
+                except BaseException as error:  # noqa: BLE001 - shipped upstream
+                    payload = _Raised(error=error, where=repr(item))
+                replies.append((tag, payload))
+            outbox.put((index, _BATCH_TAG, _ReplyBatch(tuple(replies))))
+            continue
         tag, item = message
         try:
-            payload: Any = handler(item)
+            payload = handler(item)
         except BaseException as error:  # noqa: BLE001 - shipped upstream
             outbox.put((index, tag, _Raised(error=error, where=repr(item))))
         else:
@@ -204,6 +238,10 @@ class ForkPool:
         ]
         for process in self._processes:
             process.start()
+        # Replies already pulled off the outbox but not yet handed to a
+        # caller: batched messages flatten into here, so recv/try_recv/
+        # recv_many see one uniform stream of (worker, tag, payload).
+        self._pending: Deque[Tuple[int, int, Any]] = collections.deque()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -239,20 +277,41 @@ class ForkPool:
         for worker in range(len(self._processes)):
             self.send(worker, tag, item)
 
-    def recv(
-        self, *, poll_s: float = 0.05, max_polls: int = 6000
-    ) -> Tuple[int, int, Any]:
-        """The next ``(worker, tag, payload)`` reply, crash-aware.
+    def send_many(
+        self, worker: int, pairs: List[Tuple[int, Any]]
+    ) -> None:
+        """Enqueue several ``(tag, item)`` jobs as ONE inbox message.
 
-        Blocks in short polls so a worker that died mid-job surfaces
-        as a :class:`~repro.errors.WorkerPoolError` instead of a hang;
-        a handler exception shipped back by a live worker is re-raised
-        here with its original type.
+        One pickle and one pipe write for the whole batch; the worker
+        runs the jobs in order and answers with one coalesced reply
+        message, which ``recv``/``recv_many`` flatten back into
+        per-job ``(worker, tag, payload)`` replies.
         """
         if self._closed:
             raise WorkerPoolError("pool is closed")
+        if not 0 <= worker < len(self._processes):
+            raise ConfigurationError(f"unknown worker {worker}")
+        if not pairs:
+            return
+        self._inboxes[worker].put(_JobBatch(tuple(pairs)))
+
+    def _buffer(self, worker: int, tag: int, payload: Any) -> None:
+        if isinstance(payload, _ReplyBatch):
+            for sub_tag, sub_payload in payload.pairs:
+                self._pending.append((worker, sub_tag, sub_payload))
+        else:
+            self._pending.append((worker, tag, payload))
+
+    def _pop_pending(self) -> Tuple[int, int, Any]:
+        worker, tag, payload = self._pending.popleft()
+        if isinstance(payload, _Raised):
+            raise payload.error
+        return worker, tag, payload
+
+    def _wait_for_reply(self, poll_s: float, max_polls: int) -> None:
+        """Block until at least one reply is pending, crash-aware."""
         polls = 0
-        while True:
+        while not self._pending:
             try:
                 worker, tag, payload = self._outbox.get(timeout=poll_s)
             except queue.Empty:
@@ -276,27 +335,73 @@ class ForkPool:
                         f"{poll_s:g}s; workers are alive but silent"
                     ) from None
                 continue
-            if isinstance(payload, _Raised):
-                raise payload.error
-            return worker, tag, payload
+            self._buffer(worker, tag, payload)
+
+    def _drain_outbox(self) -> None:
+        """Pull every already-arrived message into the pending deque."""
+        while True:
+            try:
+                worker, tag, payload = self._outbox.get_nowait()
+            except queue.Empty:
+                return
+            self._buffer(worker, tag, payload)
+
+    def recv(
+        self, *, poll_s: float = 0.05, max_polls: int = 6000
+    ) -> Tuple[int, int, Any]:
+        """The next ``(worker, tag, payload)`` reply, crash-aware.
+
+        Blocks in short polls so a worker that died mid-job surfaces
+        as a :class:`~repro.errors.WorkerPoolError` instead of a hang;
+        a handler exception shipped back by a live worker is re-raised
+        here with its original type.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        self._wait_for_reply(poll_s, max_polls)
+        return self._pop_pending()
+
+    def recv_many(
+        self, *, poll_s: float = 0.05, max_polls: int = 6000
+    ) -> List[Tuple[int, int, Any]]:
+        """At least one reply, plus everything else already arrived.
+
+        Blocks (crash-aware, like :meth:`recv`) until something is
+        available, then drains the outbox without blocking — so one
+        call absorbs a whole reply batch, or several, in one sweep.
+
+        A shipped handler exception re-raises with its original type,
+        but never swallows replies: the sweep stops *before* the
+        failed slot when it already collected something, so the
+        exception surfaces on the next call instead.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        self._wait_for_reply(poll_s, max_polls)
+        self._drain_outbox()
+        replies: List[Tuple[int, int, Any]] = []
+        while self._pending:
+            if replies and isinstance(self._pending[0][2], _Raised):
+                break
+            replies.append(self._pop_pending())
+        return replies
 
     def try_recv(self) -> Optional[Tuple[int, int, Any]]:
         """A reply if one is already waiting, else ``None`` (no block)."""
         if self._closed:
             raise WorkerPoolError("pool is closed")
-        try:
-            worker, tag, payload = self._outbox.get_nowait()
-        except queue.Empty:
+        if not self._pending:
+            self._drain_outbox()
+        if not self._pending:
             return None
-        if isinstance(payload, _Raised):
-            raise payload.error
-        return worker, tag, payload
+        return self._pop_pending()
 
     def close(self, *, join_timeout_s: float = 10.0) -> None:
         """Stop every worker and reap the processes (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        self._pending.clear()
         for inbox in self._inboxes:
             try:
                 inbox.put(None)

@@ -502,17 +502,26 @@ class NetworkSimulator:
         """
         return False
 
-    def arm_deadline(self, deadline_ms: float) -> None:
-        """Arm a virtual-time deadline for this session's queries.
+    def validate_deadline(self, deadline_ms: float) -> None:
+        """Raise exactly what :meth:`arm_deadline` would, without arming.
 
-        Deadlines are meaningless without a virtual clock, so the
-        synchronous simulator refuses them loudly rather than letting
-        a service silently run un-deadlined.
+        This is the single definition of deadline validation: the
+        inline backend hits it through ``arm_deadline`` inside
+        ``build_task``, the sharded backend calls it directly at
+        submit in the parent — so the two paths cannot drift in error
+        type, message or precedence.  Deadlines are meaningless
+        without a virtual clock, so the synchronous simulator refuses
+        them loudly rather than letting a service silently run
+        un-deadlined.
         """
         raise ConfigurationError(
             "deadlines need virtual time: use an EventDrivenSimulator "
             "(repro.sim) with latency, a timeline or a probe timeout"
         )
+
+    def arm_deadline(self, deadline_ms: float) -> None:
+        """Arm a virtual-time deadline for this session's queries."""
+        self.validate_deadline(deadline_ms)
 
     def begin_timing(self) -> Optional["TimingToken"]:
         """Capture the start of a query's timing window (None here)."""

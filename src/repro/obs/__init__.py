@@ -53,7 +53,7 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
-from .tracer import Tracer, active_tracer, tracing
+from .tracer import TraceLike, Tracer, active_tracer, tracing
 
 __all__ = [
     "TraceCost",
@@ -71,6 +71,7 @@ __all__ = [
     "ChurnEpochEvent",
     "DeltaReuseEvent",
     "QueryLifecycleEvent",
+    "TraceLike",
     "Tracer",
     "active_tracer",
     "tracing",

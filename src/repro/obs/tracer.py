@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import contextlib
 from contextvars import ContextVar
-from typing import IO, Callable, Iterator, List, Optional, Tuple
+from typing import IO, Callable, Iterator, List, Optional, Protocol, Tuple
 
 from .events import (
     ChurnEpochEvent,
@@ -42,10 +42,38 @@ from .jsonl import digest_of_lines, event_line
 from .registry import MetricsRegistry
 
 __all__ = [
+    "TraceLike",
     "Tracer",
     "active_tracer",
     "tracing",
 ]
+
+
+class TraceLike(Protocol):
+    """What a completed trace looks like to its consumers.
+
+    The serving layer hands traces around behind this protocol:
+    :class:`Tracer` satisfies it directly, and the sharded backend's
+    remote-trace handle satisfies it by fetching the lines from the
+    owning worker on first access.  Consumers (``write_traces``, the
+    trace-diff gates) only ever need the canonical lines and their
+    digest, so they never observe which side of a process boundary
+    the events were recorded on.
+    """
+
+    @property
+    def lines(self) -> List[str]:
+        """The canonical JSONL lines, in emission order."""
+        ...
+
+    @property
+    def num_events(self) -> int:
+        """How many events the trace holds."""
+        ...
+
+    def digest(self) -> str:
+        """sha256 over the canonical lines."""
+        ...
 
 
 class Tracer:

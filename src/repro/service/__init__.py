@@ -18,6 +18,8 @@ for bit equal to serial.
   await / run) and outcome types.
 * :mod:`~repro.service.backend` — the execution backends (inline
   round-robin, sharded multi-process) behind the service.
+* :mod:`~repro.service.codec` — the versioned tuple wire codec the
+  sharded backend's replies cross the pool queue in.
 * :mod:`~repro.service.shm` — shared-memory export/attach of the
   snapshot's flat columns and CSR topology.
 * :mod:`~repro.service.scheduler` — the round-robin stepwise
@@ -33,6 +35,8 @@ from .backend import (
     InlineBackend,
     QueryJob,
     QueryReply,
+    RemoteTrace,
+    TransportStats,
 )
 from .budget import CostBudget
 from .scheduler import (
@@ -53,6 +57,8 @@ __all__ = [
     "QueryJob",
     "QueryReply",
     "QueryTicket",
+    "RemoteTrace",
+    "TransportStats",
     "ScheduledQuery",
     "Completion",
     "RoundRobinScheduler",

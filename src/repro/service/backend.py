@@ -37,13 +37,31 @@ Budgets and deadlines are enforced inside :func:`advance_task` at
 chunk boundaries on the query's own ledger and session clock, and the
 tracer is created worker-side around the session clock, so replies
 carry byte-identical trace lines.
+
+Transport (the sharded backend's wire protocol)
+-----------------------------------------------
+
+Replies never cross the pool queue as whole-object pickles.  Each
+worker flattens a reply through the versioned tuple codec
+(:mod:`repro.service.codec`), coalesces every reply of an inbound job
+batch into one queue message, and — under lazy trace shipping, the
+default — keeps the trace *lines* in a bounded worker-side store,
+sending only the digest and event count eagerly.  The parent's
+:class:`RemoteTrace` handle fetches the lines on first access (or at
+:meth:`ForkedBackend.close`, which materializes every still-remote
+trace before the workers go away), verifying them against the eagerly
+shipped digest.  None of this is observable to trace consumers: the
+fetched lines are byte-identical to eager shipping, which the parity
+suite pins.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import List, Optional, Union
+import pickle
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,14 +69,21 @@ from .. import _pool
 from ..core.hybrid import HybridEngine, PlanCache
 from ..core.result import ApproximateResult
 from ..core.two_phase import TwoPhaseConfig
-from ..errors import ConfigurationError, ReproError, ServiceError
+from ..errors import (
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+    WorkerPoolError,
+)
 from ..metrics.cost import QueryCost
 from ..network.simulator import NetworkSimulator
 from ..network.walk_kernel import prime_kernel_tables
 from ..obs.events import QueryLifecycleEvent
-from ..obs.tracer import Tracer
+from ..obs.jsonl import digest_of_lines
+from ..obs.tracer import TraceLike, Tracer
 from ..query.model import AggregationQuery
 from .budget import CostBudget
+from .codec import TraceWire, decode_reply, encode_reply, reply_query_id
 from .scheduler import (
     Completion,
     QueryTicket,
@@ -82,6 +107,8 @@ __all__ = [
     "InlineBackend",
     "QueryJob",
     "QueryReply",
+    "RemoteTrace",
+    "TransportStats",
     "build_task",
     "drive_task",
     "shard_for_signature",
@@ -137,7 +164,7 @@ class QueryReply:
     detail: str
     cost: Optional[QueryCost]
     chunks: int
-    tracer: Optional[Tracer]
+    tracer: Optional[TraceLike]
     warm_runs: int
     cold_runs: int
     delta_runs: int
@@ -390,6 +417,97 @@ class _Rebind:
     manifest: Optional[PackManifest]
 
 
+@dataclasses.dataclass(frozen=True)
+class _FetchTrace:
+    """Control message: return (and drop) one stored trace's lines."""
+
+    query_id: int
+
+
+#: Worker fetch responses: ``(_TRACE_LINES, query_id, lines)`` on a
+#: hit, ``(_TRACE_MISSING, query_id, reason)`` on a miss.  A miss is a
+#: payload rather than a raised exception so it can never discard
+#: batched job replies sharing the parent's receive sweep.
+_TRACE_LINES = "trace-lines"
+_TRACE_MISSING = "trace-missing"
+
+
+class RemoteTrace:
+    """A completed trace whose lines (may) still live in a worker.
+
+    Satisfies :class:`~repro.obs.tracer.TraceLike`: the digest and
+    event count arrived eagerly with the reply, and :attr:`lines`
+    fetches the canonical JSONL lines from the owning worker on first
+    access (verifying them against the digest), then caches them
+    parent-side.  :meth:`ForkedBackend.close` materializes every
+    handle that was never read, so traces outlive the workers exactly
+    as they do on the inline backend.
+    """
+
+    def __init__(
+        self,
+        backend: "ForkedBackend",
+        worker: int,
+        query_id: int,
+        digest: str,
+        num_events: int,
+        lines: Optional[Tuple[str, ...]] = None,
+    ):
+        self._backend = backend
+        self._worker = worker
+        self._query_id = query_id
+        self._digest = digest
+        self._num_events = num_events
+        self._lines = lines
+        self._lost: Optional[str] = None
+
+    @property
+    def query_id(self) -> int:
+        """The query this trace belongs to."""
+        return self._query_id
+
+    @property
+    def fetched(self) -> bool:
+        """Whether the lines are already parent-side."""
+        return self._lines is not None
+
+    @property
+    def num_events(self) -> int:
+        """How many events the trace holds (shipped eagerly)."""
+        return self._num_events
+
+    def digest(self) -> str:
+        """sha256 over the canonical lines (shipped eagerly)."""
+        return self._digest
+
+    @property
+    def lines(self) -> List[str]:
+        """The canonical JSONL lines, fetched on first access."""
+        return list(self.materialize())
+
+    def materialize(self) -> Tuple[str, ...]:
+        """Ensure the lines are parent-side; returns them."""
+        if self._lines is not None:
+            return self._lines
+        if self._lost is not None:
+            raise ServiceError(self._lost)
+        lines = self._backend._fetch_trace_lines(
+            self._worker, self._query_id
+        )
+        if digest_of_lines(list(lines)) != self._digest:
+            raise ServiceError(
+                f"fetched trace lines for query {self._query_id} do "
+                "not match the digest shipped with its reply"
+            )
+        self._lines = lines
+        return lines
+
+    def mark_lost(self, reason: str) -> None:
+        """Record that the lines can no longer be fetched."""
+        if self._lines is None and self._lost is None:
+            self._lost = reason
+
+
 class _ShardWorker:
     """The per-worker job handler (constructed pre-fork, runs post-fork).
 
@@ -406,13 +524,21 @@ class _ShardWorker:
         simulator: NetworkSimulator,
         settings: EngineSettings,
         manifest: Optional[PackManifest],
+        *,
+        lazy_traces: bool = True,
+        trace_store_limit: int = 2048,
     ):
         self._simulator = simulator
         self._settings = settings
         self._manifest = manifest
+        self._lazy_traces = lazy_traces
+        self._trace_store_limit = trace_store_limit
         self._cache = PlanCache()
         self._view: Optional[SnapshotView] = None
         self._attached = False
+        # Post-fork, per-worker: trace lines retained for on-demand
+        # fetch, oldest evicted beyond the bound.
+        self._traces: "OrderedDict[int, Tuple[str, ...]]" = OrderedDict()
 
     def _attach(self) -> None:
         if self._attached:
@@ -437,9 +563,26 @@ class _ShardWorker:
         self._attached = False
         return "rebound"
 
-    def __call__(self, item: Union[QueryJob, _Rebind]) -> object:
+    def _fetch_trace(self, control: _FetchTrace) -> object:
+        lines = self._traces.pop(control.query_id, None)
+        if lines is None:
+            return (
+                _TRACE_MISSING,
+                control.query_id,
+                f"trace lines for query {control.query_id} are not in "
+                f"this worker's store (never captured, already "
+                f"fetched, or evicted past the "
+                f"{self._trace_store_limit}-entry bound)",
+            )
+        return (_TRACE_LINES, control.query_id, lines)
+
+    def __call__(
+        self, item: Union[QueryJob, _Rebind, _FetchTrace]
+    ) -> object:
         if isinstance(item, _Rebind):
             return self._rebind(item)
+        if isinstance(item, _FetchTrace):
+            return self._fetch_trace(item)
         self._attach()
         cache = self._cache
         hits = cache.hits
@@ -449,16 +592,83 @@ class _ShardWorker:
         task = build_task(self._simulator, self._settings, cache, item)
         completion = drive_task(task)
         reply = _reply_from_completion(completion)
-        if reply.tracer is not None:
-            # The vt stamps are already baked into the lines; the
-            # clock itself must not cross the process boundary.
-            reply.tracer.time_source = None
-        return dataclasses.replace(
+        trace: Optional[TraceWire] = None
+        tracer = reply.tracer
+        if tracer is not None:
+            # The vt stamps are already baked into the lines; neither
+            # the clock nor the tracer crosses the process boundary.
+            lines = tuple(tracer.lines)
+            if self._lazy_traces:
+                self._traces[item.query_id] = lines
+                while len(self._traces) > self._trace_store_limit:
+                    self._traces.popitem(last=False)
+                wire_lines: Optional[Tuple[str, ...]] = None
+            else:
+                wire_lines = lines
+            trace = TraceWire(
+                digest=tracer.digest(),
+                num_events=tracer.num_events,
+                lines=wire_lines,
+            )
+        reply = dataclasses.replace(
             reply,
+            tracer=None,
             cache_hits=cache.hits - hits,
             cache_misses=cache.misses - misses,
             cache_churn_invalidations=cache.churn_invalidations - churn,
             cache_delta_hits=cache.delta_hits - delta,
+        )
+        return encode_reply(reply, trace=trace)
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportStats:
+    """Measured queue traffic (``measure_transport=True`` only).
+
+    Byte counts re-pickle each shipped payload with the highest
+    protocol, so they measure the transport encoding itself, not the
+    queue's framing.  ``replies`` counts folded replies (batch
+    messages are flattened before the meter sees them).
+    """
+
+    job_messages: int
+    job_bytes: int
+    replies: int
+    reply_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Job and reply payload bytes combined."""
+        return self.job_bytes + self.reply_bytes
+
+
+class _TransportMeter:
+    """Byte accounting for the bench; never on the default hot path."""
+
+    def __init__(self) -> None:
+        self.job_messages = 0
+        self.job_bytes = 0
+        self.replies = 0
+        self.reply_bytes = 0
+
+    def record_send(self, pairs: List[Tuple[int, QueryJob]]) -> None:
+        self.job_messages += 1
+        self.job_bytes += len(
+            pickle.dumps(pairs, pickle.HIGHEST_PROTOCOL)
+        )
+
+    def record_reply(self, payload: object) -> None:
+        self.replies += 1
+        self.reply_bytes += len(
+            pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        )
+
+    def snapshot(self) -> TransportStats:
+        return TransportStats(
+            job_messages=self.job_messages,
+            job_bytes=self.job_bytes,
+            replies=self.replies,
+            reply_bytes=self.reply_bytes,
         )
 
 
@@ -468,6 +678,29 @@ class ForkedBackend(ExecutionBackend):
     Jobs route by :func:`shard_for_signature`; each worker drains its
     FIFO to completion per job.  The parent only spawns seeds, routes,
     and folds replies — no query computation happens here.
+
+    Submitted jobs are buffered per worker and flushed as one batch
+    message per worker at the next :meth:`pump` (so a burst of
+    submissions costs one pickle per worker, not one per job), and
+    each worker answers a batch with one coalesced reply message.
+
+    Parameters
+    ----------
+    lazy_traces:
+        When on (default), traced replies ship only the digest and
+        event count; the lines stay in the owning worker's bounded
+        store and the parent's :class:`RemoteTrace` fetches them on
+        first access (close materializes the rest).  Off ships lines
+        eagerly with every reply — bit-identical trace content, more
+        bytes per reply.
+    trace_store_limit:
+        Per-worker bound on retained lazy traces; beyond it the
+        oldest is evicted and a later fetch for it raises
+        :class:`~repro.errors.ServiceError`.
+    measure_transport:
+        Account queue traffic in :meth:`transport_stats` by
+        re-pickling every shipped payload.  Bench-only: doubles
+        serialization work, so keep it off in real serving.
     """
 
     kind = "forked"
@@ -479,21 +712,61 @@ class ForkedBackend(ExecutionBackend):
         workers: int,
         *,
         share_arrays: bool = True,
+        lazy_traces: bool = True,
+        trace_store_limit: int = 2048,
+        measure_transport: bool = False,
     ):
         _pool.effective_workers(workers, cap=False, label="QueryService")
+        if trace_store_limit < 1:
+            raise ConfigurationError("trace_store_limit must be >= 1")
         self._settings = settings
         self._workers = workers
         self._simulator = simulator
-        self._pack = self._export(simulator, share_arrays)
         self._share_arrays = share_arrays
-        manifest = self._pack.manifest if self._pack is not None else None
-        self._handler = _ShardWorker(simulator, settings, manifest)
-        self._fork_pool = _pool.ForkPool(
-            workers, self._handler, name="repro-shard"
-        )
+        self._lazy_traces = bool(lazy_traces)
+        self._pack = self._export(simulator, share_arrays)
+        try:
+            manifest = (
+                self._pack.manifest if self._pack is not None else None
+            )
+            self._handler = _ShardWorker(
+                simulator,
+                settings,
+                manifest,
+                lazy_traces=self._lazy_traces,
+                trace_store_limit=trace_store_limit,
+            )
+            self._fork_pool = _pool.ForkPool(
+                workers, self._handler, name="repro-shard"
+            )
+        except BaseException:
+            # The segment exists the moment _export returns; if the
+            # pool can't come up there is no owner left to unlink it
+            # later, so retire it here instead of leaking /dev/shm.
+            if self._pack is not None:
+                self._pack.close()
+                self._pack.unlink()
+                self._pack = None
+            raise
+        # Jobs routed but not yet shipped, per worker.
+        self._buffered: List[List[Tuple[int, QueryJob]]] = [
+            [] for _ in range(workers)
+        ]
+        # Tickets for every unresolved job, keyed by query id — the
+        # slim wire replies carry only the id; the query object never
+        # crosses the queue twice.
+        self._tickets: Dict[int, QueryTicket] = {}
+        # Lazy trace handles not yet materialized, keyed by query id.
+        self._traces: Dict[int, RemoteTrace] = {}
+        # Replies folded while waiting for a trace fetch, delivered
+        # by the next pump.
+        self._ready: List[QueryReply] = []
         self._outstanding = 0
         self._cache_stats = CacheStats(
             hits=0, misses=0, churn_invalidations=0, delta_hits=0
+        )
+        self._transport: Optional[_TransportMeter] = (
+            _TransportMeter() if measure_transport else None
         )
         self._closed = False
 
@@ -515,65 +788,146 @@ class ForkedBackend(ExecutionBackend):
         """Number of shard-owner processes."""
         return self._workers
 
+    @property
+    def lazy_traces(self) -> bool:
+        """Whether trace lines ship on demand instead of eagerly."""
+        return self._lazy_traces
+
+    def transport_stats(self) -> TransportStats:
+        """Measured queue traffic (requires ``measure_transport``)."""
+        if self._transport is None:
+            raise ConfigurationError(
+                "transport accounting is off; construct the backend "
+                "with measure_transport=True"
+            )
+        return self._transport.snapshot()
+
     def submit(self, job: QueryJob) -> None:
         if self._closed:
             raise ServiceError("the sharded backend is closed")
         if job.deadline_ms is not None:
-            # Fail at submit in the parent, with the same errors the
-            # inline backend's arm_deadline would raise — not from a
-            # worker at drain time.
-            if not self._simulator.supports_deadlines:
-                raise ConfigurationError(
-                    "deadlines need virtual time: use an "
-                    "EventDrivenSimulator (repro.sim) with latency, a "
-                    "timeline or a probe timeout"
-                )
-            if job.deadline_ms <= 0:
-                raise ConfigurationError(
-                    f"deadline_ms must be positive, got {job.deadline_ms}"
-                )
+            # Fail at submit in the parent — not from a worker at
+            # drain time — with exactly the errors the inline path's
+            # arm_deadline raises: one definition on the simulator.
+            self._simulator.validate_deadline(job.deadline_ms)
         worker = shard_for_signature(job.signature, self._workers)
-        self._fork_pool.send(worker, job.query_id, job)
+        self._buffered[worker].append((job.query_id, job))
+        self._tickets[job.query_id] = QueryTicket(
+            query_id=job.query_id,
+            query=job.query,
+            delta_req=job.delta_req,
+            signature=job.signature,
+        )
         self._outstanding += 1
 
+    def _flush(self) -> None:
+        """Ship every buffered job, one batch message per worker."""
+        for worker, pairs in enumerate(self._buffered):
+            if not pairs:
+                continue
+            if self._transport is not None:
+                self._transport.record_send(pairs)
+            self._fork_pool.send_many(worker, pairs)
+            self._buffered[worker] = []
+
     def _fold(self, payload: object) -> QueryReply:
-        if not isinstance(payload, QueryReply):
+        if self._transport is not None:
+            self._transport.record_reply(payload)
+        query_id = reply_query_id(payload)
+        ticket = self._tickets.pop(query_id, None)
+        if ticket is None:
             raise ServiceError(
-                f"unexpected worker payload {type(payload).__name__}"
+                f"worker reply for unknown query {query_id}"
             )
+        reply, trace = decode_reply(payload, ticket=ticket)
+        if trace is not None:
+            handle = RemoteTrace(
+                self,
+                shard_for_signature(ticket.signature, self._workers),
+                query_id,
+                trace.digest,
+                trace.num_events,
+                lines=trace.lines,
+            )
+            if trace.lines is None:
+                self._traces[query_id] = handle
+            reply = dataclasses.replace(reply, tracer=handle)
         self._outstanding -= 1
         self._cache_stats = CacheStats(
-            hits=self._cache_stats.hits + payload.cache_hits,
-            misses=self._cache_stats.misses + payload.cache_misses,
+            hits=self._cache_stats.hits + reply.cache_hits,
+            misses=self._cache_stats.misses + reply.cache_misses,
             churn_invalidations=(
                 self._cache_stats.churn_invalidations
-                + payload.cache_churn_invalidations
+                + reply.cache_churn_invalidations
             ),
             delta_hits=(
-                self._cache_stats.delta_hits + payload.cache_delta_hits
+                self._cache_stats.delta_hits + reply.cache_delta_hits
             ),
         )
-        return payload
+        return reply
 
     def pump(self) -> List[QueryReply]:
-        if self._outstanding == 0:
-            return []
-        _, _, payload = self._fork_pool.recv()
-        replies = [self._fold(payload)]
-        while self._outstanding > 0:
-            extra = self._fork_pool.try_recv()
-            if extra is None:
-                break
-            replies.append(self._fold(extra[2]))
+        replies = list(self._ready)
+        self._ready.clear()
+        if self._outstanding > 0:
+            self._flush()
+            if not replies:
+                # One blocking sweep absorbs whole reply batches.
+                for _, _, payload in self._fork_pool.recv_many():
+                    replies.append(self._fold(payload))
+            else:
+                while self._outstanding > 0:
+                    extra = self._fork_pool.try_recv()
+                    if extra is None:
+                        break
+                    replies.append(self._fold(extra[2]))
         return replies
+
+    def _fetch_trace_lines(
+        self, worker: int, query_id: int
+    ) -> Tuple[str, ...]:
+        """Pull one trace's lines out of its owning worker's store.
+
+        Job replies arriving ahead of the fetch response are folded
+        into the ready buffer, so interleaving a trace read with live
+        traffic loses nothing.
+        """
+        if self._closed:
+            raise ServiceError(
+                f"cannot fetch trace lines for query {query_id}: the "
+                "sharded backend is closed and its workers are gone"
+            )
+        self._fork_pool.send(worker, -2, _FetchTrace(query_id))
+        try:
+            while True:
+                for _, _, payload in self._fork_pool.recv_many():
+                    if (
+                        isinstance(payload, tuple)
+                        and len(payload) == 3
+                        and payload[0] in (_TRACE_LINES, _TRACE_MISSING)
+                    ):
+                        if payload[1] != query_id:
+                            raise ServiceError(
+                                f"trace fetch for query {query_id} "
+                                f"answered for query {payload[1]}"
+                            )
+                        self._traces.pop(query_id, None)
+                        if payload[0] == _TRACE_MISSING:
+                            raise ServiceError(payload[2])
+                        return payload[2]
+                    self._ready.append(self._fold(payload))
+        except WorkerPoolError as error:
+            raise ServiceError(
+                f"trace fetch for query {query_id} failed: {error}"
+            ) from error
 
     @property
     def idle(self) -> bool:
-        return self._outstanding == 0
+        return self._outstanding == 0 and not self._ready
 
     @property
     def backlog(self) -> int:
-        return self._outstanding
+        return self._outstanding + len(self._ready)
 
     @property
     def in_flight(self) -> int:
@@ -585,33 +939,70 @@ class ForkedBackend(ExecutionBackend):
         return self._cache_stats
 
     def rebind(self, simulator: NetworkSimulator) -> None:
-        if self._outstanding:
+        if self._outstanding or self._ready:
             raise ServiceError(
                 "cannot rebind while queries are outstanding"
             )
+        # Transactional: every parent-side mutation stays staged until
+        # the swap cannot fail anymore.  Export first; on any failure
+        # through the ack loop, retire the new segment and re-raise
+        # with the old simulator, pack and manifests fully intact.
+        new_pack = self._export(simulator, self._share_arrays)
+        try:
+            manifest = (
+                new_pack.manifest if new_pack is not None else None
+            )
+            self._fork_pool.broadcast(-1, _Rebind(simulator, manifest))
+            acks = 0
+            while acks < self._workers:
+                _, _, payload = self._fork_pool.recv()
+                if payload != "rebound":
+                    raise ServiceError(
+                        f"unexpected rebind acknowledgement {payload!r}"
+                    )
+                acks += 1
+        except BaseException:
+            if new_pack is not None:
+                new_pack.close()
+                new_pack.unlink()
+            raise
         old_pack = self._pack
         self._simulator = simulator
-        self._pack = self._export(simulator, self._share_arrays)
-        manifest = self._pack.manifest if self._pack is not None else None
-        self._fork_pool.broadcast(-1, _Rebind(simulator, manifest))
-        acks = 0
-        while acks < self._workers:
-            _, _, payload = self._fork_pool.recv()
-            if payload != "rebound":
-                raise ServiceError(
-                    f"unexpected rebind acknowledgement {payload!r}"
-                )
-            acks += 1
+        self._pack = new_pack
         if old_pack is not None:
             old_pack.close()
             old_pack.unlink()
 
+    def _materialize_traces(self) -> None:
+        """Fetch every still-remote trace before the workers go away.
+
+        Best-effort: a trace whose worker already died is marked lost
+        (reading it raises :class:`~repro.errors.ServiceError` with
+        the reason) rather than blocking close.
+        """
+        for query_id in sorted(self._traces):
+            handle = self._traces.get(query_id)
+            if handle is None:
+                continue
+            try:
+                handle.materialize()
+            except ServiceError as error:
+                handle.mark_lost(
+                    f"trace lines for query {query_id} were lost "
+                    f"before close could fetch them: {error}"
+                )
+        self._traces.clear()
+
     def close(self) -> None:
         if self._closed:
             return
-        self._closed = True
-        self._fork_pool.close()
-        if self._pack is not None:
-            self._pack.close()
-            self._pack.unlink()
-            self._pack = None
+        try:
+            self._materialize_traces()
+        finally:
+            self._closed = True
+            self._buffered = [[] for _ in range(self._workers)]
+            self._fork_pool.close()
+            if self._pack is not None:
+                self._pack.close()
+                self._pack.unlink()
+                self._pack = None

@@ -58,7 +58,7 @@ from ..errors import (
 from ..metrics.cost import QueryCost
 from ..network.simulator import NetworkSimulator
 from ..obs.registry import MetricsRegistry
-from ..obs.tracer import Tracer
+from ..obs.tracer import TraceLike
 from ..query.model import AggregationQuery
 from .backend import (
     EngineSettings,
@@ -220,7 +220,7 @@ class QueryService:
         self._capture_traces = capture_traces
         self._registry = registry if registry is not None else MetricsRegistry()
         self._outcomes: Dict[int, QueryOutcome] = {}
-        self._tracers: Dict[int, Tracer] = {}
+        self._tracers: Dict[int, TraceLike] = {}
         self._next_id = 0
         self._ticks = 0
         self._submitted = 0
@@ -318,9 +318,16 @@ class QueryService:
         """The outcome for ``ticket``, if it has resolved."""
         return self._outcomes.get(ticket.query_id)
 
-    def trace(self, ticket: QueryTicket) -> Optional[Tracer]:
-        """The query's private tracer (``capture_traces`` only),
-        available once the query has resolved."""
+    def trace(self, ticket: QueryTicket) -> Optional[TraceLike]:
+        """The query's private trace (``capture_traces`` only),
+        available once the query has resolved.
+
+        On a sharded service the lines may still live in the owning
+        worker (lazy trace shipping): the returned handle fetches
+        them on first ``.lines`` access and :meth:`close`
+        materializes any never-read traces, so the lines survive the
+        workers either way — byte-identical to the inline backend's.
+        """
         return self._tracers.get(ticket.query_id)
 
     def write_traces(self, directory: Union[str, Path]) -> List[Path]:
@@ -484,7 +491,10 @@ class QueryService:
 
         A no-op for the inline backend; a sharded service must be
         closed — or used as a context manager — to reap its workers
-        and unlink its shared-memory segment.  Idempotent.
+        and unlink its shared-memory segment.  Closing first pulls
+        any still-worker-side trace lines into this process, so
+        :meth:`trace` and :meth:`write_traces` keep working on a
+        closed service.  Idempotent.
         """
         self._backend.close()
 

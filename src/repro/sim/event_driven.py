@@ -183,11 +183,16 @@ class EventDrivenSimulator(NetworkSimulator):
         """Deadlines always work here: arming one arms the time domain."""
         return True
 
-    def arm_deadline(self, deadline_ms: float) -> None:
+    def validate_deadline(self, deadline_ms: float) -> None:
+        """Deadline checks without arming (shared with the sharded
+        backend's parent-side submit validation)."""
         if deadline_ms <= 0:
             raise ConfigurationError(
                 f"deadline_ms must be positive, got {deadline_ms}"
             )
+
+    def arm_deadline(self, deadline_ms: float) -> None:
+        self.validate_deadline(deadline_ms)
         self._deadline_ms_value = deadline_ms
 
     def drain(self) -> None:

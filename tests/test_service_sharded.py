@@ -16,8 +16,11 @@ test driving 500+ queries through admission backpressure.
 """
 
 import dataclasses
+import os
+import signal
 import subprocess
 import sys
+from multiprocessing import shared_memory
 
 import pytest
 from hypothesis import given, settings
@@ -35,7 +38,13 @@ from repro.network.generators import power_law_topology
 from repro.network.simulator import NetworkSimulator
 from repro.query.parser import parse_query
 from repro.service import QueryService
-from repro.service.backend import shard_for_signature
+from repro.service import backend as backend_module
+from repro.service.backend import (
+    EngineSettings,
+    ForkedBackend,
+    RemoteTrace,
+    shard_for_signature,
+)
 from repro.tools.trace.cli import main as trace_main
 
 COUNT_30 = parse_query("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30")
@@ -79,6 +88,24 @@ def run_sharded(small_network, workers, **kwargs):
         tickets = [service.submit(query, 0.1) for query in WORKLOAD]
         outcomes = service.run()
     return service, tickets, outcomes
+
+
+def service_with_backend(network, workers, **backend_kwargs):
+    """A traced QueryService around an explicitly-built ForkedBackend.
+
+    The service API deliberately does not surface the transport knobs
+    (``lazy_traces``, ``trace_store_limit``, ``measure_transport``);
+    tests that need them construct the backend directly with settings
+    matching the service defaults.
+    """
+    settings_ = EngineSettings(
+        config=CONFIG, chunk_peers=8, max_age=25, decay=0.7,
+        delta_reestimation=False,
+    )
+    backend = ForkedBackend(network, settings_, workers, **backend_kwargs)
+    return QueryService(
+        network, CONFIG, seed=99, backend=backend, capture_traces=True
+    )
 
 
 def assert_outcomes_identical(reference, candidate):
@@ -271,17 +298,28 @@ class TestShardedLifecycle:
                 service.rebind(small_network)
             service.run()
 
-    def test_deadline_validation_matches_inline(self, small_network):
+    @pytest.mark.parametrize("deadline_ms", [100.0, 0.0, -1.0])
+    def test_deadline_validation_matches_inline(
+        self, small_network, deadline_ms
+    ):
         """A deadline against a clockless snapshot fails at submit
         with the same error either way — and burns a query id either
-        way, so submission-order seeding stays aligned."""
+        way, so submission-order seeding stays aligned.
+
+        Both backends call the simulator's own ``validate_deadline``,
+        so the precedence is pinned by construction: on a plain
+        snapshot the needs-virtual-time error wins even for a
+        nonpositive deadline (positivity is the *event-driven*
+        simulator's check)."""
 
         def probe(**backend_kwargs):
             with QueryService(
                 small_network, CONFIG, seed=99, **backend_kwargs
             ) as service:
                 with pytest.raises(ConfigurationError) as err:
-                    service.submit(COUNT_30, 0.1, deadline_ms=100.0)
+                    service.submit(
+                        COUNT_30, 0.1, deadline_ms=deadline_ms
+                    )
                 follow_up = service.submit(COUNT_30, 0.1)
                 service.run()
             return str(err.value), follow_up.query_id
@@ -290,6 +328,7 @@ class TestShardedLifecycle:
         inline_msg, inline_id = probe(max_in_flight=2)
         sharded_msg, sharded_id = probe(workers=2)
         assert inline_msg == sharded_msg
+        assert "virtual time" in sharded_msg
         assert inline_id == sharded_id == 1
 
     def test_workers_and_backend_are_exclusive(self, small_network):
@@ -383,6 +422,18 @@ def _die(value):
     os._exit(3)
 
 
+def _double_or_explode(value):
+    if value < 0:
+        raise ValueError(f"boom on {value}")
+    return value * 2
+
+
+def _die_on_marker(value):
+    if value == "die":
+        os._exit(3)
+    return value
+
+
 class TestForkPool:
     def test_run_forked_map_preserves_order(self):
         items = list(range(23))
@@ -415,6 +466,336 @@ class TestForkPool:
             pool.effective_workers(0)
 
 
+class TestBatchedPool:
+    """send_many/recv_many: one queue message per batch, no reply loss."""
+
+    def test_send_many_round_trips_in_order(self):
+        with pool.ForkPool(2, _double, name="t-batch") as fork_pool:
+            fork_pool.send_many(0, [(tag, tag) for tag in range(5)])
+            fork_pool.send_many(1, [(9, 100)])
+            got = []
+            while len(got) < 6:
+                got.extend(fork_pool.recv_many())
+            worker0 = [
+                (tag, payload)
+                for worker, tag, payload in got
+                if worker == 0
+            ]
+            assert worker0 == [(tag, tag * 2) for tag in range(5)]
+            assert (1, 9, 200) in got
+
+    def test_send_many_empty_is_a_noop(self):
+        with pool.ForkPool(1, _double, name="t-empty") as fork_pool:
+            fork_pool.send_many(0, [])
+            assert fork_pool.try_recv() is None
+            fork_pool.send(0, 0, 3)
+            assert fork_pool.recv()[2] == 6
+
+    def test_send_many_validates_worker(self):
+        with pool.ForkPool(1, _double, name="t-val") as fork_pool:
+            with pytest.raises(ConfigurationError):
+                fork_pool.send_many(7, [(0, 1)])
+
+    def test_batch_exception_fills_its_slot_only(self):
+        """One bad job in a batch fails *that* job: the replies before
+        it are delivered first, the exception surfaces on the next
+        call, and the replies after it are still there."""
+        with pool.ForkPool(1, _double_or_explode, name="t-slot") as fp:
+            fp.send_many(0, [(0, 2), (1, -1), (2, 4)])
+            assert fp.recv_many() == [(0, 0, 4)]
+            with pytest.raises(ValueError, match="boom on -1"):
+                fp.recv_many()
+            assert fp.recv()[2] == 8
+
+    def test_worker_crash_mid_batch_is_typed_not_a_hang(self):
+        """A worker dying partway through a batch (before shipping the
+        coalesced reply) surfaces as WorkerPoolError, not a hang."""
+        with pool.ForkPool(2, _die_on_marker, name="t-mid") as fp:
+            fp.send_many(0, [(0, "ok"), (1, "die"), (2, "ok")])
+            with pytest.raises(WorkerPoolError, match="died"):
+                fp.recv_many(poll_s=0.01, max_polls=1000)
+
+
+class TestLazyTraceTransport:
+    """Lazy trace shipping: digests eager, lines fetched on demand."""
+
+    def test_lines_fetch_on_demand_and_cache(self, small_network):
+        service = service_with_backend(small_network, 2)
+        try:
+            ticket = service.submit(COUNT_30, 0.1)
+            service.run()
+            handle = service.trace(ticket)
+            assert isinstance(handle, RemoteTrace)
+            # Digest and event count shipped with the reply; the
+            # lines themselves did not.
+            assert not handle.fetched
+            assert handle.num_events > 0
+            digest = handle.digest()
+            assert not handle.fetched
+            lines = handle.lines
+            assert handle.fetched
+            assert lines
+            assert handle.digest() == digest
+            assert handle.lines == lines  # cached parent-side now
+        finally:
+            service.close()
+
+    def test_eager_shipping_matches_lazy_byte_for_byte(
+        self, small_network
+    ):
+        lazy_svc, lazy_tickets, _ = run_sharded(small_network, 2)
+        eager_svc = service_with_backend(
+            small_network, 2, lazy_traces=False
+        )
+        try:
+            assert eager_svc.backend.lazy_traces is False
+            eager_tickets = [
+                eager_svc.submit(query, 0.1) for query in WORKLOAD
+            ]
+            eager_svc.run()
+            for lazy_t, eager_t in zip(lazy_tickets, eager_tickets):
+                eager_trace = eager_svc.trace(eager_t)
+                assert eager_trace.fetched  # lines rode the reply
+                lazy_trace = lazy_svc.trace(lazy_t)
+                assert lazy_trace.lines == eager_trace.lines
+                assert lazy_trace.digest() == eager_trace.digest()
+        finally:
+            eager_svc.close()
+
+    def test_close_materializes_unread_traces(self, small_network):
+        service = service_with_backend(small_network, 1)
+        ticket = service.submit(COUNT_30, 0.1)
+        service.run()
+        handle = service.trace(ticket)
+        assert not handle.fetched
+        service.close()
+        # The workers are gone, but close pulled the lines over first.
+        assert handle.fetched
+        assert handle.lines
+
+    def test_fetch_interleaved_with_live_traffic(self, small_network):
+        service = service_with_backend(small_network, 2)
+        try:
+            first = service.submit(COUNT_30, 0.1)
+            service.await_result(first)
+            later = [service.submit(query, 0.1) for query in WORKLOAD]
+            service.tick()  # flush the batch so replies race the fetch
+            # Reading the early trace mid-workload must not drop any
+            # of the job replies arriving behind the fetch response.
+            assert service.trace(first).lines
+            service.run()
+            outcomes = [service.outcome(ticket) for ticket in later]
+            assert all(o is not None and o.ok for o in outcomes)
+        finally:
+            service.close()
+
+    def test_trace_store_bound_evicts_oldest(self, small_network):
+        service = service_with_backend(
+            small_network, 1, trace_store_limit=1
+        )
+        try:
+            first = service.submit(COUNT_30, 0.1)
+            second = service.submit(SUM_50, 0.1)
+            service.run()
+            with pytest.raises(ServiceError, match="bound"):
+                service.trace(first).lines
+            assert service.trace(second).lines
+        finally:
+            service.close()
+
+    def test_fetch_after_close_raises_not_deadlocks(self, small_network):
+        service = service_with_backend(small_network, 1)
+        ticket = service.submit(COUNT_30, 0.1)
+        service.run()
+        backend = service.backend
+        service.close()
+        # close materialized the handle: the public path still works.
+        assert service.trace(ticket).lines
+        # A raw fetch against the closed backend fails typed.
+        with pytest.raises(ServiceError, match="closed"):
+            backend._fetch_trace_lines(0, ticket.query_id)
+
+    def test_trace_after_workers_reaped_is_marked_lost(
+        self, small_network
+    ):
+        service = service_with_backend(small_network, 2)
+        ticket = service.submit(COUNT_30, 0.1)
+        service.run()
+        handle = service.trace(ticket)
+        assert not handle.fetched
+        for process in service.backend._fork_pool._processes:
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10)
+        service.close()  # must not hang: the close-time fetch fails typed
+        with pytest.raises(ServiceError, match="lost"):
+            handle.lines
+
+    def test_transport_accounting(self, small_network):
+        def measured(**backend_kwargs):
+            service = service_with_backend(
+                small_network, 1, measure_transport=True,
+                **backend_kwargs,
+            )
+            try:
+                for query in WORKLOAD:
+                    service.submit(query, 0.1)
+                service.run()
+                return service.backend.transport_stats()
+            finally:
+                service.close()
+
+        eager = measured(lazy_traces=False)
+        lazy = measured()
+        # Every submit happened before the first pump, so the whole
+        # workload crossed as ONE job message (that's the batching).
+        assert eager.job_messages == lazy.job_messages == 1
+        assert lazy.replies == eager.replies == len(WORKLOAD)
+        # The entire point: not shipping trace lines eagerly makes the
+        # replies materially smaller on a traced workload.
+        assert lazy.reply_bytes < eager.reply_bytes
+        assert lazy.total_bytes < eager.total_bytes
+
+    def test_transport_stats_require_opt_in(self, small_network):
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=1
+        ) as service:
+            with pytest.raises(ConfigurationError, match="transport"):
+                service.backend.transport_stats()
+
+    def test_trace_store_limit_validation(self, small_network):
+        with pytest.raises(ConfigurationError):
+            service_with_backend(small_network, 1, trace_store_limit=0)
+
+
+class TestShmLifecycle:
+    """The creator-unlinks-once rule survives every failure path."""
+
+    def test_init_failure_unlinks_segment(
+        self, small_network, monkeypatch
+    ):
+        """Regression: a ForkPool that fails to come up after the
+        snapshot export must not leak the /dev/shm segment."""
+        captured = {}
+        real_export = backend_module.export_snapshot
+
+        def capturing(simulator):
+            pack = real_export(simulator)
+            captured["segment"] = pack.manifest.segment
+            return pack
+
+        monkeypatch.setattr(
+            backend_module, "export_snapshot", capturing
+        )
+
+        def refuse(*args, **kwargs):
+            raise RuntimeError("fork refused")
+
+        monkeypatch.setattr(pool, "ForkPool", refuse)
+        with pytest.raises(RuntimeError, match="fork refused"):
+            QueryService(small_network, CONFIG, seed=99, workers=2)
+        assert "segment" in captured
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=captured["segment"])
+
+    def test_rebind_export_failure_leaves_service_intact(
+        self, small_network, small_dataset, monkeypatch
+    ):
+        """Regression: a rebind whose export raises must leave the old
+        pack, simulator and worker caches fully serving."""
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        ) as service:
+            assert service.await_result(
+                service.submit(COUNT_30, 0.1)
+            ) is not None
+            old_segment = service.backend._pack.manifest.segment
+
+            def refuse(simulator, share_arrays):
+                raise RuntimeError("no segment for you")
+
+            monkeypatch.setattr(
+                backend_module.ForkedBackend, "_export",
+                staticmethod(refuse),
+            )
+            other = NetworkSimulator(
+                power_law_topology(150, 600, seed=11),
+                small_dataset.databases[:150],
+                seed=13,
+            )
+            with pytest.raises(RuntimeError, match="no segment"):
+                service.rebind(other)
+            # Old pack intact, old snapshot still bound, caches warm.
+            assert (
+                service.backend._pack.manifest.segment == old_segment
+            )
+            assert service.await_result(
+                service.submit(COUNT_30, 0.1)
+            ) is not None
+            stats = service.stats()
+            assert stats.warm_runs == 1
+            assert stats.churn_invalidations == 0
+
+    def test_rebind_bad_ack_is_unwound(
+        self, small_network, small_dataset, monkeypatch
+    ):
+        """Regression: a rebind that dies in the ack loop must unlink
+        the staged segment and keep the old one."""
+        with QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        ) as service:
+            old_segment = service.backend._pack.manifest.segment
+            staged = []
+            real_export = backend_module.ForkedBackend._export
+
+            def capturing(simulator, share_arrays):
+                pack = real_export(simulator, share_arrays)
+                staged.append(pack.manifest.segment)
+                return pack
+
+            monkeypatch.setattr(
+                backend_module.ForkedBackend, "_export",
+                staticmethod(capturing),
+            )
+            monkeypatch.setattr(
+                service.backend._fork_pool, "recv",
+                lambda **kwargs: (0, -1, "nonsense"),
+            )
+            other = NetworkSimulator(
+                power_law_topology(150, 600, seed=11),
+                small_dataset.databases[:150],
+                seed=13,
+            )
+            with pytest.raises(ServiceError, match="rebind"):
+                service.rebind(other)
+            # The staged segment is gone; the old one still backs us.
+            assert (
+                service.backend._pack.manifest.segment == old_segment
+            )
+            assert len(staged) == 1
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=staged[0])
+
+    def test_worker_crash_leaves_no_orphaned_segment(
+        self, small_network
+    ):
+        service = QueryService(
+            small_network, CONFIG, seed=99, workers=2
+        )
+        segment = service.backend._pack.manifest.segment
+        for _ in range(4):
+            service.submit(COUNT_30, 0.1)
+            service.submit(SUM_50, 0.1)
+        for process in service.backend._fork_pool._processes:
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10)
+        with pytest.raises(WorkerPoolError):
+            service.run()
+        service.close()
+        assert service.backend._fork_pool.alive_workers() == []
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+
+
 @pytest.mark.slow
 class TestShardedSoak:
     """500+ queries through a 4-worker service under backpressure."""
@@ -430,9 +811,16 @@ class TestShardedSoak:
                     return int(line.split()[1])
         raise RuntimeError("VmRSS not found")
 
+    @staticmethod
+    def _shm_segments():
+        if not os.path.isdir("/dev/shm"):
+            return set()
+        return set(os.listdir("/dev/shm"))
+
     def test_soak_no_deadlock_no_orphans_stable_rss(self, small_network):
         queries = [COUNT_30, SUM_50, AVG_ALL,
                    parse_query("SELECT SUM(A) FROM T")]
+        shm_before = self._shm_segments()
         service = QueryService(
             small_network, CONFIG, seed=99, workers=4, max_queue=32,
         )
@@ -468,6 +856,10 @@ class TestShardedSoak:
         # Clean shutdown: close() reaped every worker, twice is safe.
         service.close()
         assert service.backend._fork_pool.alive_workers() == []
+        # Nothing left behind in /dev/shm: the snapshot segment was
+        # unlinked exactly once, by its creator.
+        leaked = self._shm_segments() - shm_before
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
         # Steady state: RSS after the first batch may include lazily
         # built caches; later batches must not grow it materially.
         assert rss_per_batch[-1] - rss_per_batch[0] < 64 * 1024, (
