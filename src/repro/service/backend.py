@@ -60,7 +60,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pickle
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -502,6 +502,26 @@ class RemoteTrace:
         self._lines = lines
         return lines
 
+    def deliver(self, lines: Tuple[str, ...]) -> None:
+        """Accept lines that arrived outside :meth:`materialize`.
+
+        Used when a fetch aborted before consuming its response and
+        the response surfaces in a later receive sweep: the lines are
+        still the canonical ones, so they complete the handle instead
+        of being thrown away.  Digest-checked like a normal fetch; a
+        mismatch marks the handle lost rather than caching bad lines.
+        """
+        if self._lines is not None or self._lost is not None:
+            return
+        if digest_of_lines(list(lines)) != self._digest:
+            self.mark_lost(
+                f"late-delivered trace lines for query "
+                f"{self._query_id} do not match the digest shipped "
+                f"with its reply"
+            )
+            return
+        self._lines = lines
+
     def mark_lost(self, reason: str) -> None:
         """Record that the lines can no longer be fetched."""
         if self._lines is None and self._lost is None:
@@ -761,6 +781,15 @@ class ForkedBackend(ExecutionBackend):
         # Replies folded while waiting for a trace fetch, delivered
         # by the next pump.
         self._ready: List[QueryReply] = []
+        # Raw wire payloads received but not yet folded.  Every
+        # recv_many sweep lands here first, so resolving (or failing
+        # on) one payload can never discard the rest of its batch.
+        self._inbound: "deque[object]" = deque()
+        # query id -> count of trace-fetch responses still owed to
+        # fetches that raised before consuming their answer.  Lets
+        # later sweeps recognize the late answer instead of choking
+        # on it as an unknown reply.
+        self._stale_fetches: Dict[int, int] = {}
         self._outstanding = 0
         self._cache_stats = CacheStats(
             hits=0, misses=0, churn_invalidations=0, delta_hits=0
@@ -866,21 +895,85 @@ class ForkedBackend(ExecutionBackend):
         )
         return reply
 
+    @staticmethod
+    def _is_fetch_response(payload: object) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] in (_TRACE_LINES, _TRACE_MISSING)
+        )
+
+    def _absorb_stale_fetch(self, payload: tuple) -> None:
+        """Consume a trace-fetch response nobody is waiting on.
+
+        Only an aborted fetch (one that raised before consuming its
+        answer) can leave such a response behind; anything else is a
+        protocol violation and raises.  A stale ``_TRACE_LINES``
+        response still carries the canonical lines, so it completes
+        the query's handle instead of being dropped.
+        """
+        tag, query_id, body = payload
+        owed = self._stale_fetches.get(query_id, 0)
+        if not owed:
+            raise ServiceError(
+                f"stray trace-fetch response for query {query_id} "
+                "with no aborted fetch to account for it"
+            )
+        if owed == 1:
+            del self._stale_fetches[query_id]
+        else:
+            self._stale_fetches[query_id] = owed - 1
+        if tag == _TRACE_LINES:
+            handle = self._traces.pop(query_id, None)
+            if handle is not None:
+                handle.deliver(body)
+
+    def _next_inbound(self) -> object:
+        """The next raw wire payload, receiving a batch when dry.
+
+        Blocks (crash-aware) only when the parent-side buffer is
+        empty; a whole ``recv_many`` sweep lands in the buffer before
+        anything is folded, so one payload's failure never discards
+        the payloads behind it.
+        """
+        if not self._inbound:
+            self._inbound.extend(
+                payload
+                for _, _, payload in self._fork_pool.recv_many()
+            )
+        return self._inbound.popleft()
+
     def pump(self) -> List[QueryReply]:
         replies = list(self._ready)
         self._ready.clear()
-        if self._outstanding > 0:
-            self._flush()
-            if not replies:
-                # One blocking sweep absorbs whole reply batches.
-                for _, _, payload in self._fork_pool.recv_many():
-                    replies.append(self._fold(payload))
-            else:
-                while self._outstanding > 0:
-                    extra = self._fork_pool.try_recv()
-                    if extra is None:
-                        break
-                    replies.append(self._fold(extra[2]))
+        try:
+            if self._outstanding > 0:
+                self._flush()
+                if not replies and not self._inbound:
+                    # One blocking sweep absorbs whole reply batches.
+                    self._inbound.extend(
+                        payload
+                        for _, _, payload in self._fork_pool.recv_many()
+                    )
+                else:
+                    while True:
+                        extra = self._fork_pool.try_recv()
+                        if extra is None:
+                            break
+                        self._inbound.append(extra[2])
+            while self._inbound:
+                payload = self._inbound.popleft()
+                if self._is_fetch_response(payload):
+                    self._absorb_stale_fetch(payload)
+                    continue
+                replies.append(self._fold(payload))
+        except BaseException:
+            # Surface the failure without losing anything already
+            # folded: collected replies go back on the ready buffer
+            # (ahead of any concurrently-folded ones) and unfolded
+            # payloads are still in the inbound buffer.
+            self._ready[:0] = replies
+            raise
         return replies
 
     def _fetch_trace_lines(
@@ -888,9 +981,13 @@ class ForkedBackend(ExecutionBackend):
     ) -> Tuple[str, ...]:
         """Pull one trace's lines out of its owning worker's store.
 
-        Job replies arriving ahead of the fetch response are folded
-        into the ready buffer, so interleaving a trace read with live
-        traffic loses nothing.
+        Job replies sharing a receive sweep with the fetch response —
+        before *or* after it in the batch — are folded into the ready
+        buffer (or kept raw in the inbound buffer), so interleaving a
+        trace read with live traffic loses nothing.  If the fetch
+        raises before consuming its response, the response is
+        remembered as owed and absorbed by a later sweep instead of
+        surfacing as an unknown reply.
         """
         if self._closed:
             raise ServiceError(
@@ -898,28 +995,32 @@ class ForkedBackend(ExecutionBackend):
                 "sharded backend is closed and its workers are gone"
             )
         self._fork_pool.send(worker, -2, _FetchTrace(query_id))
+        answered = False
         try:
             while True:
-                for _, _, payload in self._fork_pool.recv_many():
-                    if (
-                        isinstance(payload, tuple)
-                        and len(payload) == 3
-                        and payload[0] in (_TRACE_LINES, _TRACE_MISSING)
-                    ):
-                        if payload[1] != query_id:
-                            raise ServiceError(
-                                f"trace fetch for query {query_id} "
-                                f"answered for query {payload[1]}"
-                            )
-                        self._traces.pop(query_id, None)
-                        if payload[0] == _TRACE_MISSING:
-                            raise ServiceError(payload[2])
-                        return payload[2]
-                    self._ready.append(self._fold(payload))
+                payload = self._next_inbound()
+                if self._is_fetch_response(payload):
+                    if payload[1] != query_id:
+                        self._absorb_stale_fetch(payload)
+                        continue
+                    answered = True
+                    self._traces.pop(query_id, None)
+                    if payload[0] == _TRACE_MISSING:
+                        raise ServiceError(payload[2])
+                    return payload[2]
+                self._ready.append(self._fold(payload))
         except WorkerPoolError as error:
             raise ServiceError(
                 f"trace fetch for query {query_id} failed: {error}"
             ) from error
+        finally:
+            if not answered:
+                # The worker will (or did) still answer this fetch;
+                # account for the response so the sweep that finds it
+                # knows it is stale rather than a protocol error.
+                self._stale_fetches[query_id] = (
+                    self._stale_fetches.get(query_id, 0) + 1
+                )
 
     @property
     def idle(self) -> bool:
@@ -947,6 +1048,17 @@ class ForkedBackend(ExecutionBackend):
         # the swap cannot fail anymore.  Export first; on any failure
         # through the ack loop, retire the new segment and re-raise
         # with the old simulator, pack and manifests fully intact.
+        # With nothing outstanding the inbound buffer can only hold
+        # responses owed to aborted trace fetches; absorb them so the
+        # ack loop below sees acks alone.
+        while self._inbound:
+            payload = self._inbound.popleft()
+            if not self._is_fetch_response(payload):
+                raise ServiceError(
+                    f"unexpected buffered payload {payload!r} with no "
+                    "queries outstanding"
+                )
+            self._absorb_stale_fetch(payload)
         new_pack = self._export(simulator, self._share_arrays)
         try:
             manifest = (
@@ -956,6 +1068,11 @@ class ForkedBackend(ExecutionBackend):
             acks = 0
             while acks < self._workers:
                 _, _, payload = self._fork_pool.recv()
+                if self._is_fetch_response(payload):
+                    # A stale fetch response can trail into the ack
+                    # sweep if the worker answered after the abort.
+                    self._absorb_stale_fetch(payload)
+                    continue
                 if payload != "rebound":
                     raise ServiceError(
                         f"unexpected rebind acknowledgement {payload!r}"

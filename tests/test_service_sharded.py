@@ -589,6 +589,146 @@ class TestLazyTraceTransport:
         finally:
             service.close()
 
+    def test_fetch_response_mid_batch_keeps_trailing_replies(
+        self, small_network, monkeypatch
+    ):
+        """Regression: job replies landing in the SAME receive sweep
+        *after* the fetch response used to be dropped on the floor,
+        wedging the backend (outstanding never drained)."""
+        service = service_with_backend(small_network, 1)
+        try:
+            first = service.submit(COUNT_30, 0.1)
+            service.await_result(first)
+            handle = service.trace(first)
+            assert not handle.fetched
+            backend = service.backend
+            later = [service.submit(query, 0.1) for query in WORKLOAD]
+            backend._flush()
+            real = backend._fork_pool.recv_many
+
+            def fetch_first(**kwargs):
+                # Collect until the fetch response arrived, then sort
+                # it to the FRONT so every job reply trails it in the
+                # one batch _fetch_trace_lines sees.
+                batch = list(real(**kwargs))
+                while not any(
+                    backend._is_fetch_response(p) for _, _, p in batch
+                ):
+                    batch.extend(real(**kwargs))
+                batch.sort(
+                    key=lambda r: 0
+                    if backend._is_fetch_response(r[2])
+                    else 1
+                )
+                return batch
+
+            monkeypatch.setattr(
+                backend._fork_pool, "recv_many", fetch_first
+            )
+            assert handle.lines
+            # Nothing behind the fetch response was lost: every job
+            # reply is either folded or still buffered raw, waiting
+            # for the next pump.
+            assert (
+                len(backend._ready) + len(backend._inbound)
+                == len(WORKLOAD)
+            )
+            monkeypatch.setattr(backend._fork_pool, "recv_many", real)
+            service.run()
+            outcomes = [service.outcome(ticket) for ticket in later]
+            assert all(o is not None and o.ok for o in outcomes)
+        finally:
+            service.close()
+
+    def test_pump_exception_preserves_folded_replies(
+        self, small_network, monkeypatch
+    ):
+        """Regression: a bad payload mid-drain used to discard every
+        reply pump had already folded (tickets popped, replies gone)."""
+        service = service_with_backend(small_network, 1)
+        try:
+            backend = service.backend
+            service.submit(COUNT_30, 0.1)
+            real = backend._fork_pool.recv_many
+
+            def poisoned(**kwargs):
+                return list(real(**kwargs)) + [(0, 99, ("garbage",))]
+
+            monkeypatch.setattr(
+                backend._fork_pool, "recv_many", poisoned
+            )
+            with pytest.raises(ServiceError, match="wire payload"):
+                backend.pump()
+            # The reply folded before the poison survived the raise.
+            assert len(backend._ready) == 1
+            monkeypatch.setattr(backend._fork_pool, "recv_many", real)
+            assert len(backend.pump()) == 1
+            assert backend.idle
+        finally:
+            service.close()
+
+    def test_aborted_fetch_response_is_salvaged_by_next_pump(
+        self, small_network, monkeypatch
+    ):
+        """Regression: if a fetch raised before consuming its answer,
+        the answer later hit _fold and failed as an 'unexpected wire
+        payload'.  Now the next sweep recognizes it as the stale
+        response — and, since it carries the canonical lines, it
+        completes the handle instead of being thrown away."""
+        service = service_with_backend(small_network, 1)
+        try:
+            first = service.submit(COUNT_30, 0.1)
+            service.await_result(first)
+            handle = service.trace(first)
+            assert not handle.fetched
+            backend = service.backend
+            real = backend._fork_pool.recv_many
+
+            def poison_ahead(**kwargs):
+                return [(0, 99, ("garbage",))] + list(real(**kwargs))
+
+            monkeypatch.setattr(
+                backend._fork_pool, "recv_many", poison_ahead
+            )
+            with pytest.raises(ServiceError, match="wire payload"):
+                handle.materialize()
+            monkeypatch.setattr(backend._fork_pool, "recv_many", real)
+            # The unconsumed fetch response is absorbed, not fatal.
+            assert backend.pump() == []
+            assert handle.fetched
+            assert handle.lines
+            assert not backend._stale_fetches
+        finally:
+            service.close()
+
+    def test_rebind_absorbs_stale_fetch_response(
+        self, small_network, monkeypatch
+    ):
+        """A fetch response left over from an aborted fetch must not
+        masquerade as a bad rebind acknowledgement."""
+        service = service_with_backend(small_network, 1)
+        try:
+            first = service.submit(COUNT_30, 0.1)
+            service.await_result(first)
+            handle = service.trace(first)
+            backend = service.backend
+            real = backend._fork_pool.recv_many
+
+            def poison_ahead(**kwargs):
+                return [(0, 99, ("garbage",))] + list(real(**kwargs))
+
+            monkeypatch.setattr(
+                backend._fork_pool, "recv_many", poison_ahead
+            )
+            with pytest.raises(ServiceError, match="wire payload"):
+                handle.materialize()
+            monkeypatch.setattr(backend._fork_pool, "recv_many", real)
+            backend.rebind(small_network)
+            assert not backend._stale_fetches
+            assert handle.fetched  # the stale response completed it
+        finally:
+            service.close()
+
     def test_trace_store_bound_evicts_oldest(self, small_network):
         service = service_with_backend(
             small_network, 1, trace_store_limit=1
